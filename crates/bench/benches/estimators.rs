@@ -1,0 +1,126 @@
+//! Criterion benchmarks for the estimation pipeline: MLE vs BMF runtime
+//! cost (the paper's speed-up claim concerns *sample* cost, but the
+//! computational overhead of BMF must stay negligible for that claim to
+//! matter in practice).
+
+use bmf_core::cv::CrossValidation;
+use bmf_core::map::BmfEstimator;
+use bmf_core::mle::MleEstimator;
+use bmf_core::prior::NormalWishartPrior;
+use bmf_core::MomentEstimate;
+use bmf_linalg::{Matrix, Vector};
+use bmf_stats::MultivariateNormal;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn setup(d: usize, n: usize) -> (MomentEstimate, Matrix) {
+    let b = Matrix::from_fn(d, d, |i, j| ((i + 2 * j) % 7) as f64 / 7.0);
+    let mut cov = b.mat_mul(&b.transpose()).expect("square");
+    for i in 0..d {
+        cov[(i, i)] += 1.0;
+    }
+    let early = MomentEstimate {
+        mean: Vector::zeros(d),
+        cov: cov.clone(),
+    };
+    let truth = MultivariateNormal::new(Vector::zeros(d), cov).expect("spd");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let samples = truth.sample_matrix(&mut rng, n);
+    (early, samples)
+}
+
+fn bench_mle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mle_estimate");
+    for &n in &[8usize, 32, 128] {
+        let (_, samples) = setup(5, n);
+        group.bench_with_input(BenchmarkId::new("d5", n), &samples, |b, s| {
+            b.iter(|| MleEstimator::new().estimate(black_box(s)).expect("mle"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmf_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bmf_map_estimate");
+    for &n in &[8usize, 32, 128] {
+        let (early, samples) = setup(5, n);
+        let prior = NormalWishartPrior::from_early_moments(&early, 5.0, 100.0).expect("prior");
+        let estimator = BmfEstimator::new(prior).expect("estimator");
+        group.bench_with_input(BenchmarkId::new("d5", n), &samples, |b, s| {
+            b.iter(|| estimator.estimate(black_box(s)).expect("estimate"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cv_select(c: &mut Criterion) {
+    // The dominant cost of the full BMF flow: the 2-D grid × Q folds.
+    let mut group = c.benchmark_group("cv_grid");
+    group.sample_size(20);
+    for &n in &[16usize, 64] {
+        let (early, samples) = setup(5, n);
+        let cv = CrossValidation::default();
+        group.bench_with_input(BenchmarkId::new("12x12_q4", n), &samples, |b, s| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            b.iter(|| cv.select(&early, black_box(s), &mut rng).expect("select"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_univariate(c: &mut Criterion) {
+    // The prior-art single-metric estimator (ref. [7]) per dimension.
+    use bmf_core::univariate::UnivariateBmf;
+    let est = UnivariateBmf::from_early_moments(0.0, 1.0, 4.0, 20.0).expect("valid");
+    let samples: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("univariate_bmf_n32", |b| {
+        b.iter(|| est.estimate(black_box(&samples)).expect("estimate"))
+    });
+}
+
+fn bench_csv_io(c: &mut Criterion) {
+    use bmf_core::io::{read_samples_csv, write_samples_csv, LabelledSamples};
+    let (_, samples) = setup(5, 1000);
+    let data = LabelledSamples {
+        names: (0..5).map(|i| format!("metric_{i}")).collect(),
+        samples,
+    };
+    let mut csv = Vec::new();
+    write_samples_csv(&mut csv, &data).expect("write");
+    let mut group = c.benchmark_group("csv_io");
+    group.bench_function("write_1000x5", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(csv.len());
+            write_samples_csv(&mut buf, black_box(&data)).expect("write");
+            buf
+        })
+    });
+    group.bench_function("read_1000x5", |b| {
+        b.iter(|| read_samples_csv(&mut black_box(csv.as_slice())).expect("read"))
+    });
+    group.finish();
+}
+
+fn bench_posterior_sampling(c: &mut Criterion) {
+    let (early, samples) = setup(5, 16);
+    let prior = NormalWishartPrior::from_early_moments(&early, 5.0, 100.0).expect("prior");
+    let est = BmfEstimator::new(prior)
+        .expect("estimator")
+        .estimate(&samples)
+        .expect("estimate");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    c.bench_function("posterior_sample_d5", |b| {
+        b.iter(|| est.sample_posterior(&mut rng, 1).expect("sample"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mle,
+    bench_bmf_map,
+    bench_cv_select,
+    bench_univariate,
+    bench_csv_io,
+    bench_posterior_sampling
+);
+criterion_main!(benches);

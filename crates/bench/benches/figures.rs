@@ -1,0 +1,83 @@
+//! Criterion benches tied to the paper's figures: each target measures one
+//! error-sweep *point* of Figure 4/5 (a full figure run lives in the
+//! `fig4_opamp`/`fig5_adc` binaries — Criterion is for timing, the binaries
+//! are for the data series).
+
+use bmf_bench::study_to_data;
+use bmf_circuits::adc::AdcTestbench;
+use bmf_circuits::monte_carlo::two_stage_study;
+use bmf_circuits::opamp::OpAmpTestbench;
+use bmf_core::cv::CrossValidation;
+use bmf_core::experiment::{prepare, run_error_sweep, PreparedStudy, SweepConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn prepared_opamp() -> PreparedStudy {
+    let tb = OpAmpTestbench::default_45nm();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+    let study = two_stage_study(&tb, 400, 400, &mut rng).expect("monte carlo");
+    prepare(&study_to_data(&study)).expect("prepare")
+}
+
+fn prepared_adc() -> PreparedStudy {
+    let tb = AdcTestbench::default_180nm();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(180);
+    let study = two_stage_study(&tb, 300, 300, &mut rng).expect("monte carlo");
+    prepare(&study_to_data(&study)).expect("prepare")
+}
+
+fn point_config(n: usize) -> SweepConfig {
+    SweepConfig {
+        sample_sizes: vec![n],
+        repetitions: 3,
+        cv: CrossValidation::default(),
+        seed: 9,
+    }
+}
+
+fn bench_fig4_point(c: &mut Criterion) {
+    let study = prepared_opamp();
+    let config = point_config(32);
+    let mut group = c.benchmark_group("fig4_opamp_point");
+    group.sample_size(10);
+    group.bench_function("n32_3reps", |b| {
+        b.iter(|| run_error_sweep(&study, &config).expect("sweep"))
+    });
+    group.finish();
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let study = prepared_adc();
+    let config = point_config(32);
+    let mut group = c.benchmark_group("fig5_adc_point");
+    group.sample_size(10);
+    group.bench_function("n32_3reps", |b| {
+        b.iter(|| run_error_sweep(&study, &config).expect("sweep"))
+    });
+    group.finish();
+}
+
+fn bench_monte_carlo_pools(c: &mut Criterion) {
+    // The data-generation half of each figure.
+    let mut group = c.benchmark_group("figure_monte_carlo");
+    group.sample_size(10);
+    group.bench_function("opamp_100_samples_both_stages", |b| {
+        let tb = OpAmpTestbench::default_45nm();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        b.iter(|| two_stage_study(&tb, 100, 100, &mut rng).expect("monte carlo"))
+    });
+    group.bench_function("adc_50_samples_both_stages", |b| {
+        let tb = AdcTestbench::default_180nm();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        b.iter(|| two_stage_study(&tb, 50, 50, &mut rng).expect("monte carlo"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4_point,
+    bench_fig5_point,
+    bench_monte_carlo_pools
+);
+criterion_main!(benches);

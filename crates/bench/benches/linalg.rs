@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the hand-written linear-algebra kernel.
+
+use bmf_linalg::{Cholesky, Lu, Matrix, SymmetricEigen, Vector};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn spd(n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.4);
+    let mut a = b.mat_mul(&b.transpose()).expect("square");
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for &n in &[5usize, 20, 50] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("factorise", n), &a, |b, a| {
+            b.iter(|| Cholesky::new(black_box(a)).expect("spd"))
+        });
+        let chol = Cholesky::new(&a).expect("spd");
+        let rhs = Vector::from_fn(n, |i| i as f64);
+        group.bench_with_input(BenchmarkId::new("solve", n), &rhs, |b, rhs| {
+            b.iter(|| chol.solve_vec(black_box(rhs)).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for &n in &[5usize, 20, 50] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("factorise", n), &a, |b, a| {
+            b.iter(|| Lu::new(black_box(a)).expect("nonsingular"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_eigen");
+    for &n in &[5usize, 20] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("decompose", n), &a, |b, a| {
+            b.iter(|| SymmetricEigen::new(black_box(a)).expect("symmetric"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mat_mul");
+    for &n in &[5usize, 50] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("square", n), &a, |b, a| {
+            b.iter(|| a.mat_mul(black_box(a)).expect("square"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky, bench_lu, bench_eigen, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks for samplers and densities.
+
+use bmf_linalg::{Matrix, Vector};
+use bmf_stats::{sample_gamma, sample_standard_normal, MultivariateNormal, NormalWishart, Wishart};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn spd(n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 5) as f64 / 5.0);
+    let mut a = b.mat_mul(&b.transpose()).expect("square");
+    for i in 0..n {
+        a[(i, i)] += 1.0;
+    }
+    a
+}
+
+fn bench_scalar_samplers(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    c.bench_function("standard_normal", |b| {
+        b.iter(|| sample_standard_normal(black_box(&mut rng)))
+    });
+    c.bench_function("gamma(3.5, 1)", |b| {
+        b.iter(|| sample_gamma(black_box(&mut rng), 3.5, 1.0))
+    });
+}
+
+fn bench_mvn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvn");
+    for &d in &[5usize, 20] {
+        let mvn = MultivariateNormal::new(Vector::zeros(d), spd(d)).expect("spd");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::new("sample", d), &d, |b, _| {
+            b.iter(|| mvn.sample(&mut rng))
+        });
+        let x = Vector::from_fn(d, |i| 0.1 * i as f64);
+        group.bench_with_input(BenchmarkId::new("ln_pdf", d), &x, |b, x| {
+            b.iter(|| mvn.ln_pdf(black_box(x)).expect("dim"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wishart(c: &mut Criterion) {
+    // The hand-coded Bartlett sampler the reproduction notes called out.
+    let mut group = c.benchmark_group("wishart_bartlett");
+    for &d in &[5usize, 20] {
+        let w = Wishart::new(spd(d), d as f64 + 10.0).expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::new("sample", d), &d, |b, _| {
+            b.iter(|| w.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_normal_wishart(c: &mut Criterion) {
+    let d = 5;
+    let nw = NormalWishart::new(Vector::zeros(d), 4.0, d as f64 + 8.0, spd(d)).expect("valid");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    c.bench_function("normal_wishart_sample_d5", |b| {
+        b.iter(|| nw.sample(&mut rng).expect("sample"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scalar_samplers,
+    bench_mvn,
+    bench_wishart,
+    bench_normal_wishart
+);
+criterion_main!(benches);

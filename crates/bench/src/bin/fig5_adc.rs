@@ -1,0 +1,69 @@
+//! Regenerates **Figure 5** of the paper: flash-ADC (0.18 µm) mean-vector
+//! and covariance estimation error vs. number of late-stage samples, MLE
+//! vs BMF, plus the in-text >10× cost reduction and the CV-selected
+//! hyper-parameters at n = 32.
+//!
+//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>]`
+//!
+//! The default matches the paper: 1000 MC samples per stage, 100
+//! repetitions, n ∈ {8..256}.
+
+use bmf_bench::plot::figure_svgs;
+use bmf_bench::{format_cost_reduction, run_circuit_experiment};
+use bmf_circuits::adc::AdcTestbench;
+use bmf_core::experiment::SweepConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let svg_prefix = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1).cloned());
+    let (pool, reps) = if quick { (400, 15) } else { (1000, 100) };
+
+    let tb = AdcTestbench::default_180nm();
+    let mut config = SweepConfig::paper_default();
+    config.repetitions = reps;
+    // The ADC pool is 1000 samples (paper), so the sweep stops at 256.
+    config.sample_sizes = vec![8, 16, 32, 64, 128, 256];
+
+    eprintln!(
+        "fig5_adc: {pool} MC samples/stage, {reps} repetitions, n = {:?}",
+        config.sample_sizes
+    );
+    let t0 = std::time::Instant::now();
+    let result = match run_circuit_experiment(&tb, pool, pool, 180, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("=== Figure 5: flash ADC (0.18 um), MLE vs BMF ===");
+    println!("metrics: snr_db, sinad_db, sfdr_db, thd_db, power_w");
+    println!("errors per Eq. 37 (mean, 2-norm) / Eq. 38 (cov, Frobenius), shifted+scaled space");
+    println!();
+    println!("{}", result.to_table());
+    println!("{}", format_cost_reduction(&result));
+    if let Some(r32) = result.rows.iter().find(|r| r.n == 32) {
+        println!(
+            "CV-selected hyper-parameters at n = 32: kappa0 = {:.2}, nu0 = {:.1}",
+            r32.mean_kappa0, r32.mean_nu0
+        );
+        println!("(paper: kappa0 = 521.9, nu0 = 558.8 — both priors strong)");
+    }
+    if let Some(prefix) = svg_prefix {
+        let (mean_svg, cov_svg) = figure_svgs("flash ADC (0.18 um)", &result);
+        for (suffix, doc) in [("mean", mean_svg), ("cov", cov_svg)] {
+            let path = format!("{prefix}_{suffix}.svg");
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+    eprintln!("elapsed: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,108 @@
+//! Shared harness code for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! The paper's evaluation (§5) consists of Figure 4 (op-amp) and Figure 5
+//! (ADC), each plotting mean-vector and covariance estimation error versus
+//! the number of late-stage samples for MLE and BMF, plus in-text
+//! cost-reduction factors and CV-selected hyper-parameters. The binaries
+//! `fig4_opamp`, `fig5_adc` and `ablations` regenerate all of them;
+//! `benches/` holds the Criterion component benchmarks.
+
+pub mod plot;
+
+use bmf_circuits::monte_carlo::{two_stage_study, Testbench, TwoStageStudy};
+use bmf_core::experiment::{
+    cost_reduction, prepare, run_error_sweep_parallel, ErrorKind, SweepConfig, SweepResult,
+    TwoStageData,
+};
+use rand::SeedableRng;
+
+/// Converts the circuit crate's study format into the estimator crate's
+/// experiment input.
+pub fn study_to_data(study: &TwoStageStudy) -> TwoStageData {
+    TwoStageData {
+        metric_names: study.metric_names.iter().map(|s| s.to_string()).collect(),
+        early_nominal: study.early.nominal.clone(),
+        early_samples: study.early.samples.clone(),
+        late_nominal: study.late.nominal.clone(),
+        late_samples: study.late.samples.clone(),
+    }
+}
+
+/// Runs the complete protocol for one circuit: Monte Carlo both stages,
+/// prepare (shift & scale), sweep errors, and return the result.
+///
+/// # Errors
+///
+/// Returns a boxed error on simulation or estimation failure.
+pub fn run_circuit_experiment<T: Testbench + ?Sized>(
+    tb: &T,
+    n_early: usize,
+    n_late: usize,
+    mc_seed: u64,
+    config: &SweepConfig,
+) -> Result<SweepResult, Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(mc_seed);
+    let study = two_stage_study(tb, n_early, n_late, &mut rng)?;
+    let data = study_to_data(&study);
+    let prepared = prepare(&data)?;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Per-repetition seeding makes the parallel run bit-identical to the
+    // sequential one, so parallelism is purely a wall-clock optimisation.
+    Ok(run_error_sweep_parallel(&prepared, config, threads)?)
+}
+
+/// Formats the cost-reduction summary the paper reports in-text.
+pub fn format_cost_reduction(result: &SweepResult) -> String {
+    let mut out = String::from("cost reduction vs MLE (same accuracy):\n");
+    out.push_str("    n | mean-vector | covariance\n");
+    out.push_str("------+-------------+-----------\n");
+    let mean_cr = cost_reduction(result, ErrorKind::Mean);
+    let cov_cr = cost_reduction(result, ErrorKind::Covariance);
+    for ((n, m), (_, c)) in mean_cr.iter().zip(cov_cr.iter()) {
+        let fmt = |x: f64| {
+            if x.is_infinite() {
+                "> range".to_string()
+            } else {
+                format!("{x:7.2}x")
+            }
+        };
+        out.push_str(&format!("{n:5} | {:>11} | {:>10}\n", fmt(*m), fmt(*c)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_circuits::adc::AdcTestbench;
+    use bmf_core::cv::CrossValidation;
+
+    #[test]
+    fn study_conversion_preserves_shapes() {
+        let tb = AdcTestbench::default_180nm();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let study = two_stage_study(&tb, 10, 12, &mut rng).unwrap();
+        let data = study_to_data(&study);
+        assert_eq!(data.metric_names.len(), 5);
+        assert_eq!(data.early_samples.shape(), (10, 5));
+        assert_eq!(data.late_samples.shape(), (12, 5));
+        assert!(data.validate().is_ok());
+    }
+
+    #[test]
+    fn smoke_end_to_end_tiny() {
+        let tb = AdcTestbench::default_180nm();
+        let config = SweepConfig {
+            sample_sizes: vec![8],
+            repetitions: 2,
+            cv: CrossValidation::new(vec![1.0, 100.0], vec![10.0, 100.0], 2).unwrap(),
+            seed: 3,
+        };
+        let result = run_circuit_experiment(&tb, 60, 60, 4, &config).unwrap();
+        assert_eq!(result.rows.len(), 1);
+        assert!(result.rows[0].bmf_cov_err.is_finite());
+        let summary = format_cost_reduction(&result);
+        assert!(summary.contains("cost reduction"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Minimal dependency-free SVG line plots for the figure binaries.
+//!
+//! The paper's Figures 4 and 5 are log-log error-vs-samples plots with two
+//! curves (MLE, BMF). This renderer produces exactly that shape — axes,
+//! log-scaled ticks, legend, two polylines with markers — as a standalone
+//! SVG string, so `fig4_opamp --svg out.svg` yields a viewable figure
+//! without pulling a plotting dependency into the workspace.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; must be positive for log-log plotting.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke colour (any SVG colour string).
+    pub color: String,
+}
+
+/// Plot configuration.
+#[derive(Debug, Clone)]
+pub struct LogLogPlot {
+    /// Plot title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The data series.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 42.0;
+const MARGIN_B: f64 = 56.0;
+
+impl LogLogPlot {
+    /// Renders the plot to an SVG document string.
+    ///
+    /// Points with non-positive coordinates are skipped (cannot appear on
+    /// a log axis). Returns a minimal empty document when no drawable
+    /// points exist.
+    pub fn to_svg(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, y)| x > 0.0 && y > 0.0)
+            .collect();
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        if pts.is_empty() {
+            let _ = writeln!(svg, "</svg>");
+            return svg;
+        }
+
+        let (xmin, xmax) = log_bounds(pts.iter().map(|p| p.0));
+        let (ymin, ymax) = log_bounds(pts.iter().map(|p| p.1));
+        let to_px = |x: f64, y: f64| -> (f64, f64) {
+            let fx = (x.log10() - xmin) / (xmax - xmin);
+            let fy = (y.log10() - ymin) / (ymax - ymin);
+            (
+                MARGIN_L + fx * (WIDTH - MARGIN_L - MARGIN_R),
+                HEIGHT - MARGIN_B - fy * (HEIGHT - MARGIN_T - MARGIN_B),
+            )
+        };
+
+        // Frame.
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{}" height="{}" fill="none" stroke="#333" stroke-width="1"/>"##,
+            WIDTH - MARGIN_L - MARGIN_R,
+            HEIGHT - MARGIN_T - MARGIN_B
+        );
+
+        // Decade grid lines + tick labels.
+        for e in (xmin.floor() as i64)..=(xmax.ceil() as i64) {
+            let x = 10f64.powi(e as i32);
+            if x.log10() < xmin - 1e-9 || x.log10() > xmax + 1e-9 {
+                continue;
+            }
+            let (px, _) = to_px(x, 10f64.powf(ymin));
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{px:.1}" y1="{MARGIN_T}" x2="{px:.1}" y2="{}" stroke="#ddd" stroke-width="0.7"/>"##,
+                HEIGHT - MARGIN_B
+            );
+            let _ = writeln!(
+                svg,
+                r##"<text x="{px:.1}" y="{}" font-size="11" text-anchor="middle" fill="#333">{}</text>"##,
+                HEIGHT - MARGIN_B + 16.0,
+                format_tick(x)
+            );
+        }
+        for e in (ymin.floor() as i64)..=(ymax.ceil() as i64) {
+            let y = 10f64.powi(e as i32);
+            if y.log10() < ymin - 1e-9 || y.log10() > ymax + 1e-9 {
+                continue;
+            }
+            let (_, py) = to_px(10f64.powf(xmin), y);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py:.1}" x2="{}" y2="{py:.1}" stroke="#ddd" stroke-width="0.7"/>"##,
+                WIDTH - MARGIN_R
+            );
+            let _ = writeln!(
+                svg,
+                r##"<text x="{}" y="{py:.1}" font-size="11" text-anchor="end" dominant-baseline="middle" fill="#333">{}</text>"##,
+                MARGIN_L - 6.0,
+                format_tick(y)
+            );
+        }
+
+        // Series.
+        for s in &self.series {
+            let drawable: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .copied()
+                .filter(|&(x, y)| x > 0.0 && y > 0.0)
+                .collect();
+            if drawable.is_empty() {
+                continue;
+            }
+            let mut path = String::new();
+            for &(x, y) in &drawable {
+                let (px, py) = to_px(x, y);
+                let _ = write!(path, "{px:.1},{py:.1} ");
+            }
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+                path.trim(),
+                s.color
+            );
+            for &(x, y) in &drawable {
+                let (px, py) = to_px(x, y);
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.2" fill="{}"/>"#,
+                    s.color
+                );
+            }
+        }
+
+        // Title + axis labels.
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="24" font-size="15" text-anchor="middle" fill="#111">{}</text>"##,
+            WIDTH / 2.0,
+            xml_escape(&self.title)
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="{}" font-size="12" text-anchor="middle" fill="#111">{}</text>"##,
+            WIDTH / 2.0,
+            HEIGHT - 14.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="18" y="{}" font-size="12" text-anchor="middle" fill="#111" transform="rotate(-90 18 {})">{}</text>"##,
+            HEIGHT / 2.0,
+            HEIGHT / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Legend (top-right inside the frame).
+        let lx = WIDTH - MARGIN_R - 150.0;
+        let mut ly = MARGIN_T + 16.0;
+        for s in &self.series {
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{}" stroke-width="2"/>"#,
+                lx + 26.0,
+                s.color
+            );
+            let _ = writeln!(
+                svg,
+                r##"<text x="{}" y="{}" font-size="12" fill="#111">{}</text>"##,
+                lx + 32.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            );
+            ly += 18.0;
+        }
+
+        let _ = writeln!(svg, "</svg>");
+        svg
+    }
+}
+
+/// Log-domain bounds with a 5 % pad.
+fn log_bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        let l = v.log10();
+        lo = lo.min(l);
+        hi = hi.max(l);
+    }
+    if hi <= lo {
+        // Single value (or degenerate): pad half a decade each side.
+        return (lo - 0.5, hi + 0.5);
+    }
+    let pad = 0.05 * (hi - lo);
+    (lo - pad, hi + pad)
+}
+
+/// Human-friendly tick text for powers of ten.
+fn format_tick(v: f64) -> String {
+    if (0.001..100_000.0).contains(&v) {
+        // Trim trailing zeros of plain decimal representation.
+        let s = format!("{v}");
+        s
+    } else {
+        format!("1e{}", v.log10().round() as i64)
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Builds the paper's Figure 4/5 pair — (a) mean error, (b) covariance
+/// error — from a sweep result, returning the two SVG documents.
+pub fn figure_svgs(
+    circuit_name: &str,
+    result: &bmf_core::experiment::SweepResult,
+) -> (String, String) {
+    let n: Vec<f64> = result.rows.iter().map(|r| r.n as f64).collect();
+    let mk = |ys_mle: Vec<f64>, ys_bmf: Vec<f64>, which: &str| -> String {
+        LogLogPlot {
+            title: format!("{circuit_name}: {which} estimation error vs late-stage samples"),
+            x_label: "number of late-stage samples n".to_string(),
+            y_label: format!("{which} error (normalised)"),
+            series: vec![
+                Series {
+                    label: "MLE".to_string(),
+                    points: n.iter().copied().zip(ys_mle).collect(),
+                    color: "#c0392b".to_string(),
+                },
+                Series {
+                    label: "BMF (proposed)".to_string(),
+                    points: n.iter().copied().zip(ys_bmf).collect(),
+                    color: "#2c5f8a".to_string(),
+                },
+            ],
+        }
+        .to_svg()
+    };
+    let mean = mk(
+        result.rows.iter().map(|r| r.mle_mean_err).collect(),
+        result.rows.iter().map(|r| r.bmf_mean_err).collect(),
+        "mean-vector",
+    );
+    let cov = mk(
+        result.rows.iter().map(|r| r.mle_cov_err).collect(),
+        result.rows.iter().map(|r| r.bmf_cov_err).collect(),
+        "covariance",
+    );
+    (mean, cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_core::experiment::{SweepResult, SweepRow};
+
+    fn sample_plot() -> LogLogPlot {
+        LogLogPlot {
+            title: "test".to_string(),
+            x_label: "n".to_string(),
+            y_label: "err".to_string(),
+            series: vec![Series {
+                label: "curve".to_string(),
+                points: vec![(8.0, 1.0), (64.0, 0.3), (512.0, 0.1)],
+                color: "#123456".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn svg_has_expected_structure() {
+        let svg = sample_plot().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("curve"));
+        assert!(svg.contains("test"));
+    }
+
+    #[test]
+    fn empty_and_invalid_points_are_safe() {
+        let mut p = sample_plot();
+        p.series[0].points.clear();
+        let svg = p.to_svg();
+        assert!(svg.contains("</svg>"));
+        // Negative/zero values get dropped rather than panicking.
+        p.series[0].points = vec![(-1.0, 2.0), (0.0, 1.0)];
+        let svg = p.to_svg();
+        assert!(svg.contains("</svg>"));
+        assert!(!svg.contains("circle"));
+    }
+
+    #[test]
+    fn xml_is_escaped() {
+        let mut p = sample_plot();
+        p.title = "a < b & c".to_string();
+        let svg = p.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn figure_builder_produces_two_documents() {
+        let result = SweepResult {
+            rows: vec![
+                SweepRow {
+                    n: 8,
+                    mle_mean_err: 0.8,
+                    bmf_mean_err: 0.4,
+                    mle_cov_err: 2.0,
+                    bmf_cov_err: 0.5,
+                    mean_kappa0: 5.0,
+                    mean_nu0: 500.0,
+                },
+                SweepRow {
+                    n: 64,
+                    mle_mean_err: 0.3,
+                    bmf_mean_err: 0.25,
+                    mle_cov_err: 0.8,
+                    bmf_cov_err: 0.35,
+                    mean_kappa0: 5.0,
+                    mean_nu0: 500.0,
+                },
+            ],
+        };
+        let (mean, cov) = figure_svgs("op-amp", &result);
+        assert!(mean.contains("mean-vector"));
+        assert!(cov.contains("covariance"));
+        assert!(mean.contains("BMF (proposed)"));
+        // 2 series × 2 points each.
+        assert_eq!(mean.matches("<circle").count(), 4);
+    }
+
+    #[test]
+    fn log_bounds_pad_and_degenerate() {
+        let (lo, hi) = log_bounds([10.0, 1000.0].into_iter());
+        assert!(lo < 1.0 && hi > 3.0);
+        let (lo, hi) = log_bounds([100.0].into_iter());
+        assert!((lo - 1.5).abs() < 1e-12 && (hi - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(10.0), "10");
+        assert_eq!(format_tick(0.01), "0.01");
+        assert_eq!(format_tick(1e6), "1e6");
+        assert_eq!(format_tick(1e-4), "1e-4");
+    }
+}

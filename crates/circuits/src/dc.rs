@@ -1,0 +1,883 @@
+//! Nonlinear DC operating-point analysis (damped Newton–Raphson).
+//!
+//! The op-amp testbench resolves its bias analytically (mirror ratios are
+//! known by construction), but a general substrate needs a real DC solver:
+//! given a netlist of resistors, sources and square-law MOSFETs, find the
+//! node voltages where every KCL equation balances. This module implements
+//! the standard approach — per-iteration linearisation of each device into
+//! its companion model (conductances + current source), assembly into an
+//! MNA system, LU solve, and a voltage-step-limited (damped) Newton update.
+//!
+//! # Example — diode-connected NMOS pulled up through a resistor
+//!
+//! ```
+//! use bmf_circuits::dc::{DcElement, DcNetlist, DcSolver};
+//! use bmf_circuits::mosfet::{DeviceVariation, Geometry, Mosfet, Polarity, TechnologyParams};
+//!
+//! # fn main() -> Result<(), bmf_circuits::CircuitError> {
+//! let m = Mosfet::new(
+//!     Polarity::Nmos,
+//!     TechnologyParams::nmos_180nm(),
+//!     Geometry::new(10e-6, 1e-6)?,
+//! );
+//! let mut nl = DcNetlist::new(3);
+//! nl.add(DcElement::VoltageSource { p: 1, n: 0, volts: 1.8 })?;
+//! nl.add(DcElement::Resistor { a: 1, b: 2, ohms: 20_000.0 })?;
+//! nl.add(DcElement::nmos_diode_connected(2, 0, m, DeviceVariation::default()))?;
+//! let sol = DcSolver::new().solve(&nl)?;
+//! let vgs = sol.voltage(2);
+//! assert!(vgs > m.tech.vth && vgs < 1.8); // above threshold, below supply
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::mosfet::{DeviceVariation, Mosfet, Polarity};
+use crate::{CircuitError, Result};
+use bmf_linalg::{Lu, Matrix, Vector};
+
+/// Elements supported by the DC solver.
+#[derive(Debug, Clone)]
+pub enum DcElement {
+    /// Linear resistor.
+    Resistor {
+        /// First terminal.
+        a: usize,
+        /// Second terminal.
+        b: usize,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Independent DC current source pushing `amps` from `from` into
+    /// `into`.
+    CurrentSource {
+        /// Source terminal.
+        from: usize,
+        /// Sink terminal.
+        into: usize,
+        /// Current in amperes.
+        amps: f64,
+    },
+    /// Independent DC voltage source `v(p) − v(n) = volts`.
+    VoltageSource {
+        /// Positive terminal.
+        p: usize,
+        /// Negative terminal.
+        n: usize,
+        /// Voltage in volts.
+        volts: f64,
+    },
+    /// Square-law MOSFET. Terminal voltages are node potentials; for PMOS
+    /// the model internally mirrors polarities (source at the higher
+    /// potential).
+    Mosfet {
+        /// Drain node.
+        d: usize,
+        /// Gate node.
+        g: usize,
+        /// Source node.
+        s: usize,
+        /// Device instance.
+        device: Mosfet,
+        /// Process perturbation of this instance.
+        variation: DeviceVariation,
+    },
+}
+
+impl DcElement {
+    /// Convenience constructor for a diode-connected MOSFET (gate tied to
+    /// drain).
+    pub fn nmos_diode_connected(
+        d: usize,
+        s: usize,
+        device: Mosfet,
+        variation: DeviceVariation,
+    ) -> Self {
+        DcElement::Mosfet {
+            d,
+            g: d,
+            s,
+            device,
+            variation,
+        }
+    }
+}
+
+/// A DC netlist: node count plus elements.
+#[derive(Debug, Clone, Default)]
+pub struct DcNetlist {
+    node_count: usize,
+    elements: Vec<DcElement>,
+}
+
+impl DcNetlist {
+    /// Creates a netlist with `node_count` nodes (node 0 = ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node_count == 0`.
+    pub fn new(node_count: usize) -> Self {
+        assert!(node_count >= 1, "netlist needs at least the ground node");
+        DcNetlist {
+            node_count,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of voltage sources (extra MNA unknowns).
+    pub fn voltage_source_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, DcElement::VoltageSource { .. }))
+            .count()
+    }
+
+    /// Adds an element after validating node indices and values.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] for out-of-range node indices.
+    /// * [`CircuitError::InvalidValue`] for unphysical element values.
+    pub fn add(&mut self, e: DcElement) -> Result<()> {
+        let check = |n: usize| -> Result<()> {
+            if n >= self.node_count {
+                Err(CircuitError::UnknownNode {
+                    node: n,
+                    node_count: self.node_count,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match &e {
+            DcElement::Resistor { a, b, ohms } => {
+                check(*a)?;
+                check(*b)?;
+                if !(*ohms > 0.0) || !ohms.is_finite() {
+                    return Err(CircuitError::InvalidValue {
+                        what: "resistance",
+                        value: *ohms,
+                        constraint: "ohms > 0",
+                    });
+                }
+            }
+            DcElement::CurrentSource { from, into, amps } => {
+                check(*from)?;
+                check(*into)?;
+                if !amps.is_finite() {
+                    return Err(CircuitError::InvalidValue {
+                        what: "current",
+                        value: *amps,
+                        constraint: "finite",
+                    });
+                }
+            }
+            DcElement::VoltageSource { p, n, volts } => {
+                check(*p)?;
+                check(*n)?;
+                if !volts.is_finite() {
+                    return Err(CircuitError::InvalidValue {
+                        what: "voltage",
+                        value: *volts,
+                        constraint: "finite",
+                    });
+                }
+            }
+            DcElement::Mosfet { d, g, s, .. } => {
+                check(*d)?;
+                check(*g)?;
+                check(*s)?;
+            }
+        }
+        self.elements.push(e);
+        Ok(())
+    }
+}
+
+/// Converged DC solution.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+    iterations: usize,
+}
+
+impl DcSolution {
+    /// Node voltage (node 0 is 0 V by definition).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range node index.
+    pub fn voltage(&self, node: usize) -> f64 {
+        self.voltages[node]
+    }
+
+    /// Newton iterations used.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// MOSFET DC evaluation: current into the drain and the linearised
+/// conductances `(i_d, g_m, g_ds)`, covering cut-off, triode and
+/// saturation regions. Shared with the transient engine's per-timestep
+/// companion models.
+pub(crate) fn mosfet_dc(
+    device: &Mosfet,
+    var: &DeviceVariation,
+    vgs: f64,
+    vds: f64,
+) -> (f64, f64, f64) {
+    // Work in the NMOS frame; PMOS mirrors both controls.
+    let sign = match device.polarity {
+        Polarity::Nmos => 1.0,
+        Polarity::Pmos => -1.0,
+    };
+    let vgs_n = sign * vgs;
+    let mut vds_n = sign * vds;
+    let mut flip = 1.0;
+    // Source/drain are interchangeable in a symmetric model: fold vds < 0.
+    if vds_n < 0.0 {
+        vds_n = -vds_n;
+        flip = -1.0;
+    }
+    let vov = vgs_n - device.vth_effective(var);
+    let kp = device.kprime_effective(var).max(1e-12);
+    let beta = kp * device.geometry.aspect();
+    let lambda = device.lambda_effective(var).max(0.0);
+
+    // Sub-threshold: tiny leakage conductance keeps the Jacobian
+    // non-singular without changing the solution materially.
+    const G_MIN: f64 = 1e-12;
+    // The (1 + λV_DS) factor is applied in *both* regions so the current
+    // and its derivatives stay continuous at V_DS = V_ov.
+    let (id, gm, gds) = if vov <= 0.0 {
+        (G_MIN * vds_n, 0.0, G_MIN)
+    } else if vds_n < vov {
+        // Triode.
+        let clm = 1.0 + lambda * vds_n;
+        let core = beta * (vov * vds_n - 0.5 * vds_n * vds_n);
+        let id = core * clm;
+        let gm = beta * vds_n * clm;
+        let gds = beta * (vov - vds_n) * clm + core * lambda + G_MIN;
+        (id, gm, gds)
+    } else {
+        // Saturation with channel-length modulation.
+        let clm = 1.0 + lambda * vds_n;
+        let id = 0.5 * beta * vov * vov * clm;
+        let gm = beta * vov * clm;
+        let gds = 0.5 * beta * vov * vov * lambda + G_MIN;
+        (id, gm, gds)
+    };
+    // Undo the folds: current direction follows device polarity and the
+    // drain/source swap.
+    (sign * flip * id, gm, gds)
+}
+
+/// Damped Newton–Raphson DC solver.
+#[derive(Debug, Clone)]
+pub struct DcSolver {
+    max_iterations: usize,
+    /// Absolute KCL residual tolerance in amperes.
+    current_tol: f64,
+    /// Maximum per-iteration node-voltage step in volts (damping).
+    max_step: f64,
+}
+
+impl Default for DcSolver {
+    fn default() -> Self {
+        DcSolver {
+            max_iterations: 200,
+            current_tol: 1e-12,
+            max_step: 0.5,
+        }
+    }
+}
+
+impl DcSolver {
+    /// Creates a solver with default settings (200 iterations, 1 pA
+    /// residual tolerance, 0.5 V step limit).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the iteration budget.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Solves for the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::SingularSystem`] when the Jacobian cannot be
+    ///   factorised (floating nodes).
+    /// * [`CircuitError::BiasFailure`] when Newton fails to converge.
+    pub fn solve(&self, netlist: &DcNetlist) -> Result<DcSolution> {
+        let nv = netlist.node_count - 1;
+        let dim = nv + netlist.voltage_source_count();
+        if dim == 0 {
+            return Ok(DcSolution {
+                voltages: vec![0.0; netlist.node_count],
+                iterations: 0,
+            });
+        }
+        // Unknowns: node voltages 1.. + vsrc branch currents.
+        let mut x = Vector::zeros(dim);
+
+        let node_idx = |n: usize| -> Option<usize> {
+            if n == 0 {
+                None
+            } else {
+                Some(n - 1)
+            }
+        };
+
+        for iteration in 0..self.max_iterations {
+            let mut jac = Matrix::zeros(dim, dim);
+            let mut residual = Vector::zeros(dim); // f(x): KCL currents + KVL
+            let volt = |x: &Vector, n: usize| -> f64 {
+                match node_idx(n) {
+                    None => 0.0,
+                    Some(i) => x[i],
+                }
+            };
+
+            let mut vsrc_row = nv;
+            for e in &netlist.elements {
+                match *e {
+                    DcElement::Resistor { a, b, ohms } => {
+                        let g = 1.0 / ohms;
+                        let i_ab = (volt(&x, a) - volt(&x, b)) * g;
+                        if let Some(ia) = node_idx(a) {
+                            residual[ia] += i_ab;
+                            jac[(ia, ia)] += g;
+                            if let Some(ib) = node_idx(b) {
+                                jac[(ia, ib)] -= g;
+                            }
+                        }
+                        if let Some(ib) = node_idx(b) {
+                            residual[ib] -= i_ab;
+                            jac[(ib, ib)] += g;
+                            if let Some(ia) = node_idx(a) {
+                                jac[(ib, ia)] -= g;
+                            }
+                        }
+                    }
+                    DcElement::CurrentSource { from, into, amps } => {
+                        if let Some(i) = node_idx(into) {
+                            residual[i] -= amps;
+                        }
+                        if let Some(i) = node_idx(from) {
+                            residual[i] += amps;
+                        }
+                    }
+                    DcElement::VoltageSource { p, n, volts } => {
+                        let row = vsrc_row;
+                        vsrc_row += 1;
+                        // Branch current unknown couples into KCL…
+                        if let Some(ip) = node_idx(p) {
+                            residual[ip] += x[row];
+                            jac[(ip, row)] += 1.0;
+                        }
+                        if let Some(in_) = node_idx(n) {
+                            residual[in_] -= x[row];
+                            jac[(in_, row)] -= 1.0;
+                        }
+                        // …and the KVL row pins the voltage difference.
+                        residual[row] = volt(&x, p) - volt(&x, n) - volts;
+                        if let Some(ip) = node_idx(p) {
+                            jac[(row, ip)] += 1.0;
+                        }
+                        if let Some(in_) = node_idx(n) {
+                            jac[(row, in_)] -= 1.0;
+                        }
+                    }
+                    DcElement::Mosfet {
+                        d,
+                        g,
+                        s,
+                        ref device,
+                        ref variation,
+                    } => {
+                        let vgs = volt(&x, g) - volt(&x, s);
+                        let vds = volt(&x, d) - volt(&x, s);
+                        let (id, gm, gds) = mosfet_dc(device, variation, vgs, vds);
+                        // Drain current flows d → s inside the device.
+                        if let Some(idn) = node_idx(d) {
+                            residual[idn] += id;
+                            if let Some(ig) = node_idx(g) {
+                                jac[(idn, ig)] += gm;
+                            }
+                            jac[(idn, idn)] += gds;
+                            if let Some(is) = node_idx(s) {
+                                jac[(idn, is)] -= gm + gds;
+                            }
+                        }
+                        if let Some(isn) = node_idx(s) {
+                            residual[isn] -= id;
+                            if let Some(ig) = node_idx(g) {
+                                jac[(isn, ig)] -= gm;
+                            }
+                            if let Some(idn) = node_idx(d) {
+                                jac[(isn, idn)] -= gds;
+                            }
+                            jac[(isn, isn)] += gm + gds;
+                        }
+                    }
+                }
+            }
+
+            // Convergence check on the KCL/KVL residual.
+            if residual.norm_inf() < self.current_tol {
+                let mut voltages = vec![0.0; netlist.node_count];
+                for n in 1..netlist.node_count {
+                    voltages[n] = x[n - 1];
+                }
+                return Ok(DcSolution {
+                    voltages,
+                    iterations: iteration,
+                });
+            }
+
+            // Newton step: J Δx = −f. Damping (direction-preserving step
+            // scaling) is only needed — and only applied — when the
+            // netlist is nonlinear; a linear circuit must converge in one
+            // full step.
+            let lu = Lu::new(&jac).map_err(|_| CircuitError::SingularSystem { omega: 0.0 })?;
+            let mut step = lu
+                .solve_vec(&(-&residual))
+                .map_err(|_| CircuitError::SingularSystem { omega: 0.0 })?;
+            let nonlinear = netlist
+                .elements
+                .iter()
+                .any(|e| matches!(e, DcElement::Mosfet { .. }));
+            if nonlinear {
+                let max_node_step = (0..nv).fold(0.0_f64, |m, k| m.max(step[k].abs()));
+                if max_node_step > self.max_step {
+                    step *= self.max_step / max_node_step;
+                }
+            }
+            x += &step;
+        }
+        Err(CircuitError::BiasFailure {
+            reason: format!(
+                "DC Newton did not converge within {} iterations",
+                self.max_iterations
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{Geometry, TechnologyParams};
+
+    fn nmos() -> Mosfet {
+        Mosfet::new(
+            Polarity::Nmos,
+            TechnologyParams::nmos_180nm(),
+            Geometry::new(10e-6, 1e-6).unwrap(),
+        )
+    }
+
+    fn pmos() -> Mosfet {
+        Mosfet::new(
+            Polarity::Pmos,
+            TechnologyParams::pmos_45nm(),
+            Geometry::new(10e-6, 1e-6).unwrap(),
+        )
+    }
+
+    #[test]
+    fn linear_divider() {
+        let mut nl = DcNetlist::new(3);
+        nl.add(DcElement::VoltageSource {
+            p: 1,
+            n: 0,
+            volts: 2.0,
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 1,
+            b: 2,
+            ohms: 1e3,
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 2,
+            b: 0,
+            ohms: 3e3,
+        })
+        .unwrap();
+        let sol = DcSolver::new().solve(&nl).unwrap();
+        assert!((sol.voltage(2) - 1.5).abs() < 1e-9);
+        assert_eq!(sol.voltage(0), 0.0);
+        // Linear circuit: one Newton step + the convergence pass.
+        assert!(sol.iterations() <= 2);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut nl = DcNetlist::new(2);
+        nl.add(DcElement::CurrentSource {
+            from: 0,
+            into: 1,
+            amps: 1e-3,
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 1,
+            b: 0,
+            ohms: 4e3,
+        })
+        .unwrap();
+        let sol = DcSolver::new().solve(&nl).unwrap();
+        assert!((sol.voltage(1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_connected_nmos_matches_square_law() {
+        // I through R equals the square-law current at the solved V_GS.
+        let m = nmos();
+        let vdd = 1.8;
+        let r = 20e3;
+        let mut nl = DcNetlist::new(3);
+        nl.add(DcElement::VoltageSource {
+            p: 1,
+            n: 0,
+            volts: vdd,
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 1,
+            b: 2,
+            ohms: r,
+        })
+        .unwrap();
+        nl.add(DcElement::nmos_diode_connected(
+            2,
+            0,
+            m,
+            DeviceVariation::default(),
+        ))
+        .unwrap();
+        let sol = DcSolver::new().solve(&nl).unwrap();
+        let vgs = sol.voltage(2);
+        let i_r = (vdd - vgs) / r;
+        let i_m = m.id_saturation(vgs, vgs, &DeviceVariation::default());
+        assert!(
+            (i_r - i_m).abs() / i_r < 1e-6,
+            "KCL violated: resistor {i_r:.3e} vs mosfet {i_m:.3e}"
+        );
+        assert!(vgs > m.tech.vth && vgs < vdd);
+    }
+
+    #[test]
+    fn nmos_current_mirror_copies_current() {
+        // M1 diode-connected carries IREF; M2 (same geometry, gates tied)
+        // drives a load held well in saturation → I_out ≈ IREF (CLM makes
+        // it slightly larger at higher V_DS).
+        let m = nmos();
+        let iref = 50e-6;
+        let mut nl = DcNetlist::new(4);
+        // node 1: mirror gate/drain; node 2: output drain; node 3: supply.
+        nl.add(DcElement::VoltageSource {
+            p: 3,
+            n: 0,
+            volts: 1.8,
+        })
+        .unwrap();
+        nl.add(DcElement::CurrentSource {
+            from: 0,
+            into: 1,
+            amps: iref,
+        })
+        .unwrap();
+        nl.add(DcElement::nmos_diode_connected(
+            1,
+            0,
+            m,
+            DeviceVariation::default(),
+        ))
+        .unwrap();
+        nl.add(DcElement::Mosfet {
+            d: 2,
+            g: 1,
+            s: 0,
+            device: m,
+            variation: DeviceVariation::default(),
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 3,
+            b: 2,
+            ohms: 10e3,
+        })
+        .unwrap();
+        let sol = DcSolver::new().solve(&nl).unwrap();
+        let i_out = (1.8 - sol.voltage(2)) / 10e3;
+        assert!(
+            (i_out - iref).abs() / iref < 0.10,
+            "mirror current {i_out:.3e} vs {iref:.3e}"
+        );
+        // Output node sits below supply but above the triode boundary.
+        assert!(sol.voltage(2) > 0.2 && sol.voltage(2) < 1.8);
+    }
+
+    #[test]
+    fn vth_mismatch_skews_the_mirror() {
+        let m = nmos();
+        let iref = 50e-6;
+        let run = |dvth: f64| -> f64 {
+            let mut nl = DcNetlist::new(4);
+            nl.add(DcElement::VoltageSource {
+                p: 3,
+                n: 0,
+                volts: 1.8,
+            })
+            .unwrap();
+            nl.add(DcElement::CurrentSource {
+                from: 0,
+                into: 1,
+                amps: iref,
+            })
+            .unwrap();
+            nl.add(DcElement::nmos_diode_connected(
+                1,
+                0,
+                m,
+                DeviceVariation::default(),
+            ))
+            .unwrap();
+            nl.add(DcElement::Mosfet {
+                d: 2,
+                g: 1,
+                s: 0,
+                device: m,
+                variation: DeviceVariation {
+                    delta_vth: dvth,
+                    ..Default::default()
+                },
+            })
+            .unwrap();
+            nl.add(DcElement::Resistor {
+                a: 3,
+                b: 2,
+                ohms: 10e3,
+            })
+            .unwrap();
+            let sol = DcSolver::new().solve(&nl).unwrap();
+            (1.8 - sol.voltage(2)) / 10e3
+        };
+        let nominal = run(0.0);
+        let slow = run(0.02); // higher Vth → less current
+        let fast = run(-0.02);
+        assert!(slow < nominal && nominal < fast);
+        // ΔI/I ≈ −2ΔVth/Vov: with Vov ≈ 0.33 V, ±20 mV → ∓12 %.
+        assert!((nominal - slow) / nominal > 0.05);
+    }
+
+    #[test]
+    fn pmos_source_follower_polarity() {
+        // PMOS with source at VDD, diode-connected to a grounded resistor:
+        // |V_GS| settles above |V_th|.
+        let m = pmos();
+        let mut nl = DcNetlist::new(3);
+        nl.add(DcElement::VoltageSource {
+            p: 1,
+            n: 0,
+            volts: 1.1,
+        })
+        .unwrap();
+        // diode-connected PMOS: source node 1 (VDD), drain+gate node 2
+        nl.add(DcElement::Mosfet {
+            d: 2,
+            g: 2,
+            s: 1,
+            device: m,
+            variation: DeviceVariation::default(),
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 2,
+            b: 0,
+            ohms: 30e3,
+        })
+        .unwrap();
+        let sol = DcSolver::new().solve(&nl).unwrap();
+        let v2 = sol.voltage(2);
+        // Gate-source magnitude: 1.1 − v2 must exceed |vth| for conduction.
+        assert!(1.1 - v2 > m.tech.vth, "v2 = {v2}");
+        assert!(v2 > 0.0);
+        // Current consistency.
+        let i_r = v2 / 30e3;
+        assert!(i_r > 1e-6, "i = {i_r}");
+    }
+
+    #[test]
+    fn cutoff_region_conducts_only_leakage() {
+        // Gate grounded → device off → output pulled to supply.
+        let m = nmos();
+        let mut nl = DcNetlist::new(4);
+        nl.add(DcElement::VoltageSource {
+            p: 1,
+            n: 0,
+            volts: 1.8,
+        })
+        .unwrap();
+        nl.add(DcElement::VoltageSource {
+            p: 3,
+            n: 0,
+            volts: 0.0,
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 1,
+            b: 2,
+            ohms: 10e3,
+        })
+        .unwrap();
+        nl.add(DcElement::Mosfet {
+            d: 2,
+            g: 3,
+            s: 0,
+            device: m,
+            variation: DeviceVariation::default(),
+        })
+        .unwrap();
+        let sol = DcSolver::new().solve(&nl).unwrap();
+        assert!((sol.voltage(2) - 1.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn triode_region_behaves_like_resistor() {
+        // Strongly-driven NMOS with tiny V_DS: I ≈ beta·Vov·V_DS.
+        let m = nmos();
+        let var = DeviceVariation::default();
+        let (id, _, gds) = mosfet_dc(&m, &var, 1.8, 0.01);
+        let beta = m.kprime_effective(&var) * m.geometry.aspect();
+        let vov = 1.8 - m.vth_effective(&var);
+        let clm = 1.0 + m.lambda_effective(&var) * 0.01;
+        assert!((id - beta * (vov * 0.01 - 0.5 * 1e-4) * clm).abs() < 1e-12);
+        assert!(gds > 0.0);
+        // Continuity at the triode/saturation boundary.
+        let eps = 1e-9;
+        let (i_tri, _, _) = mosfet_dc(&m, &var, 1.0, 1.0 - m.vth_effective(&var) - eps);
+        let (i_sat, _, _) = mosfet_dc(&m, &var, 1.0, 1.0 - m.vth_effective(&var) + eps);
+        assert!((i_tri - i_sat).abs() / i_sat < 1e-3);
+    }
+
+    #[test]
+    fn reversed_vds_folds_symmetrically() {
+        let m = nmos();
+        let var = DeviceVariation::default();
+        let (i_fwd, _, _) = mosfet_dc(&m, &var, 1.2, 0.3);
+        let (i_rev, _, _) = mosfet_dc(&m, &var, 1.2, -0.3);
+        assert!(i_fwd > 0.0);
+        // Folding gives the negated current for the mirrored drive…
+        assert!(i_rev < 0.0);
+    }
+
+    #[test]
+    fn netlist_validation() {
+        let mut nl = DcNetlist::new(2);
+        assert!(nl
+            .add(DcElement::Resistor {
+                a: 0,
+                b: 5,
+                ohms: 1.0
+            })
+            .is_err());
+        assert!(nl
+            .add(DcElement::Resistor {
+                a: 0,
+                b: 1,
+                ohms: -1.0
+            })
+            .is_err());
+        assert!(nl
+            .add(DcElement::CurrentSource {
+                from: 0,
+                into: 1,
+                amps: f64::NAN
+            })
+            .is_err());
+        assert!(nl
+            .add(DcElement::VoltageSource {
+                p: 0,
+                n: 1,
+                volts: f64::INFINITY
+            })
+            .is_err());
+        assert!(nl
+            .add(DcElement::Resistor {
+                a: 0,
+                b: 1,
+                ohms: 1e3
+            })
+            .is_ok());
+        assert_eq!(nl.node_count(), 2);
+        assert_eq!(nl.voltage_source_count(), 0);
+    }
+
+    #[test]
+    fn floating_node_reports_singular() {
+        let mut nl = DcNetlist::new(3);
+        nl.add(DcElement::VoltageSource {
+            p: 1,
+            n: 0,
+            volts: 1.0,
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 1,
+            b: 0,
+            ohms: 1e3,
+        })
+        .unwrap();
+        // node 2 floats entirely — the Jacobian row is all zeros.
+        let result = DcSolver::new().solve(&nl);
+        assert!(matches!(result, Err(CircuitError::SingularSystem { .. })));
+    }
+
+    #[test]
+    fn empty_netlist_is_trivially_solved() {
+        let nl = DcNetlist::new(1);
+        let sol = DcSolver::new().solve(&nl).unwrap();
+        assert_eq!(sol.voltage(0), 0.0);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        // A hard netlist with a 1-iteration budget must fail gracefully.
+        let m = nmos();
+        let mut nl = DcNetlist::new(3);
+        nl.add(DcElement::VoltageSource {
+            p: 1,
+            n: 0,
+            volts: 1.8,
+        })
+        .unwrap();
+        nl.add(DcElement::Resistor {
+            a: 1,
+            b: 2,
+            ohms: 20e3,
+        })
+        .unwrap();
+        nl.add(DcElement::nmos_diode_connected(
+            2,
+            0,
+            m,
+            DeviceVariation::default(),
+        ))
+        .unwrap();
+        let result = DcSolver::new().with_max_iterations(1).solve(&nl);
+        assert!(matches!(result, Err(CircuitError::BiasFailure { .. })));
+    }
+}

@@ -1,0 +1,185 @@
+//! Radix-2 iterative fast Fourier transform.
+//!
+//! The flash-ADC testbench measures its spectral metrics (SNR, SINAD, SFDR,
+//! THD) from an FFT of the quantised sine wave; no allowed dependency
+//! provides one, so this is a standard in-place iterative Cooley–Tukey
+//! implementation over [`Complex64`].
+
+use crate::{CircuitError, Result};
+use bmf_linalg::Complex64;
+
+/// In-place decimation-in-time FFT of a power-of-two-length buffer.
+///
+/// Forward transform, no normalisation (`X[k] = Σ x[n] e^{−j2πkn/N}`).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSignal`] when the length is zero or not a
+/// power of two.
+///
+/// # Example
+///
+/// ```
+/// use bmf_circuits::fft::fft_in_place;
+/// use bmf_linalg::Complex64;
+///
+/// # fn main() -> Result<(), bmf_circuits::CircuitError> {
+/// // DC signal: all energy lands in bin 0.
+/// let mut buf = vec![Complex64::ONE; 8];
+/// fft_in_place(&mut buf)?;
+/// assert!((buf[0].re - 8.0).abs() < 1e-12);
+/// assert!(buf[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(buf: &mut [Complex64]) -> Result<()> {
+    let n = buf.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(CircuitError::InvalidSignal {
+            reason: format!("FFT length must be a non-zero power of two, got {n}"),
+        });
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// FFT of a real signal, returning the complex spectrum.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSignal`] when the length is not a power
+/// of two.
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex64>> {
+    let mut buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_re(x)).collect();
+    fft_in_place(&mut buf)?;
+    Ok(buf)
+}
+
+/// Inverse FFT (in place, normalised by `1/N`).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSignal`] when the length is not a power
+/// of two.
+pub fn ifft_in_place(buf: &mut [Complex64]) -> Result<()> {
+    for z in buf.iter_mut() {
+        *z = z.conj();
+    }
+    fft_in_place(buf)?;
+    let n = buf.len() as f64;
+    for z in buf.iter_mut() {
+        *z = z.conj() / n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let mut b = vec![Complex64::ZERO; 3];
+        assert!(fft_in_place(&mut b).is_err());
+        let mut b: Vec<Complex64> = vec![];
+        assert!(fft_in_place(&mut b).is_err());
+        let mut b = vec![Complex64::ZERO; 4];
+        assert!(fft_in_place(&mut b).is_ok());
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal).unwrap();
+        // cos splits into bins k and n−k with magnitude n/2 each.
+        assert!((spec[k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[n - k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (i, z) in spec.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(z.abs() < 1e-9, "leakage at bin {i}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let fa = fft_real(&a).unwrap();
+        let fb = fft_real(&b).unwrap();
+        let fsum = fft_real(&sum).unwrap();
+        for i in 0..n {
+            let expected = fa[i] * 2.0 + fb[i] * 3.0;
+            assert!((fsum[i] - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.1).collect();
+        let spec = fft_real(&signal).unwrap();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.abs_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn ifft_round_trip() {
+        let n = 64;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin() + 0.3).collect();
+        let mut buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_re(x)).collect();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (orig, rec) in signal.iter().zip(buf.iter()) {
+            assert!((rec.re - orig).abs() < 1e-12);
+            assert!(rec.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 16;
+        let mut signal = vec![0.0; n];
+        signal[0] = 1.0;
+        let spec = fft_real(&signal).unwrap();
+        for z in &spec {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Monte Carlo generation of early/late-stage performance sample matrices.
+//!
+//! This module is the interface between the circuit substrate and the BMF
+//! estimator: it runs a [`Testbench`] many times per design [`Stage`] and
+//! packages the results in the `n × d` sample-matrix convention used by
+//! `bmf-stats`/`bmf-core`, together with the nominal performance vectors
+//! the paper's shift operation needs (§4.1).
+
+use crate::adc::AdcTestbench;
+use crate::opamp::OpAmpTestbench;
+use crate::{CircuitError, Result};
+use bmf_linalg::{Matrix, Vector};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Design stage of a simulation (the paper's early/late split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Schematic-level (pre-layout) simulation — the paper's *early* stage.
+    Schematic,
+    /// Post-layout (parasitic-annotated) simulation — the *late* stage.
+    PostLayout,
+}
+
+impl Stage {
+    /// Human-readable stage name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Schematic => "schematic",
+            Stage::PostLayout => "post-layout",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A circuit testbench that can be Monte Carlo sampled.
+///
+/// Object-safe so heterogeneous benchmark harnesses can hold
+/// `Box<dyn Testbench>`.
+pub trait Testbench {
+    /// Number of performance metrics `d`.
+    fn dim(&self) -> usize;
+
+    /// Names of the metrics, length `d`.
+    fn metric_names(&self) -> Vec<&'static str>;
+
+    /// Deterministic nominal (variation-free) performance at `stage`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    fn nominal(&self, stage: Stage) -> Result<Vector>;
+
+    /// One Monte Carlo draw at `stage`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    fn sample(&self, stage: Stage, rng: &mut dyn rand::RngCore) -> Result<Vector>;
+}
+
+impl Testbench for OpAmpTestbench {
+    fn dim(&self) -> usize {
+        5
+    }
+
+    fn metric_names(&self) -> Vec<&'static str> {
+        crate::opamp::OpAmpPerformance::metric_names().to_vec()
+    }
+
+    fn nominal(&self, stage: Stage) -> Result<Vector> {
+        Ok(Vector::from_slice(
+            &self.nominal_performance(stage)?.to_array(),
+        ))
+    }
+
+    fn sample(&self, stage: Stage, rng: &mut dyn rand::RngCore) -> Result<Vector> {
+        Ok(Vector::from_slice(
+            &self.sample_performance(stage, rng)?.to_array(),
+        ))
+    }
+}
+
+impl Testbench for AdcTestbench {
+    fn dim(&self) -> usize {
+        5
+    }
+
+    fn metric_names(&self) -> Vec<&'static str> {
+        crate::adc::AdcPerformance::metric_names().to_vec()
+    }
+
+    fn nominal(&self, stage: Stage) -> Result<Vector> {
+        Ok(Vector::from_slice(
+            &self.nominal_performance(stage)?.to_array(),
+        ))
+    }
+
+    fn sample(&self, stage: Stage, rng: &mut dyn rand::RngCore) -> Result<Vector> {
+        Ok(Vector::from_slice(
+            &self.sample_performance(stage, rng)?.to_array(),
+        ))
+    }
+}
+
+/// Monte Carlo results for one design stage.
+#[derive(Debug, Clone)]
+pub struct StageData {
+    /// Which stage was simulated.
+    pub stage: Stage,
+    /// Nominal (variation-free) performance — `P_NOM` in the paper.
+    pub nominal: Vector,
+    /// `n × d` sample matrix, one die per row.
+    pub samples: Matrix,
+}
+
+impl StageData {
+    /// Number of Monte Carlo samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples.nrows()
+    }
+
+    /// Number of metrics.
+    pub fn dim(&self) -> usize {
+        self.samples.ncols()
+    }
+}
+
+/// Maximum consecutive failed simulation retries before giving up. Bias
+/// failures at extreme corners are physical (the die really is broken); the
+/// paper's yield context would count them as fails, but the moment-
+/// estimation study needs complete metric vectors, so we redraw — mirroring
+/// how the authors' MC data contains only successfully measured dies.
+const MAX_RETRIES: usize = 100;
+
+/// Runs `n` Monte Carlo simulations of `tb` at `stage`.
+///
+/// # Errors
+///
+/// * Propagates the nominal-simulation failure unchanged (a design that
+///   fails at its nominal corner is a bug, not a statistical event).
+/// * Returns the last error after 100 consecutive failed draws.
+pub fn run_monte_carlo<T: Testbench + ?Sized, R: Rng>(
+    tb: &T,
+    stage: Stage,
+    n: usize,
+    rng: &mut R,
+) -> Result<StageData> {
+    let nominal = tb.nominal(stage)?;
+    let d = tb.dim();
+    let mut samples = Matrix::zeros(n, d);
+    for i in 0..n {
+        let mut last_err: Option<CircuitError> = None;
+        let mut done = false;
+        for _ in 0..MAX_RETRIES {
+            match tb.sample(stage, rng) {
+                Ok(v) => {
+                    samples.row_mut(i).copy_from_slice(v.as_slice());
+                    done = true;
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !done {
+            return Err(last_err.expect("retry loop ran at least once"));
+        }
+    }
+    Ok(StageData {
+        stage,
+        nominal,
+        samples,
+    })
+}
+
+/// A complete two-stage study: early (schematic) and late (post-layout)
+/// Monte Carlo data for one circuit — the input of every BMF experiment.
+#[derive(Debug, Clone)]
+pub struct TwoStageStudy {
+    /// Metric names (length `d`).
+    pub metric_names: Vec<&'static str>,
+    /// Early-stage (schematic) data.
+    pub early: StageData,
+    /// Late-stage (post-layout) data.
+    pub late: StageData,
+}
+
+/// Runs the full early+late Monte Carlo study.
+///
+/// # Errors
+///
+/// Propagates simulation failures from either stage.
+///
+/// # Example
+///
+/// ```no_run
+/// use bmf_circuits::monte_carlo::two_stage_study;
+/// use bmf_circuits::opamp::OpAmpTestbench;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bmf_circuits::CircuitError> {
+/// let tb = OpAmpTestbench::default_45nm();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let study = two_stage_study(&tb, 5000, 5000, &mut rng)?;
+/// assert_eq!(study.early.sample_count(), 5000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn two_stage_study<T: Testbench + ?Sized, R: Rng>(
+    tb: &T,
+    n_early: usize,
+    n_late: usize,
+    rng: &mut R,
+) -> Result<TwoStageStudy> {
+    let early = run_monte_carlo(tb, Stage::Schematic, n_early, rng)?;
+    let late = run_monte_carlo(tb, Stage::PostLayout, n_late, rng)?;
+    Ok(TwoStageStudy {
+        metric_names: tb.metric_names(),
+        early,
+        late,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_stats::descriptive;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(404)
+    }
+
+    #[test]
+    fn stage_display() {
+        assert_eq!(Stage::Schematic.to_string(), "schematic");
+        assert_eq!(Stage::PostLayout.to_string(), "post-layout");
+        assert_ne!(Stage::Schematic, Stage::PostLayout);
+    }
+
+    #[test]
+    fn opamp_monte_carlo_produces_full_matrix() {
+        let tb = OpAmpTestbench::default_45nm();
+        let mut r = rng();
+        let data = run_monte_carlo(&tb, Stage::Schematic, 40, &mut r).unwrap();
+        assert_eq!(data.sample_count(), 40);
+        assert_eq!(data.dim(), 5);
+        assert!(data.samples.is_finite());
+        assert_eq!(data.nominal.len(), 5);
+        assert_eq!(data.stage, Stage::Schematic);
+        // Columns have non-zero spread.
+        let sd = descriptive::column_stddevs(&data.samples).unwrap();
+        for j in 0..5 {
+            assert!(sd[j] > 0.0, "metric {j} has zero spread");
+        }
+    }
+
+    #[test]
+    fn adc_monte_carlo_produces_full_matrix() {
+        let tb = AdcTestbench::default_180nm();
+        let mut r = rng();
+        let data = run_monte_carlo(&tb, Stage::PostLayout, 15, &mut r).unwrap();
+        assert_eq!(data.sample_count(), 15);
+        assert_eq!(data.dim(), 5);
+        assert!(data.samples.is_finite());
+    }
+
+    #[test]
+    fn two_stage_study_shapes() {
+        let tb = AdcTestbench::default_180nm();
+        let mut r = rng();
+        let study = two_stage_study(&tb, 12, 8, &mut r).unwrap();
+        assert_eq!(study.early.sample_count(), 12);
+        assert_eq!(study.late.sample_count(), 8);
+        assert_eq!(study.metric_names.len(), 5);
+        assert_eq!(study.early.stage, Stage::Schematic);
+        assert_eq!(study.late.stage, Stage::PostLayout);
+    }
+
+    #[test]
+    fn testbench_is_object_safe() {
+        let tbs: Vec<Box<dyn Testbench>> = vec![
+            Box::new(OpAmpTestbench::default_45nm()),
+            Box::new(AdcTestbench::default_180nm()),
+        ];
+        let mut r = rng();
+        for tb in &tbs {
+            assert_eq!(tb.dim(), 5);
+            assert_eq!(tb.metric_names().len(), 5);
+            let data = run_monte_carlo(tb.as_ref(), Stage::Schematic, 3, &mut r).unwrap();
+            assert_eq!(data.sample_count(), 3);
+        }
+    }
+
+    #[test]
+    fn metrics_are_correlated_across_dimensions() {
+        // The whole premise of the paper: circuit metrics share process
+        // drivers, so off-diagonal correlations are substantial.
+        let tb = OpAmpTestbench::default_45nm();
+        let mut r = rng();
+        let data = run_monte_carlo(&tb, Stage::Schematic, 300, &mut r).unwrap();
+        let cov = descriptive::covariance_unbiased(&data.samples).unwrap();
+        let corr = descriptive::correlation_from_cov(&cov).unwrap();
+        let mut max_off = 0.0_f64;
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                max_off = max_off.max(corr[(i, j)].abs());
+            }
+        }
+        assert!(
+            max_off > 0.3,
+            "expected at least one strong cross-metric correlation, max = {max_off}"
+        );
+    }
+}

@@ -1,0 +1,500 @@
+//! Current-starved ring-oscillator testbench.
+//!
+//! A third circuit beyond the paper's two examples, demonstrating that the
+//! substrate and estimator generalise: an odd chain of current-starved
+//! inverters whose bias current is set by an NMOS mirror **solved with the
+//! nonlinear DC engine** ([`crate::dc`]) per Monte Carlo sample. Three
+//! correlated metrics are measured:
+//!
+//! * **frequency** `f = 1/(2 Σ t_dᵢ)` with per-stage delay
+//!   `t_dᵢ = C V_DD / (2 Iᵢ)`,
+//! * **power** (bias + dynamic `N C V_DD² f`),
+//! * **duty-cycle error** from rise/fall asymmetry of the NMOS/PMOS
+//!   starving currents.
+//!
+//! The post-layout stage adds wiring capacitance per stage (with the same
+//! extraction-corner bias mechanism as the op-amp) and a supply IR drop.
+
+use crate::dc::{DcElement, DcNetlist, DcSolver};
+use crate::monte_carlo::Stage;
+use crate::mosfet::{DeviceVariation, Geometry, Mosfet, Polarity, TechnologyParams};
+use crate::variation::VariationModel;
+use crate::{CircuitError, Result};
+use bmf_stats::sample_standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three ring-oscillator metrics of one simulated die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingOscPerformance {
+    /// Oscillation frequency in hertz.
+    pub frequency_hz: f64,
+    /// Total power in watts.
+    pub power_w: f64,
+    /// Duty-cycle error in percentage points (0 = perfect 50 %).
+    pub duty_error_pct: f64,
+}
+
+impl RingOscPerformance {
+    /// Metric names, in the order of [`Self::to_array`].
+    pub fn metric_names() -> [&'static str; 3] {
+        ["frequency_hz", "power_w", "duty_error_pct"]
+    }
+
+    /// The metrics as a fixed-order array.
+    pub fn to_array(&self) -> [f64; 3] {
+        [self.frequency_hz, self.power_w, self.duty_error_pct]
+    }
+}
+
+/// Design parameters of the ring oscillator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingOscDesign {
+    /// Number of inverter stages (must be odd and ≥ 3).
+    pub stages: usize,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Bias reference current, amperes.
+    pub iref: f64,
+    /// Load capacitance per stage, farads.
+    pub c_stage: f64,
+    /// Bias-mirror device geometry (reference and per-stage NMOS tails).
+    pub geom_mirror: Geometry,
+    /// Per-stage PMOS starving-device geometry.
+    pub geom_pmos: Geometry,
+    /// Resistance feeding the reference branch, ohms (sets headroom).
+    pub r_ref: f64,
+}
+
+/// Post-layout effects for the ring oscillator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingOscLayout {
+    /// Extra wiring capacitance per stage, farads.
+    pub c_wire: f64,
+    /// Extraction-corner bias on the wiring capacitance (cf. op-amp).
+    pub extraction_bias: f64,
+    /// Relative σ of the interconnect corner.
+    pub interconnect_sigma: f64,
+    /// Supply IR drop, volts.
+    pub ir_drop: f64,
+    /// Relative power overhead.
+    pub power_overhead: f64,
+}
+
+impl RingOscLayout {
+    /// Representative 45 nm extraction results.
+    pub fn default_45nm() -> Self {
+        RingOscLayout {
+            c_wire: 4e-15,
+            extraction_bias: 1.15,
+            interconnect_sigma: 0.03,
+            ir_drop: 0.02,
+            power_overhead: 0.04,
+        }
+    }
+}
+
+/// Ring-oscillator Monte Carlo testbench.
+///
+/// # Example
+///
+/// ```
+/// use bmf_circuits::ring_oscillator::RingOscTestbench;
+/// use bmf_circuits::monte_carlo::Stage;
+///
+/// # fn main() -> Result<(), bmf_circuits::CircuitError> {
+/// let tb = RingOscTestbench::default_45nm();
+/// let p = tb.nominal_performance(Stage::Schematic)?;
+/// assert!(p.frequency_hz > 1e6); // a 45 nm starved ring runs at MHz+
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingOscTestbench {
+    design: RingOscDesign,
+    nmos: TechnologyParams,
+    pmos: TechnologyParams,
+    variation: VariationModel,
+    layout: RingOscLayout,
+}
+
+impl RingOscTestbench {
+    /// Creates a testbench, validating the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for an even/short chain or
+    /// non-positive electrical values.
+    pub fn new(
+        design: RingOscDesign,
+        nmos: TechnologyParams,
+        pmos: TechnologyParams,
+        variation: VariationModel,
+        layout: RingOscLayout,
+    ) -> Result<Self> {
+        variation.validate()?;
+        if design.stages < 3 || design.stages.is_multiple_of(2) {
+            return Err(CircuitError::InvalidValue {
+                what: "ring stages",
+                value: design.stages as f64,
+                constraint: "odd and >= 3",
+            });
+        }
+        for (what, v) in [
+            ("vdd", design.vdd),
+            ("iref", design.iref),
+            ("c_stage", design.c_stage),
+            ("r_ref", design.r_ref),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(CircuitError::InvalidValue {
+                    what,
+                    value: v,
+                    constraint: "positive and finite",
+                });
+            }
+        }
+        Ok(RingOscTestbench {
+            design,
+            nmos,
+            pmos,
+            variation,
+            layout,
+        })
+    }
+
+    /// Default 7-stage, 45 nm current-starved ring.
+    pub fn default_45nm() -> Self {
+        RingOscTestbench::new(
+            RingOscDesign {
+                stages: 7,
+                vdd: 1.1,
+                iref: 10e-6,
+                c_stage: 12e-15,
+                geom_mirror: Geometry::new(4e-6, 0.4e-6).expect("valid geometry"),
+                geom_pmos: Geometry::new(8e-6, 0.4e-6).expect("valid geometry"),
+                r_ref: 40e3,
+            },
+            TechnologyParams::nmos_45nm(),
+            TechnologyParams::pmos_45nm(),
+            VariationModel::nominal_45nm(),
+            RingOscLayout::default_45nm(),
+        )
+        .expect("default design is valid")
+    }
+
+    /// The design parameters.
+    pub fn design(&self) -> &RingOscDesign {
+        &self.design
+    }
+
+    /// Solves the bias mirror with the DC engine: a supply resistor feeds
+    /// the diode-connected reference NMOS; the returned gate voltage sets
+    /// every stage's starving current.
+    fn solve_bias(&self, vdd: f64, ref_var: &DeviceVariation) -> Result<(f64, f64)> {
+        let mirror = Mosfet::new(Polarity::Nmos, self.nmos, self.design.geom_mirror);
+        let mut nl = DcNetlist::new(3);
+        nl.add(DcElement::VoltageSource {
+            p: 1,
+            n: 0,
+            volts: vdd,
+        })?;
+        nl.add(DcElement::Resistor {
+            a: 1,
+            b: 2,
+            ohms: self.design.r_ref,
+        })?;
+        nl.add(DcElement::nmos_diode_connected(2, 0, mirror, *ref_var))?;
+        let sol = DcSolver::new().solve(&nl)?;
+        let vbias = sol.voltage(2);
+        let i_ref_actual = (vdd - vbias) / self.design.r_ref;
+        if !(i_ref_actual > 0.0) {
+            return Err(CircuitError::BiasFailure {
+                reason: format!("reference branch current collapsed: {i_ref_actual:.3e} A"),
+            });
+        }
+        Ok((vbias, i_ref_actual))
+    }
+
+    /// Simulates one die given the per-stage device variations.
+    fn simulate(
+        &self,
+        stage: Stage,
+        ref_var: &DeviceVariation,
+        stage_nmos: &[DeviceVariation],
+        stage_pmos: &[DeviceVariation],
+        interconnect: f64,
+    ) -> Result<RingOscPerformance> {
+        let d = &self.design;
+        let (vdd, c_extra, overhead) = match stage {
+            Stage::Schematic => (d.vdd, 0.0, 1.0),
+            Stage::PostLayout => (
+                d.vdd - self.layout.ir_drop,
+                self.layout.c_wire * interconnect,
+                1.0 + self.layout.power_overhead,
+            ),
+        };
+        let (vbias, i_ref_actual) = self.solve_bias(vdd, ref_var)?;
+
+        let mirror = Mosfet::new(Polarity::Nmos, self.nmos, d.geom_mirror);
+        let pstarve = Mosfet::new(Polarity::Pmos, self.pmos, d.geom_pmos);
+        let c_total = d.c_stage + c_extra;
+
+        // Per-stage pull-down current: the stage's mirror NMOS at the
+        // solved gate bias (saturation, V_DS ≈ V_DD/2). Pull-up current:
+        // the PMOS starving device, nominally ratioed to match.
+        let mut period = 0.0;
+        let mut t_rise_total = 0.0;
+        let mut t_fall_total = 0.0;
+        let mut i_bias_total = 0.0;
+        for (nv, pv) in stage_nmos.iter().zip(stage_pmos.iter()) {
+            let i_n = mirror.id_saturation(vbias, 0.5 * vdd, nv);
+            let i_p = pstarve.id_saturation(0.5 * vdd, 0.5 * vdd, pv);
+            if !(i_n > 0.0 && i_p > 0.0) {
+                return Err(CircuitError::BiasFailure {
+                    reason: "stage starving current collapsed".to_string(),
+                });
+            }
+            let t_fall = c_total * vdd / (2.0 * i_n);
+            let t_rise = c_total * vdd / (2.0 * i_p);
+            t_fall_total += t_fall;
+            t_rise_total += t_rise;
+            period += t_fall + t_rise;
+            i_bias_total += 0.5 * (i_n + i_p);
+        }
+        let frequency_hz = 1.0 / period;
+        let duty = t_rise_total / (t_rise_total + t_fall_total);
+        let duty_error_pct = (duty - 0.5) * 100.0;
+
+        let dynamic = d.stages as f64 * c_total * vdd * vdd * frequency_hz;
+        let power_w = (vdd * (i_ref_actual + i_bias_total) + dynamic) * overhead;
+
+        Ok(RingOscPerformance {
+            frequency_hz,
+            power_w,
+            duty_error_pct,
+        })
+    }
+
+    /// Nominal (variation-free) performance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bias failures.
+    pub fn nominal_performance(&self, stage: Stage) -> Result<RingOscPerformance> {
+        let zeros = vec![DeviceVariation::default(); self.design.stages];
+        self.simulate(stage, &DeviceVariation::default(), &zeros, &zeros, 1.0)
+    }
+
+    /// One Monte Carlo die.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bias failures.
+    pub fn sample_performance<R: Rng + ?Sized>(
+        &self,
+        stage: Stage,
+        rng: &mut R,
+    ) -> Result<RingOscPerformance> {
+        let global = self.variation.sample_global(rng);
+        let ref_var = self
+            .variation
+            .sample_device(rng, &global, &self.design.geom_mirror);
+        let stage_nmos: Vec<DeviceVariation> = (0..self.design.stages)
+            .map(|_| {
+                self.variation
+                    .sample_device(rng, &global, &self.design.geom_mirror)
+            })
+            .collect();
+        let stage_pmos: Vec<DeviceVariation> = (0..self.design.stages)
+            .map(|_| {
+                self.variation
+                    .sample_device(rng, &global, &self.design.geom_pmos)
+            })
+            .collect();
+        let interconnect = match stage {
+            Stage::Schematic => 1.0,
+            Stage::PostLayout => {
+                self.layout.extraction_bias
+                    + self.layout.interconnect_sigma * sample_standard_normal(rng)
+            }
+        };
+        self.simulate(stage, &ref_var, &stage_nmos, &stage_pmos, interconnect)
+    }
+}
+
+impl crate::monte_carlo::Testbench for RingOscTestbench {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn metric_names(&self) -> Vec<&'static str> {
+        RingOscPerformance::metric_names().to_vec()
+    }
+
+    fn nominal(&self, stage: Stage) -> Result<bmf_linalg::Vector> {
+        Ok(bmf_linalg::Vector::from_slice(
+            &self.nominal_performance(stage)?.to_array(),
+        ))
+    }
+
+    fn sample(&self, stage: Stage, rng: &mut dyn rand::RngCore) -> Result<bmf_linalg::Vector> {
+        Ok(bmf_linalg::Vector::from_slice(
+            &self.sample_performance(stage, rng)?.to_array(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{run_monte_carlo, Testbench};
+    use bmf_stats::descriptive;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(555)
+    }
+
+    #[test]
+    fn nominal_oscillates_at_plausible_frequency() {
+        let tb = RingOscTestbench::default_45nm();
+        let p = tb.nominal_performance(Stage::Schematic).unwrap();
+        assert!(
+            p.frequency_hz > 1e6 && p.frequency_hz < 10e9,
+            "f = {} Hz",
+            p.frequency_hz
+        );
+        assert!(p.power_w > 1e-7 && p.power_w < 1e-3, "P = {} W", p.power_w);
+        // Nominal duty error comes only from the N/P ratioing.
+        assert!(p.duty_error_pct.abs() < 25.0, "duty = {}", p.duty_error_pct);
+    }
+
+    #[test]
+    fn post_layout_slows_the_ring() {
+        let tb = RingOscTestbench::default_45nm();
+        let sch = tb.nominal_performance(Stage::Schematic).unwrap();
+        let lay = tb.nominal_performance(Stage::PostLayout).unwrap();
+        // More load capacitance and less supply → slower.
+        assert!(lay.frequency_hz < sch.frequency_hz);
+    }
+
+    #[test]
+    fn design_validation() {
+        let mut d = *RingOscTestbench::default_45nm().design();
+        d.stages = 4; // even
+        assert!(RingOscTestbench::new(
+            d,
+            TechnologyParams::nmos_45nm(),
+            TechnologyParams::pmos_45nm(),
+            VariationModel::nominal_45nm(),
+            RingOscLayout::default_45nm(),
+        )
+        .is_err());
+        let mut d = *RingOscTestbench::default_45nm().design();
+        d.stages = 1;
+        assert!(RingOscTestbench::new(
+            d,
+            TechnologyParams::nmos_45nm(),
+            TechnologyParams::pmos_45nm(),
+            VariationModel::nominal_45nm(),
+            RingOscLayout::default_45nm(),
+        )
+        .is_err());
+        let mut d = *RingOscTestbench::default_45nm().design();
+        d.iref = -1e-6;
+        assert!(RingOscTestbench::new(
+            d,
+            TechnologyParams::nmos_45nm(),
+            TechnologyParams::pmos_45nm(),
+            VariationModel::nominal_45nm(),
+            RingOscLayout::default_45nm(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn monte_carlo_spreads_and_reproduces() {
+        let tb = RingOscTestbench::default_45nm();
+        let mut r = rng();
+        let data = run_monte_carlo(&tb, Stage::Schematic, 60, &mut r).unwrap();
+        assert_eq!(data.dim(), 3);
+        let sd = descriptive::column_stddevs(&data.samples).unwrap();
+        for j in 0..3 {
+            assert!(sd[j] > 0.0, "metric {j} has no spread");
+        }
+        // Reproducibility.
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(4);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(
+            tb.sample_performance(Stage::PostLayout, &mut r1).unwrap(),
+            tb.sample_performance(Stage::PostLayout, &mut r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn frequency_and_power_are_positively_correlated() {
+        // Faster dies burn more dynamic power — the correlation the
+        // multivariate estimator is meant to capture.
+        let tb = RingOscTestbench::default_45nm();
+        let mut r = rng();
+        let data = run_monte_carlo(&tb, Stage::Schematic, 300, &mut r).unwrap();
+        let cov = descriptive::covariance_unbiased(&data.samples).unwrap();
+        let corr = descriptive::correlation_from_cov(&cov).unwrap();
+        assert!(
+            corr[(0, 1)] > 0.3,
+            "freq/power correlation = {}",
+            corr[(0, 1)]
+        );
+    }
+
+    #[test]
+    fn works_as_generic_testbench_object() {
+        let tb: Box<dyn Testbench> = Box::new(RingOscTestbench::default_45nm());
+        assert_eq!(tb.dim(), 3);
+        assert_eq!(
+            tb.metric_names(),
+            vec!["frequency_hz", "power_w", "duty_error_pct"]
+        );
+        let mut r = rng();
+        let data = run_monte_carlo(tb.as_ref(), Stage::PostLayout, 5, &mut r).unwrap();
+        assert_eq!(data.sample_count(), 5);
+    }
+
+    #[test]
+    fn bias_solver_tracks_supply() {
+        // Lower supply → lower reference current (through the resistor).
+        let tb = RingOscTestbench::default_45nm();
+        let var = DeviceVariation::default();
+        let (_, i_high) = tb.solve_bias(1.1, &var).unwrap();
+        let (_, i_low) = tb.solve_bias(0.9, &var).unwrap();
+        assert!(i_low < i_high);
+        assert!(i_high > 1e-6 && i_high < 100e-6, "iref = {i_high}");
+    }
+
+    #[test]
+    fn more_stages_lower_frequency() {
+        let mut d = *RingOscTestbench::default_45nm().design();
+        d.stages = 15;
+        let tb15 = RingOscTestbench::new(
+            d,
+            TechnologyParams::nmos_45nm(),
+            TechnologyParams::pmos_45nm(),
+            VariationModel::nominal_45nm(),
+            RingOscLayout::default_45nm(),
+        )
+        .unwrap();
+        let tb7 = RingOscTestbench::default_45nm();
+        let f15 = tb15
+            .nominal_performance(Stage::Schematic)
+            .unwrap()
+            .frequency_hz;
+        let f7 = tb7
+            .nominal_performance(Stage::Schematic)
+            .unwrap()
+            .frequency_hz;
+        assert!(f15 < f7);
+        // Roughly inversely proportional to stage count.
+        assert!((f7 / f15 - 15.0 / 7.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,207 @@
+//! Process-variation model: global (inter-die) + local (intra-die,
+//! Pelgrom area-scaled) components.
+//!
+//! Each Monte Carlo sample draws one set of **global** deviations shared by
+//! every device on the die, plus an independent **local** (mismatch)
+//! deviation per device whose σ shrinks with gate area as `A/√(WL)` — the
+//! classic Pelgrom law. This structure is what makes circuit performance
+//! metrics *correlated*: all metrics respond to the shared global component,
+//! each in its own way.
+
+use crate::mosfet::{DeviceVariation, Geometry};
+use crate::{CircuitError, Result};
+use bmf_stats::sample_standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the statistical process model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Global threshold-voltage σ in volts (inter-die).
+    pub sigma_vth_global: f64,
+    /// Pelgrom mismatch coefficient `A_vt` in V·m (local σ = A_vt/√(WL)).
+    pub avt: f64,
+    /// Global relative `k'` σ (e.g. `0.05` = 5 %).
+    pub sigma_kprime_global: f64,
+    /// Pelgrom coefficient for relative `k'` mismatch in m (`A_k/√(WL)`).
+    pub ak: f64,
+    /// Global relative λ σ.
+    pub sigma_lambda_global: f64,
+}
+
+impl VariationModel {
+    /// Representative 45 nm variation corner (large variability — the
+    /// paper's motivation).
+    pub fn nominal_45nm() -> Self {
+        VariationModel {
+            sigma_vth_global: 0.020,
+            avt: 2.5e-9, // 2.5 mV·µm
+            sigma_kprime_global: 0.04,
+            ak: 1.0e-9,
+            sigma_lambda_global: 0.05,
+        }
+    }
+
+    /// Representative 0.18 µm variation corner (milder than 45 nm).
+    pub fn nominal_180nm() -> Self {
+        VariationModel {
+            sigma_vth_global: 0.010,
+            avt: 3.5e-9,
+            sigma_kprime_global: 0.03,
+            ak: 1.2e-9,
+            sigma_lambda_global: 0.04,
+        }
+    }
+
+    /// Validates that every σ is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for a negative or non-finite
+    /// component.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("sigma_vth_global", self.sigma_vth_global),
+            ("avt", self.avt),
+            ("sigma_kprime_global", self.sigma_kprime_global),
+            ("ak", self.ak),
+            ("sigma_lambda_global", self.sigma_lambda_global),
+        ] {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(CircuitError::InvalidValue {
+                    what: name,
+                    value: v,
+                    constraint: "sigma >= 0 and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws the global (shared) component of one die.
+    pub fn sample_global<R: Rng + ?Sized>(&self, rng: &mut R) -> GlobalVariation {
+        GlobalVariation {
+            delta_vth: self.sigma_vth_global * sample_standard_normal(rng),
+            rel_kprime: self.sigma_kprime_global * sample_standard_normal(rng),
+            rel_lambda: self.sigma_lambda_global * sample_standard_normal(rng),
+        }
+    }
+
+    /// Draws the full variation of one device given the die-level global
+    /// component: global + area-scaled local mismatch.
+    pub fn sample_device<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        global: &GlobalVariation,
+        geometry: &Geometry,
+    ) -> DeviceVariation {
+        let sqrt_area = geometry.area().sqrt();
+        let sigma_vth_local = self.avt / sqrt_area;
+        let sigma_k_local = self.ak / sqrt_area;
+        DeviceVariation {
+            delta_vth: global.delta_vth + sigma_vth_local * sample_standard_normal(rng),
+            rel_kprime: global.rel_kprime + sigma_k_local * sample_standard_normal(rng),
+            rel_lambda: global.rel_lambda,
+        }
+    }
+}
+
+/// Die-level (inter-die) variation shared by all devices of one Monte Carlo
+/// sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GlobalVariation {
+    /// Shared threshold shift in volts.
+    pub delta_vth: f64,
+    /// Shared relative `k'` deviation.
+    pub rel_kprime: f64,
+    /// Shared relative λ deviation.
+    pub rel_lambda: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VariationModel::nominal_45nm().validate().is_ok());
+        assert!(VariationModel::nominal_180nm().validate().is_ok());
+        let mut bad = VariationModel::nominal_45nm();
+        bad.avt = -1.0;
+        assert!(bad.validate().is_err());
+        bad.avt = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn global_component_has_configured_sigma() {
+        let model = VariationModel::nominal_45nm();
+        let mut r = rng();
+        let n = 30_000;
+        let draws: Vec<f64> = (0..n)
+            .map(|_| model.sample_global(&mut r).delta_vth)
+            .collect();
+        let mean: f64 = draws.iter().sum::<f64>() / n as f64;
+        let sd: f64 =
+            (draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)).sqrt();
+        assert!(mean.abs() < 0.001);
+        assert!((sd - model.sigma_vth_global).abs() / model.sigma_vth_global < 0.05);
+    }
+
+    #[test]
+    fn pelgrom_scaling_larger_devices_match_better() {
+        let model = VariationModel::nominal_45nm();
+        let mut r = rng();
+        let small = Geometry::new(1e-6, 0.05e-6).unwrap();
+        let large = Geometry::new(16e-6, 0.8e-6).unwrap();
+        let zero_global = GlobalVariation::default();
+        let n = 20_000;
+        let spread = |g: &Geometry, r: &mut rand::rngs::StdRng| -> f64 {
+            let draws: Vec<f64> = (0..n)
+                .map(|_| model.sample_device(r, &zero_global, g).delta_vth)
+                .collect();
+            let mean: f64 = draws.iter().sum::<f64>() / n as f64;
+            (draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+        };
+        let sd_small = spread(&small, &mut r);
+        let sd_large = spread(&large, &mut r);
+        // Area ratio 256 → σ ratio 16.
+        assert!(
+            (sd_small / sd_large - 16.0).abs() < 2.0,
+            "ratio = {}",
+            sd_small / sd_large
+        );
+    }
+
+    #[test]
+    fn devices_on_one_die_share_the_global_shift() {
+        let model = VariationModel::nominal_45nm();
+        let mut r = rng();
+        let g = Geometry::new(10e-6, 0.5e-6).unwrap();
+        // With large global σ and a huge device (tiny local σ), two devices
+        // on the same die should be near-identical, and differ across dies.
+        let big = Geometry::new(1e-3, 1e-3).unwrap();
+        let global = model.sample_global(&mut r);
+        let d1 = model.sample_device(&mut r, &global, &big);
+        let d2 = model.sample_device(&mut r, &global, &big);
+        assert!((d1.delta_vth - d2.delta_vth).abs() < 1e-4);
+        let _ = g;
+    }
+
+    #[test]
+    fn lambda_has_no_local_component() {
+        let model = VariationModel::nominal_45nm();
+        let mut r = rng();
+        let g = Geometry::new(1e-6, 0.05e-6).unwrap();
+        let global = model.sample_global(&mut r);
+        let d1 = model.sample_device(&mut r, &global, &g);
+        let d2 = model.sample_device(&mut r, &global, &g);
+        assert_eq!(d1.rel_lambda, d2.rel_lambda);
+        assert_eq!(d1.rel_lambda, global.rel_lambda);
+    }
+}

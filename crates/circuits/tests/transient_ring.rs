@@ -1,0 +1,181 @@
+//! Cross-engine validation: a CMOS ring oscillator simulated in the
+//! transient engine oscillates at the frequency the analytic delay model
+//! predicts (order-of-magnitude agreement — the analytic model is the
+//! classic `f = 1/(2N t_d)` approximation).
+
+use bmf_circuits::mosfet::{DeviceVariation, Geometry, Mosfet, Polarity, TechnologyParams};
+use bmf_circuits::tran::{TranElement, TranNetlist, TransientSolver, Waveform};
+
+const VDD: f64 = 1.8;
+const C_LOAD: f64 = 20e-15;
+const STAGES: usize = 3;
+
+fn nmos() -> Mosfet {
+    Mosfet::new(
+        Polarity::Nmos,
+        TechnologyParams::nmos_180nm(),
+        Geometry::new(2e-6, 0.18e-6).expect("geometry"),
+    )
+}
+
+fn pmos() -> Mosfet {
+    // PMOS widened for the mobility ratio.
+    let mut tech = TechnologyParams::nmos_180nm();
+    tech.kprime = 120e-6;
+    Mosfet::new(
+        Polarity::Pmos,
+        tech,
+        Geometry::new(5e-6, 0.18e-6).expect("geometry"),
+    )
+}
+
+/// Builds the ring: node 0 = gnd, node 1 = vdd, nodes 2.. = stage outputs.
+/// Stage i input = output of stage i−1 (mod N).
+fn build_ring() -> TranNetlist {
+    let mut nl = TranNetlist::new(2 + STAGES);
+    nl.add(TranElement::VoltageSource {
+        p: 1,
+        n: 0,
+        waveform: Waveform::Dc(VDD),
+    })
+    .expect("vdd");
+    for i in 0..STAGES {
+        let out = 2 + i;
+        let inp = 2 + (i + STAGES - 1) % STAGES;
+        nl.add(TranElement::Mosfet {
+            d: out,
+            g: inp,
+            s: 0,
+            device: nmos(),
+            variation: DeviceVariation::default(),
+        })
+        .expect("nmos");
+        nl.add(TranElement::Mosfet {
+            d: out,
+            g: inp,
+            s: 1,
+            device: pmos(),
+            variation: DeviceVariation::default(),
+        })
+        .expect("pmos");
+        nl.add(TranElement::Capacitor {
+            a: out,
+            b: 0,
+            farads: C_LOAD,
+        })
+        .expect("cap");
+    }
+    nl
+}
+
+/// Rough analytic estimate: stage delay `t_d = C·V_DD / (2·I_on,avg)` with
+/// the on-current averaged between the N and P devices at full drive.
+fn analytic_frequency() -> f64 {
+    let var = DeviceVariation::default();
+    let i_n = nmos().id_saturation(VDD, VDD / 2.0, &var);
+    let i_p = pmos().id_saturation(VDD, VDD / 2.0, &var);
+    let i_avg = 0.5 * (i_n + i_p);
+    let td = C_LOAD * VDD / (2.0 * i_avg);
+    1.0 / (2.0 * STAGES as f64 * td)
+}
+
+#[test]
+fn cmos_ring_oscillates_near_the_analytic_frequency() {
+    let nl = build_ring();
+    // Kick the ring with an asymmetric initial state.
+    let mut init = vec![0.0; 2 + STAGES];
+    init[1] = VDD;
+    init[2] = VDD;
+    init[3] = 0.0;
+    init[4] = VDD;
+
+    let f_est = analytic_frequency();
+    let t_period_est = 1.0 / f_est;
+    let result = TransientSolver::new(t_period_est / 400.0, 12.0 * t_period_est)
+        .expect("solver")
+        .with_initial_voltages(init)
+        .run(&nl)
+        .expect("transient");
+
+    // Measure the period after 4 estimated periods of settling.
+    let period = result
+        .measured_period(2, VDD / 2.0, 4.0 * t_period_est)
+        .expect("the ring must oscillate");
+    let f_meas = 1.0 / period;
+    let ratio = f_meas / f_est;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "transient frequency {f_meas:.3e} Hz vs analytic {f_est:.3e} Hz (ratio {ratio:.2})"
+    );
+
+    // Full-swing oscillation.
+    let trace = result.trace(2);
+    let settled = &trace[trace.len() / 2..];
+    let max = settled.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = settled.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max > 0.85 * VDD, "high level = {max}");
+    assert!(min < 0.15 * VDD, "low level = {min}");
+}
+
+#[test]
+fn slower_process_corner_lowers_the_frequency() {
+    // Apply a +50 mV global Vth shift to every device: the ring slows.
+    let run_with = |dvth: f64| -> f64 {
+        let mut nl = TranNetlist::new(2 + STAGES);
+        nl.add(TranElement::VoltageSource {
+            p: 1,
+            n: 0,
+            waveform: Waveform::Dc(VDD),
+        })
+        .expect("vdd");
+        let var = DeviceVariation {
+            delta_vth: dvth,
+            ..Default::default()
+        };
+        for i in 0..STAGES {
+            let out = 2 + i;
+            let inp = 2 + (i + STAGES - 1) % STAGES;
+            nl.add(TranElement::Mosfet {
+                d: out,
+                g: inp,
+                s: 0,
+                device: nmos(),
+                variation: var,
+            })
+            .expect("nmos");
+            nl.add(TranElement::Mosfet {
+                d: out,
+                g: inp,
+                s: 1,
+                device: pmos(),
+                variation: var,
+            })
+            .expect("pmos");
+            nl.add(TranElement::Capacitor {
+                a: out,
+                b: 0,
+                farads: C_LOAD,
+            })
+            .expect("cap");
+        }
+        let mut init = vec![0.0; 2 + STAGES];
+        init[1] = VDD;
+        init[2] = VDD;
+        init[4] = VDD;
+        let t_est = 1.0 / analytic_frequency();
+        let result = TransientSolver::new(t_est / 300.0, 12.0 * t_est)
+            .expect("solver")
+            .with_initial_voltages(init)
+            .run(&nl)
+            .expect("transient");
+        1.0 / result
+            .measured_period(2, VDD / 2.0, 4.0 * t_est)
+            .expect("oscillation")
+    };
+    let f_nominal = run_with(0.0);
+    let f_slow = run_with(0.05);
+    assert!(
+        f_slow < f_nominal,
+        "slow corner {f_slow:.3e} should be below nominal {f_nominal:.3e}"
+    );
+}

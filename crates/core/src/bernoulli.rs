@@ -1,0 +1,289 @@
+//! BMF-BD: Bayesian model fusion on Bernoulli pass/fail data.
+//!
+//! The paper's background (§2, ref. \[5\] — Fang et al., DAC 2014) covers
+//! the case where early/late results are binary pass/fail outcomes rather
+//! than continuous metrics: yield itself is then a Bernoulli parameter and
+//! the conjugate prior is the **Beta distribution**. This module provides
+//! that estimator as a companion to the moment-based flow — useful when a
+//! tester only reports go/no-go, and as a cross-check for the yields
+//! produced by [`crate::yield_estimation`] from fused moments.
+//!
+//! Prior encoding mirrors the moment method: the Beta prior's mode is
+//! anchored on the early-stage yield `y_E`, with one confidence scalar
+//! `m₀` (pseudo-sample count) cross-validated or user-set:
+//!
+//! `α₀ = 1 + m₀ y_E`, `β₀ = 1 + m₀ (1 − y_E)`  ⇒  mode(Beta) = y_E.
+
+use crate::{BmfError, Result};
+use bmf_stats::special::ln_gamma;
+use serde::{Deserialize, Serialize};
+
+/// Beta-Bernoulli yield estimator fusing an early-stage yield estimate
+/// with few late-stage pass/fail observations.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::bernoulli::BernoulliBmf;
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// // Early stage said 90 % yield; 8 late dies: 6 pass.
+/// let est = BernoulliBmf::from_early_yield(0.9, 20.0)?;
+/// let post = est.observe(6, 2)?;
+/// let map = post.map_yield();
+/// assert!(map > 0.75 && map < 0.92); // pulled below 0.9 by the fails
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BernoulliBmf {
+    alpha0: f64,
+    beta0: f64,
+}
+
+/// Posterior Beta distribution over the late-stage yield.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaPosterior {
+    /// Posterior α.
+    pub alpha: f64,
+    /// Posterior β.
+    pub beta: f64,
+}
+
+impl BernoulliBmf {
+    /// Builds the estimator from the early-stage yield `y_E ∈ (0, 1)` and
+    /// a confidence `m₀ > 0` (equivalent pseudo-sample count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidHyperParameter`] for out-of-range inputs.
+    pub fn from_early_yield(yield_early: f64, m0: f64) -> Result<Self> {
+        if !(yield_early > 0.0 && yield_early < 1.0) {
+            return Err(BmfError::InvalidHyperParameter {
+                name: "yield_early",
+                value: yield_early,
+                constraint: "0 < yield < 1".to_string(),
+            });
+        }
+        if !(m0 > 0.0) || !m0.is_finite() {
+            return Err(BmfError::InvalidHyperParameter {
+                name: "m0",
+                value: m0,
+                constraint: "m0 > 0 and finite".to_string(),
+            });
+        }
+        Ok(BernoulliBmf {
+            alpha0: 1.0 + m0 * yield_early,
+            beta0: 1.0 + m0 * (1.0 - yield_early),
+        })
+    }
+
+    /// Prior α₀.
+    pub fn alpha0(&self) -> f64 {
+        self.alpha0
+    }
+
+    /// Prior β₀.
+    pub fn beta0(&self) -> f64 {
+        self.beta0
+    }
+
+    /// Mode of the prior (the encoded early yield).
+    pub fn prior_mode(&self) -> f64 {
+        (self.alpha0 - 1.0) / (self.alpha0 + self.beta0 - 2.0)
+    }
+
+    /// Conjugate update with late-stage counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] when both counts are zero.
+    pub fn observe(&self, passes: usize, fails: usize) -> Result<BetaPosterior> {
+        if passes + fails == 0 {
+            return Err(BmfError::InvalidSamples {
+                reason: "need at least one pass/fail observation".to_string(),
+            });
+        }
+        Ok(BetaPosterior {
+            alpha: self.alpha0 + passes as f64,
+            beta: self.beta0 + fails as f64,
+        })
+    }
+}
+
+impl BetaPosterior {
+    /// MAP (mode) yield estimate `(α−1)/(α+β−2)`.
+    pub fn map_yield(&self) -> f64 {
+        (self.alpha - 1.0) / (self.alpha + self.beta - 2.0)
+    }
+
+    /// Posterior-mean yield `α/(α+β)`.
+    pub fn mean_yield(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Posterior standard deviation of the yield.
+    pub fn std_dev(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        (self.alpha * self.beta / (s * s * (s + 1.0))).sqrt()
+    }
+
+    /// Log-density of the Beta posterior at `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidConfig`] for `y` outside `(0, 1)`.
+    pub fn ln_pdf(&self, y: f64) -> Result<f64> {
+        if !(y > 0.0 && y < 1.0) {
+            return Err(BmfError::InvalidConfig {
+                reason: format!("beta density evaluated outside (0,1): {y}"),
+            });
+        }
+        let ln_b = ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        Ok((self.alpha - 1.0) * y.ln() + (self.beta - 1.0) * (1.0 - y).ln() - ln_b)
+    }
+
+    /// Central credible interval by Newton/bisection-free grid refinement
+    /// of the Beta CDF (evaluated by adaptive Simpson integration of the
+    /// density — adequate for the d=1, smooth case).
+    ///
+    /// Returns `(lo, hi)` covering probability `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidConfig`] for `level` outside `(0, 1)`.
+    pub fn credible_interval(&self, level: f64) -> Result<(f64, f64)> {
+        if !(level > 0.0 && level < 1.0) {
+            return Err(BmfError::InvalidConfig {
+                reason: format!("credible level must be in (0,1), got {level}"),
+            });
+        }
+        // CDF on a fine grid via trapezoidal integration of the density.
+        let steps = 4000;
+        let mut cdf = Vec::with_capacity(steps + 1);
+        let mut acc = 0.0;
+        let mut prev_pdf = 0.0;
+        cdf.push(0.0);
+        for k in 1..=steps {
+            let y = k as f64 / steps as f64;
+            let pdf = if y < 1.0 {
+                self.ln_pdf(y.min(1.0 - 1e-12)).map(f64::exp).unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            acc += 0.5 * (pdf + prev_pdf) / steps as f64;
+            prev_pdf = pdf;
+            cdf.push(acc);
+        }
+        let total = acc.max(1e-300);
+        let target_lo = (1.0 - level) / 2.0;
+        let target_hi = 1.0 - target_lo;
+        let quantile = |t: f64| -> f64 {
+            let goal = t * total;
+            match cdf.binary_search_by(|c| c.partial_cmp(&goal).expect("finite")) {
+                Ok(i) => i as f64 / steps as f64,
+                Err(i) => (i.min(steps)) as f64 / steps as f64,
+            }
+        };
+        Ok((quantile(target_lo), quantile(target_hi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(BernoulliBmf::from_early_yield(0.0, 10.0).is_err());
+        assert!(BernoulliBmf::from_early_yield(1.0, 10.0).is_err());
+        assert!(BernoulliBmf::from_early_yield(0.5, 0.0).is_err());
+        assert!(BernoulliBmf::from_early_yield(0.5, f64::NAN).is_err());
+        assert!(BernoulliBmf::from_early_yield(0.5, 10.0).is_ok());
+    }
+
+    #[test]
+    fn prior_mode_is_early_yield() {
+        for &y in &[0.1, 0.5, 0.9, 0.99] {
+            let est = BernoulliBmf::from_early_yield(y, 25.0).unwrap();
+            assert!((est.prior_mode() - y).abs() < 1e-12, "y = {y}");
+        }
+    }
+
+    #[test]
+    fn update_moves_towards_data() {
+        let est = BernoulliBmf::from_early_yield(0.9, 10.0).unwrap();
+        // All fails: MAP drops well below the prior.
+        let post = est.observe(0, 10).unwrap();
+        assert!(post.map_yield() < 0.5);
+        // All passes: MAP climbs above the prior mode.
+        let post = est.observe(50, 0).unwrap();
+        assert!(post.map_yield() > 0.9);
+        assert!(est.observe(0, 0).is_err());
+    }
+
+    #[test]
+    fn strong_prior_resists_few_samples() {
+        let weak = BernoulliBmf::from_early_yield(0.9, 2.0).unwrap();
+        let strong = BernoulliBmf::from_early_yield(0.9, 200.0).unwrap();
+        let w = weak.observe(1, 3).unwrap().map_yield();
+        let s = strong.observe(1, 3).unwrap().map_yield();
+        assert!(
+            s > w,
+            "strong prior ({s}) should stay higher than weak ({w})"
+        );
+        assert!((s - 0.9).abs() < 0.03);
+    }
+
+    #[test]
+    fn posterior_matches_beta_arithmetic() {
+        let est = BernoulliBmf::from_early_yield(0.8, 10.0).unwrap();
+        let post = est.observe(7, 1).unwrap();
+        assert!((post.alpha - (1.0 + 8.0 + 7.0)).abs() < 1e-12);
+        assert!((post.beta - (1.0 + 2.0 + 1.0)).abs() < 1e-12);
+        assert!((post.mean_yield() - post.alpha / (post.alpha + post.beta)).abs() < 1e-15);
+        assert!(post.std_dev() > 0.0 && post.std_dev() < 0.5);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let post = BetaPosterior {
+            alpha: 5.0,
+            beta: 3.0,
+        };
+        let steps = 20_000;
+        let mut acc = 0.0;
+        for k in 1..steps {
+            let y = k as f64 / steps as f64;
+            acc += post.ln_pdf(y).unwrap().exp() / steps as f64;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral = {acc}");
+        assert!(post.ln_pdf(0.0).is_err());
+        assert!(post.ln_pdf(1.0).is_err());
+    }
+
+    #[test]
+    fn credible_interval_covers_the_mode() {
+        let est = BernoulliBmf::from_early_yield(0.85, 30.0).unwrap();
+        let post = est.observe(12, 2).unwrap();
+        let (lo, hi) = post.credible_interval(0.9).unwrap();
+        let map = post.map_yield();
+        assert!(lo < map && map < hi, "({lo}, {hi}) should cover {map}");
+        assert!(hi - lo < 0.5);
+        // Wider level → wider interval.
+        let (lo99, hi99) = post.credible_interval(0.99).unwrap();
+        assert!(lo99 <= lo && hi99 >= hi);
+        assert!(post.credible_interval(0.0).is_err());
+        assert!(post.credible_interval(1.0).is_err());
+    }
+
+    #[test]
+    fn symmetric_beta_interval_is_symmetric() {
+        let post = BetaPosterior {
+            alpha: 10.0,
+            beta: 10.0,
+        };
+        let (lo, hi) = post.credible_interval(0.9).unwrap();
+        assert!((lo + hi - 1.0).abs() < 0.01, "({lo}, {hi})");
+    }
+}

@@ -1,0 +1,599 @@
+//! Two-dimensional cross-validation for hyper-parameter selection (§4.2).
+//!
+//! The confidence hyper-parameters `(ν₀, κ₀)` encode how much the early
+//! stage is trusted; the paper selects them by sweeping a two-dimensional
+//! candidate grid (Fig. 2a) and scoring each combination with Q-fold
+//! cross-validation on the few late-stage samples (Fig. 2b): fit the BMF
+//! MAP estimate on `Q−1` folds, evaluate the Gaussian log-likelihood
+//! (Eq. 9) of the held-out fold, and average over the `Q` runs.
+
+use crate::map::BmfEstimator;
+use crate::prior::NormalWishartPrior;
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::Matrix;
+use bmf_stats::{descriptive, MultivariateNormal};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One scored grid point of the CV search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvGridPoint {
+    /// Candidate `κ₀`.
+    pub kappa0: f64,
+    /// Candidate `ν₀`.
+    pub nu0: f64,
+    /// Mean held-out log-likelihood per test sample (−∞ when the
+    /// combination could not be evaluated).
+    pub score: f64,
+}
+
+/// The result of one hyper-parameter search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HyperParameterSelection {
+    /// Selected `κ₀`.
+    pub kappa0: f64,
+    /// Selected `ν₀`.
+    pub nu0: f64,
+    /// Score of the winning combination.
+    pub score: f64,
+    /// The full scored grid (paper Fig. 2a), for diagnostics/plots.
+    pub grid: Vec<CvGridPoint>,
+}
+
+/// Two-dimensional Q-fold cross-validation over a `(κ₀, ν₀)` grid.
+///
+/// The default reproduces the paper's setup: both axes span `[1, 1000]`
+/// (log-spaced, 12 points each — the paper reports non-integer optima such
+/// as κ₀ = 4.67, so the grid must be finer than integers), with `Q = 4`
+/// folds.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::cv::CrossValidation;
+///
+/// let cv = CrossValidation::default();
+/// assert_eq!(cv.fold_count(), 4);
+/// assert!(cv.kappa_grid().len() >= 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    kappa_grid: Vec<f64>,
+    nu_grid: Vec<f64>,
+    q: usize,
+    repeats: usize,
+}
+
+/// Builds a log-spaced grid over `[lo, hi]` with `points` entries.
+fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    let llo = lo.ln();
+    let lhi = hi.ln();
+    (0..points)
+        .map(|k| (llo + (lhi - llo) * k as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+impl Default for CrossValidation {
+    fn default() -> Self {
+        CrossValidation {
+            kappa_grid: log_grid(1.0, 1000.0, 12),
+            nu_grid: log_grid(1.0, 1000.0, 12),
+            q: 4,
+            repeats: 8,
+        }
+    }
+}
+
+impl CrossValidation {
+    /// Creates a search with explicit grids and fold count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidConfig`] for empty grids, non-positive
+    /// candidates or `q < 2`.
+    pub fn new(kappa_grid: Vec<f64>, nu_grid: Vec<f64>, q: usize) -> Result<Self> {
+        Self::with_repeats(kappa_grid, nu_grid, q, 1)
+    }
+
+    /// Creates a **repeated** Q-fold search: the fold assignment is
+    /// re-randomised `repeats` times and scores are averaged, which
+    /// stabilises the argmax when the folds are tiny (e.g. n = 8, Q = 4 →
+    /// two-sample test folds).
+    ///
+    /// # Errors
+    ///
+    /// As [`CrossValidation::new`], plus `repeats >= 1`.
+    pub fn with_repeats(
+        kappa_grid: Vec<f64>,
+        nu_grid: Vec<f64>,
+        q: usize,
+        repeats: usize,
+    ) -> Result<Self> {
+        if kappa_grid.is_empty() || nu_grid.is_empty() {
+            return Err(BmfError::InvalidConfig {
+                reason: "hyper-parameter grids must be non-empty".to_string(),
+            });
+        }
+        if q < 2 {
+            return Err(BmfError::InvalidConfig {
+                reason: format!("need at least 2 folds, got {q}"),
+            });
+        }
+        if repeats == 0 {
+            return Err(BmfError::InvalidConfig {
+                reason: "need at least one CV repeat".to_string(),
+            });
+        }
+        for &k in &kappa_grid {
+            if !(k > 0.0) || !k.is_finite() {
+                return Err(BmfError::InvalidConfig {
+                    reason: format!("kappa candidate {k} must be positive and finite"),
+                });
+            }
+        }
+        for &v in &nu_grid {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(BmfError::InvalidConfig {
+                    reason: format!("nu candidate {v} must be positive and finite"),
+                });
+            }
+        }
+        Ok(CrossValidation {
+            kappa_grid,
+            nu_grid,
+            q,
+            repeats,
+        })
+    }
+
+    /// The κ₀ candidate grid.
+    pub fn kappa_grid(&self) -> &[f64] {
+        &self.kappa_grid
+    }
+
+    /// The ν₀ candidate grid.
+    pub fn nu_grid(&self) -> &[f64] {
+        &self.nu_grid
+    }
+
+    /// Number of folds `Q`.
+    pub fn fold_count(&self) -> usize {
+        self.q
+    }
+
+    /// Number of re-randomised fold assignments averaged per grid point.
+    pub fn repeat_count(&self) -> usize {
+        self.repeats
+    }
+
+    /// Runs the search: scores every `(κ₀, ν₀)` combination by Q-fold CV
+    /// on `late_samples` and returns the maximiser.
+    ///
+    /// Candidates with `ν₀ ≤ d` are skipped (the prior of Eq. 20 requires
+    /// `ν₀ > d`); the effective fold count shrinks to `n` when `n < Q`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::InvalidSamples`] when there are fewer than 2 samples
+    ///   or dimensions mismatch.
+    /// * [`BmfError::InvalidConfig`] when no grid candidate is feasible.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        early: &MomentEstimate,
+        late_samples: &Matrix,
+        rng: &mut R,
+    ) -> Result<HyperParameterSelection> {
+        early.validate()?;
+        let d = early.dim();
+        let n = late_samples.nrows();
+        if n < 2 {
+            return Err(BmfError::InvalidSamples {
+                reason: format!("cross-validation needs at least 2 late-stage samples, got {n}"),
+            });
+        }
+        if late_samples.ncols() != d {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "late samples have {} columns, early moments have {d}",
+                    late_samples.ncols()
+                ),
+            });
+        }
+
+        // Feasible candidate pairs (Eq. 20 needs ν₀ > d).
+        let candidates: Vec<(f64, f64)> = self
+            .nu_grid
+            .iter()
+            .filter(|&&nu0| nu0 > d as f64 + 1e-9)
+            .flat_map(|&nu0| self.kappa_grid.iter().map(move |&kappa0| (kappa0, nu0)))
+            .collect();
+        let mut scores = vec![0.0_f64; candidates.len()];
+
+        for _ in 0..self.repeats {
+            // Randomly permute rows so folds are exchangeable, then split.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(rng);
+            let shuffled = Matrix::from_fn(n, d, |i, j| late_samples[(order[i], j)]);
+            let q = self.q.min(n);
+            let folds = descriptive::split_folds(&shuffled, q)?;
+
+            // Pre-assemble the Q training sets (all folds but one).
+            let mut training: Vec<Matrix> = Vec::with_capacity(q);
+            for k in 0..q {
+                let parts: Vec<&Matrix> = folds
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != k)
+                    .map(|(_, f)| f)
+                    .collect();
+                training.push(descriptive::vstack(&parts)?);
+            }
+
+            for (slot, &(kappa0, nu0)) in scores.iter_mut().zip(candidates.iter()) {
+                *slot += self.score_combination(early, kappa0, nu0, &training, &folds)
+                    / self.repeats as f64;
+            }
+        }
+
+        let mut grid = Vec::with_capacity(candidates.len());
+        let mut best: Option<CvGridPoint> = None;
+        for (&(kappa0, nu0), &score) in candidates.iter().zip(scores.iter()) {
+            let point = CvGridPoint { kappa0, nu0, score };
+            grid.push(point);
+            let better = match best {
+                None => score.is_finite(),
+                Some(b) => score > b.score,
+            };
+            if better {
+                best = Some(point);
+            }
+        }
+
+        let best = best.ok_or_else(|| BmfError::InvalidConfig {
+            reason: format!(
+                "no feasible (kappa0, nu0) candidate for d = {d}; extend the nu grid above d"
+            ),
+        })?;
+        if !best.score.is_finite() {
+            return Err(BmfError::InvalidConfig {
+                reason: "every hyper-parameter combination failed to score".to_string(),
+            });
+        }
+        Ok(HyperParameterSelection {
+            kappa0: best.kappa0,
+            nu0: best.nu0,
+            score: best.score,
+            grid,
+        })
+    }
+
+    /// Two-stage search: the coarse grid of [`CrossValidation::select`]
+    /// followed by a zoomed re-search on a fine local grid around the
+    /// coarse argmax (one coarse-grid step each way, `zoom_points` per
+    /// axis). This is how optima like the paper's κ₀ = 4.67 — between
+    /// integer grid lines — are resolved.
+    ///
+    /// # Errors
+    ///
+    /// As [`CrossValidation::select`].
+    pub fn select_refined<R: Rng + ?Sized>(
+        &self,
+        early: &MomentEstimate,
+        late_samples: &Matrix,
+        zoom_points: usize,
+        rng: &mut R,
+    ) -> Result<HyperParameterSelection> {
+        if zoom_points < 2 {
+            return Err(BmfError::InvalidConfig {
+                reason: format!("zoom grid needs at least 2 points per axis, got {zoom_points}"),
+            });
+        }
+        let coarse = self.select(early, late_samples, rng)?;
+
+        // Local window: one coarse step each way in log space (with the
+        // coarse step ratio estimated from the grids themselves).
+        let step_ratio = |grid: &[f64]| -> f64 {
+            if grid.len() < 2 {
+                2.0
+            } else {
+                (grid[grid.len() - 1] / grid[0]).powf(1.0 / (grid.len() as f64 - 1.0))
+            }
+        };
+        let rk = step_ratio(&self.kappa_grid);
+        let rn = step_ratio(&self.nu_grid);
+        let zoom = |centre: f64, ratio: f64| -> Vec<f64> {
+            log_grid(centre / ratio, centre * ratio, zoom_points)
+        };
+        let fine = CrossValidation::with_repeats(
+            zoom(coarse.kappa0, rk),
+            zoom(coarse.nu0, rn),
+            self.q,
+            self.repeats,
+        )?;
+        let refined = fine.select(early, late_samples, rng)?;
+
+        // Keep whichever stage scored better (the zoom can only help when
+        // its folds agree), and report the union of both scored grids.
+        let mut grid = coarse.grid;
+        grid.extend(refined.grid);
+        if refined.score >= coarse.score {
+            Ok(HyperParameterSelection {
+                kappa0: refined.kappa0,
+                nu0: refined.nu0,
+                score: refined.score,
+                grid,
+            })
+        } else {
+            Ok(HyperParameterSelection {
+                kappa0: coarse.kappa0,
+                nu0: coarse.nu0,
+                score: coarse.score,
+                grid,
+            })
+        }
+    }
+
+    /// Scores one combination: mean held-out per-sample log-likelihood.
+    fn score_combination(
+        &self,
+        early: &MomentEstimate,
+        kappa0: f64,
+        nu0: f64,
+        training: &[Matrix],
+        folds: &[Matrix],
+    ) -> f64 {
+        let prior = match NormalWishartPrior::from_early_moments(early, kappa0, nu0) {
+            Ok(p) => p,
+            Err(_) => return f64::NEG_INFINITY,
+        };
+        let estimator = match BmfEstimator::new(prior) {
+            Ok(e) => e,
+            Err(_) => return f64::NEG_INFINITY,
+        };
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (train, test) in training.iter().zip(folds.iter()) {
+            if test.nrows() == 0 || train.nrows() == 0 {
+                continue;
+            }
+            let est = match estimator.estimate(train) {
+                Ok(e) => e,
+                Err(_) => return f64::NEG_INFINITY,
+            };
+            let model = match MultivariateNormal::new(est.map.mean.clone(), est.map.cov.clone()) {
+                Ok(m) => m,
+                Err(_) => return f64::NEG_INFINITY,
+            };
+            match model.ln_likelihood(test) {
+                Ok(ll) => {
+                    total += ll;
+                    count += test.nrows();
+                }
+                Err(_) => return f64::NEG_INFINITY,
+            }
+        }
+        if count == 0 {
+            f64::NEG_INFINITY
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_linalg::{Matrix, Vector};
+    use bmf_stats::MultivariateNormal;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    fn truth() -> MultivariateNormal {
+        MultivariateNormal::new(
+            Vector::from_slice(&[0.0, 0.0]),
+            Matrix::from_rows(&[&[1.0, 0.5], &[0.5, 1.0]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn log_grid_spans_range() {
+        let g = log_grid(1.0, 1000.0, 12);
+        assert_eq!(g.len(), 12);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[11] - 1000.0).abs() < 1e-9);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(CrossValidation::new(vec![], vec![1.0], 4).is_err());
+        assert!(CrossValidation::new(vec![1.0], vec![], 4).is_err());
+        assert!(CrossValidation::new(vec![1.0], vec![5.0], 1).is_err());
+        assert!(CrossValidation::new(vec![0.0], vec![5.0], 4).is_err());
+        assert!(CrossValidation::new(vec![1.0], vec![-5.0], 4).is_err());
+        assert!(CrossValidation::new(vec![1.0], vec![5.0], 4).is_ok());
+    }
+
+    #[test]
+    fn good_prior_selects_high_confidence() {
+        // Early moments == truth: averaged over repetitions, CV should
+        // trust the prior (large ν₀) — a single run sits on a flat score
+        // landscape, so we test the average and the outcome (BMF error
+        // not worse than MLE).
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov().clone(),
+        };
+        let cv = CrossValidation::default();
+        let reps = 10;
+        let mut nu_sum = 0.0;
+        let mut bmf_err = 0.0;
+        let mut mle_err = 0.0;
+        for _ in 0..reps {
+            let late = truth().sample_matrix(&mut r, 16);
+            let sel = cv.select(&early, &late, &mut r).unwrap();
+            assert!(sel.score.is_finite());
+            assert!(!sel.grid.is_empty());
+            nu_sum += sel.nu0;
+            let prior =
+                crate::prior::NormalWishartPrior::from_early_moments(&early, sel.kappa0, sel.nu0)
+                    .unwrap();
+            let est = crate::map::BmfEstimator::new(prior)
+                .unwrap()
+                .estimate(&late)
+                .unwrap();
+            bmf_err += est.map.cov.max_abs_diff(truth().cov()).unwrap();
+            let mle = crate::mle::MleEstimator::new().estimate(&late).unwrap();
+            mle_err += mle.cov.max_abs_diff(truth().cov()).unwrap();
+        }
+        let nu_mean = nu_sum / reps as f64;
+        assert!(
+            nu_mean > 20.0,
+            "expected large average nu0 for a perfect covariance prior, got {nu_mean}"
+        );
+        assert!(
+            bmf_err < mle_err,
+            "with a perfect prior BMF ({bmf_err}) must beat MLE ({mle_err})"
+        );
+    }
+
+    #[test]
+    fn wrong_mean_prior_selects_small_kappa() {
+        // Early mean badly wrong, covariance right: CV should distrust the
+        // mean (small κ₀) but keep the covariance confidence.
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: Vector::from_slice(&[3.0, -3.0]), // 3σ wrong
+            cov: truth().cov().clone(),
+        };
+        let late = truth().sample_matrix(&mut r, 32);
+        let sel = CrossValidation::default()
+            .select(&early, &late, &mut r)
+            .unwrap();
+        assert!(
+            sel.kappa0 < 20.0,
+            "expected small kappa0 for a wrong mean prior, got {}",
+            sel.kappa0
+        );
+        assert!(
+            sel.nu0 > 20.0,
+            "covariance prior is good, expected large nu0, got {}",
+            sel.nu0
+        );
+    }
+
+    #[test]
+    fn wrong_cov_prior_selects_small_nu() {
+        // Early covariance wildly wrong (inflated 25×), mean right.
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov() * 25.0,
+        };
+        let late = truth().sample_matrix(&mut r, 64);
+        let sel = CrossValidation::default()
+            .select(&early, &late, &mut r)
+            .unwrap();
+        assert!(
+            sel.nu0 < 50.0,
+            "expected small nu0 for a wrong covariance prior, got {}",
+            sel.nu0
+        );
+    }
+
+    #[test]
+    fn infeasible_nu_candidates_are_skipped() {
+        // Grid contains only nu0 <= d → no feasible candidate.
+        let cv = CrossValidation::new(vec![1.0], vec![1.0, 2.0], 2).unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::identity(2),
+        };
+        let late = truth().sample_matrix(&mut r, 8);
+        assert!(cv.select(&early, &late, &mut r).is_err());
+        // Adding one feasible candidate fixes it.
+        let cv = CrossValidation::new(vec![1.0], vec![2.0, 5.0], 2).unwrap();
+        let sel = cv.select(&early, &late, &mut r).unwrap();
+        assert_eq!(sel.nu0, 5.0);
+    }
+
+    #[test]
+    fn rejects_insufficient_samples() {
+        let cv = CrossValidation::default();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::identity(2),
+        };
+        let one = Matrix::from_rows(&[&[0.1, 0.2]]).unwrap();
+        assert!(cv.select(&early, &one, &mut r).is_err());
+        let wrong_width = Matrix::zeros(8, 3);
+        assert!(cv.select(&early, &wrong_width, &mut r).is_err());
+    }
+
+    #[test]
+    fn fold_count_adapts_to_tiny_n() {
+        // n = 3 < Q = 4: the effective fold count shrinks, still works.
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov().clone(),
+        };
+        let late = truth().sample_matrix(&mut r, 3);
+        let sel = CrossValidation::default()
+            .select(&early, &late, &mut r)
+            .unwrap();
+        assert!(sel.score.is_finite());
+    }
+
+    #[test]
+    fn refined_search_zooms_between_grid_lines() {
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov().clone(),
+        };
+        let late = truth().sample_matrix(&mut r, 24);
+        let cv = CrossValidation::default();
+        let refined = cv.select_refined(&early, &late, 5, &mut r).unwrap();
+        // The refined optimum never scores below the coarse grid's best.
+        let coarse_best = refined
+            .grid
+            .iter()
+            .take(cv.kappa_grid().len() * cv.nu_grid().len())
+            .map(|p| p.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(refined.score >= coarse_best - 1e-12);
+        assert!(refined.nu0 > 2.0);
+        assert!(cv.select_refined(&early, &late, 1, &mut r).is_err());
+    }
+
+    #[test]
+    fn grid_scores_are_reported_for_all_feasible_points() {
+        let cv = CrossValidation::new(vec![1.0, 10.0], vec![5.0, 50.0], 2).unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov().clone(),
+        };
+        let late = truth().sample_matrix(&mut r, 10);
+        let sel = cv.select(&early, &late, &mut r).unwrap();
+        assert_eq!(sel.grid.len(), 4);
+        assert!(sel.grid.iter().all(|p| p.score.is_finite()));
+        // Winner really is the argmax of the reported grid.
+        let max = sel
+            .grid
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
+        assert_eq!(max.score, sel.score);
+    }
+}

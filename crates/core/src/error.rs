@@ -1,0 +1,102 @@
+//! Error type for the BMF core crate.
+
+use bmf_linalg::LinalgError;
+use bmf_stats::StatsError;
+use std::fmt;
+
+/// Errors produced by the BMF estimation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BmfError {
+    /// A hyper-parameter is outside its valid domain.
+    InvalidHyperParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: String,
+    },
+    /// A moment estimate is structurally invalid.
+    InvalidMoments {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A sample matrix is unusable (too few samples, wrong width, …).
+    InvalidSamples {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An underlying statistics operation failed.
+    Stats(StatsError),
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for BmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmfError::InvalidHyperParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid hyper-parameter {name} = {value}: {constraint}"),
+            BmfError::InvalidMoments { reason } => write!(f, "invalid moments: {reason}"),
+            BmfError::InvalidSamples { reason } => write!(f, "invalid samples: {reason}"),
+            BmfError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            BmfError::Stats(e) => write!(f, "statistics failure: {e}"),
+            BmfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BmfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BmfError::Stats(e) => Some(e),
+            BmfError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for BmfError {
+    fn from(e: StatsError) -> Self {
+        BmfError::Stats(e)
+    }
+}
+
+impl From<LinalgError> for BmfError {
+    fn from(e: LinalgError) -> Self {
+        BmfError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = BmfError::InvalidHyperParameter {
+            name: "nu0",
+            value: 1.0,
+            constraint: "nu0 > d".to_string(),
+        };
+        assert!(e.to_string().contains("nu0"));
+
+        let e: BmfError = StatsError::InsufficientSamples {
+            required: 2,
+            available: 0,
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: BmfError = LinalgError::Empty.into();
+        assert!(e.to_string().contains("linear algebra"));
+    }
+}

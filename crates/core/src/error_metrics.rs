@@ -1,0 +1,119 @@
+//! Estimation-error criteria of the paper's evaluation (Eq. 37–38).
+//!
+//! Errors are *absolute* norms evaluated in the shifted-and-scaled space of
+//! [`crate::transform::ShiftScale`]: after normalisation every dimension has
+//! comparable magnitude, so the 2-norm/Frobenius norm weighs all metrics
+//! equally and small-valued performances are not concealed (§5.1).
+
+use crate::{BmfError, MomentEstimate, Result};
+
+/// Mean-vector estimation error `‖μ_ESTI − μ_EXACT‖₂` (Eq. 37).
+///
+/// # Errors
+///
+/// Returns [`BmfError::InvalidMoments`] for dimension mismatch.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::error_metrics::error_mean;
+/// use bmf_core::MomentEstimate;
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let exact = MomentEstimate { mean: Vector::zeros(2), cov: Matrix::identity(2) };
+/// let esti = MomentEstimate {
+///     mean: Vector::from_slice(&[3.0, 4.0]),
+///     cov: Matrix::identity(2),
+/// };
+/// assert!((error_mean(&esti, &exact)? - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn error_mean(estimated: &MomentEstimate, exact: &MomentEstimate) -> Result<f64> {
+    if estimated.dim() != exact.dim() {
+        return Err(BmfError::InvalidMoments {
+            reason: format!(
+                "estimated dimension {} != exact dimension {}",
+                estimated.dim(),
+                exact.dim()
+            ),
+        });
+    }
+    Ok((&estimated.mean - &exact.mean).norm2())
+}
+
+/// Covariance estimation error `‖Σ_ESTI − Σ_EXACT‖_F` (Eq. 38).
+///
+/// # Errors
+///
+/// Returns [`BmfError::InvalidMoments`] for dimension mismatch.
+pub fn error_cov(estimated: &MomentEstimate, exact: &MomentEstimate) -> Result<f64> {
+    if estimated.dim() != exact.dim() {
+        return Err(BmfError::InvalidMoments {
+            reason: format!(
+                "estimated dimension {} != exact dimension {}",
+                estimated.dim(),
+                exact.dim()
+            ),
+        });
+    }
+    Ok((&estimated.cov - &exact.cov).norm_frobenius())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_linalg::{Matrix, Vector};
+
+    fn exact() -> MomentEstimate {
+        MomentEstimate {
+            mean: Vector::from_slice(&[1.0, 2.0]),
+            cov: Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn zero_error_for_identical_moments() {
+        let e = exact();
+        assert_eq!(error_mean(&e, &e).unwrap(), 0.0);
+        assert_eq!(error_cov(&e, &e).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_norms() {
+        let est = MomentEstimate {
+            mean: Vector::from_slice(&[4.0, 6.0]),
+            cov: Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        };
+        // mean diff = (3, 4) → 5; cov diff = [[1,1],[1,0]] → sqrt(3)
+        assert!((error_mean(&est, &exact()).unwrap() - 5.0).abs() < 1e-12);
+        assert!((error_cov(&est, &exact()).unwrap() - 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let three = MomentEstimate {
+            mean: Vector::zeros(3),
+            cov: Matrix::identity(3),
+        };
+        assert!(error_mean(&three, &exact()).is_err());
+        assert!(error_cov(&three, &exact()).is_err());
+    }
+
+    #[test]
+    fn errors_are_symmetric_in_arguments() {
+        let est = MomentEstimate {
+            mean: Vector::from_slice(&[0.0, 0.0]),
+            cov: Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 3.0]]).unwrap(),
+        };
+        assert_eq!(
+            error_mean(&est, &exact()).unwrap(),
+            error_mean(&exact(), &est).unwrap()
+        );
+        assert_eq!(
+            error_cov(&est, &exact()).unwrap(),
+            error_cov(&exact(), &est).unwrap()
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Maximum-a-posteriori moment estimation (§3.3) — the core of the paper.
+
+use crate::prior::NormalWishartPrior;
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::{Matrix, Vector};
+use bmf_stats::{descriptive, MultivariateStudentT};
+use serde::{Deserialize, Serialize};
+
+/// Posterior hyper-parameters after observing `n` late-stage samples
+/// (paper Eq. 24–28): the posterior is again normal-Wishart with
+///
+/// * `μ_n = (κ₀ μ_E + n X̄)/(κ₀ + n)`
+/// * `T_n⁻¹ = (ν₀−d) Λ_E⁻¹ + S + κ₀n/(κ₀+n)(μ_E−X̄)(μ_E−X̄)ᵀ`
+/// * `ν_n = ν₀ + n`,  `κ_n = κ₀ + n`
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BmfPosterior {
+    /// Posterior location `μ_n`.
+    pub mu_n: Vector,
+    /// Posterior mean-confidence `κ_n`.
+    pub kappa_n: f64,
+    /// Posterior degrees of freedom `ν_n`.
+    pub nu_n: f64,
+    /// Posterior inverse scale `T_n⁻¹` (kept inverted: that is the form
+    /// the MAP covariance of Eq. 32 divides).
+    pub t_n_inv: Matrix,
+}
+
+/// The complete output of one BMF estimation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BmfEstimate {
+    /// MAP point estimate `(μ_MAP, Σ_MAP)` (Eq. 31–32).
+    pub map: MomentEstimate,
+    /// Full posterior hyper-parameters for downstream Bayesian use.
+    pub posterior: BmfPosterior,
+}
+
+impl BmfEstimate {
+    /// The posterior as a [`bmf_stats::NormalWishart`] distribution
+    /// (Eq. 23: the posterior stays in the conjugate family), enabling
+    /// full-Bayes uses beyond the MAP point estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::Linalg`] when `T_n` cannot be formed
+    /// (numerically degenerate posterior — unreachable for valid input).
+    pub fn posterior_distribution(&self) -> Result<bmf_stats::NormalWishart> {
+        let t_n = bmf_linalg::Cholesky::new(&self.posterior.t_n_inv)?.inverse()?;
+        Ok(bmf_stats::NormalWishart::new(
+            self.posterior.mu_n.clone(),
+            self.posterior.kappa_n,
+            self.posterior.nu_n,
+            t_n,
+        )?)
+    }
+
+    /// Draws `n` posterior samples of `(μ, Σ)` — e.g. to attach credible
+    /// intervals to derived quantities such as yield.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posterior-construction and sampling failures.
+    pub fn sample_posterior<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+    ) -> Result<Vec<MomentEstimate>> {
+        let posterior = self.posterior_distribution()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (mu, lambda) = posterior.sample(rng)?;
+            let sigma = bmf_linalg::Cholesky::new(&lambda)?.inverse()?;
+            out.push(MomentEstimate {
+                mean: mu,
+                cov: sigma,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Posterior-predictive distribution of the next late-stage sample —
+    /// a multivariate Student-t (textbook consequence of the conjugate
+    /// model), useful for credible intervals:
+    ///
+    /// `X_{n+1} ~ t_{ν_n−d+1}(μ_n, T_n⁻¹ (κ_n+1)/(κ_n (ν_n−d+1)))`
+    ///
+    /// # Errors
+    ///
+    /// Propagates scale-matrix factorisation failures.
+    pub fn predictive(&self) -> Result<MultivariateStudentT> {
+        let d = self.map.mean.len() as f64;
+        let dof = self.posterior.nu_n - d + 1.0;
+        let scale = &self.posterior.t_n_inv
+            * ((self.posterior.kappa_n + 1.0) / (self.posterior.kappa_n * dof));
+        Ok(MultivariateStudentT::new(
+            self.posterior.mu_n.clone(),
+            scale,
+            dof,
+        )?)
+    }
+}
+
+/// The BMF MAP estimator: fuses a [`NormalWishartPrior`] with few
+/// late-stage samples.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::map::BmfEstimator;
+/// use bmf_core::prior::NormalWishartPrior;
+/// use bmf_core::MomentEstimate;
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let early = MomentEstimate {
+///     mean: Vector::zeros(2),
+///     cov: Matrix::identity(2),
+/// };
+/// let prior = NormalWishartPrior::from_early_moments(&early, 10.0, 50.0)?;
+/// let samples = Matrix::from_rows(&[&[0.2, 0.1], &[-0.1, 0.3]]).unwrap();
+/// let estimate = BmfEstimator::new(prior)?.estimate(&samples)?;
+/// // With κ₀ ≫ n the estimate hugs the prior mean.
+/// assert!(estimate.map.mean.norm2() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BmfEstimator {
+    prior: NormalWishartPrior,
+}
+
+impl BmfEstimator {
+    /// Creates an estimator from a validated prior.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a constructed prior; kept fallible so the
+    /// constructor can add cross-checks without a breaking change.
+    pub fn new(prior: NormalWishartPrior) -> Result<Self> {
+        Ok(BmfEstimator { prior })
+    }
+
+    /// The prior this estimator fuses with.
+    pub fn prior(&self) -> &NormalWishartPrior {
+        &self.prior
+    }
+
+    /// Runs MAP estimation on an `n × d` late-stage sample matrix
+    /// (Algorithm 1, steps 2 and 4).
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::InvalidSamples`] for an empty/mismatched/non-finite
+    ///   matrix.
+    /// * [`BmfError::Linalg`] if the posterior covariance is numerically
+    ///   broken (cannot happen for valid input: the prior term keeps Eq. 32
+    ///   positive definite).
+    pub fn estimate(&self, samples: &Matrix) -> Result<BmfEstimate> {
+        let d = self.prior.dim();
+        let n = samples.nrows();
+        if n == 0 {
+            return Err(BmfError::InvalidSamples {
+                reason: "need at least one late-stage sample".to_string(),
+            });
+        }
+        if samples.ncols() != d {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "samples have {} columns but prior is {d}-dimensional",
+                    samples.ncols()
+                ),
+            });
+        }
+        if !samples.is_finite() {
+            return Err(BmfError::InvalidSamples {
+                reason: "sample matrix contains non-finite entries".to_string(),
+            });
+        }
+
+        let kappa0 = self.prior.kappa0();
+        let nu0 = self.prior.nu0();
+        let mu_e = self.prior.mu0();
+        let nf = n as f64;
+        let df = d as f64;
+
+        // Step 2: sample mean X̄.
+        let xbar = descriptive::mean_vector(samples)?;
+
+        // Eq. 24: posterior location.
+        let mu_n = (&(mu_e * kappa0) + &(&xbar * nf)) / (kappa0 + nf);
+
+        // Eq. 26: scatter about X̄.
+        let s = descriptive::scatter_about(samples, &xbar)?;
+
+        // Eq. 25: T_n⁻¹ = (ν₀−d) Σ_E + S + κ₀n/(κ₀+n) (μ_E−X̄)(μ_E−X̄)ᵀ
+        // (note (ν₀−d) Λ_E⁻¹ = (ν₀−d) Σ_E).
+        let diff = mu_e - &xbar;
+        let mut t_n_inv = self.prior.sigma_e() * (nu0 - df);
+        t_n_inv += &s;
+        t_n_inv += &(&Matrix::outer(&diff) * (kappa0 * nf / (kappa0 + nf)));
+        t_n_inv.symmetrize()?;
+
+        // Eq. 27–28.
+        let nu_n = nu0 + nf;
+        let kappa_n = kappa0 + nf;
+
+        // Eq. 31–32: MAP point estimates.
+        let sigma_map = &t_n_inv / (nu0 + nf - df);
+        let map = MomentEstimate {
+            mean: mu_n.clone(),
+            cov: sigma_map,
+        };
+        map.validate()?;
+
+        Ok(BmfEstimate {
+            map,
+            posterior: BmfPosterior {
+                mu_n,
+                kappa_n,
+                nu_n,
+                t_n_inv,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mle::MleEstimator;
+    use bmf_stats::MultivariateNormal;
+    use rand::SeedableRng;
+
+    fn early() -> MomentEstimate {
+        MomentEstimate {
+            mean: Vector::from_slice(&[1.0, -1.0]),
+            cov: Matrix::from_rows(&[&[2.0, 0.6], &[0.6, 1.0]]).unwrap(),
+        }
+    }
+
+    fn samples() -> Matrix {
+        Matrix::from_rows(&[&[1.2, -0.8], &[0.9, -1.1], &[1.4, -0.9], &[0.8, -1.3]]).unwrap()
+    }
+
+    #[test]
+    fn map_mean_is_convex_combination() {
+        // Eq. 31: μ_MAP lies between μ_E and X̄, weighted by κ₀ vs n.
+        let prior = NormalWishartPrior::from_early_moments(&early(), 4.0, 10.0).unwrap();
+        let est = BmfEstimator::new(prior)
+            .unwrap()
+            .estimate(&samples())
+            .unwrap();
+        let xbar = descriptive::mean_vector(&samples()).unwrap();
+        let expected = (&(&early().mean * 4.0) + &(&xbar * 4.0)) / 8.0;
+        assert!((&est.map.mean - &expected).norm2() < 1e-12);
+    }
+
+    #[test]
+    fn reduces_to_mle_in_the_uninformative_limit() {
+        // Paper Eq. 34/36: κ₀ → 0 and ν₀ → d recover the MLE estimates.
+        let prior = NormalWishartPrior::from_early_moments(&early(), 1e-9, 2.0 + 1e-9).unwrap();
+        let bmf = BmfEstimator::new(prior)
+            .unwrap()
+            .estimate(&samples())
+            .unwrap();
+        let mle = MleEstimator::new().estimate(&samples()).unwrap();
+        assert!((&bmf.map.mean - &mle.mean).norm2() < 1e-6);
+        assert!(bmf.map.cov.max_abs_diff(&mle.cov).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn reduces_to_prior_in_the_dogmatic_limit() {
+        // Paper Eq. 33/35: large κ₀, ν₀ pin the estimate to the prior.
+        let prior = NormalWishartPrior::from_early_moments(&early(), 1e9, 1e9).unwrap();
+        let bmf = BmfEstimator::new(prior)
+            .unwrap()
+            .estimate(&samples())
+            .unwrap();
+        assert!((&bmf.map.mean - &early().mean).norm2() < 1e-6);
+        assert!(bmf.map.cov.max_abs_diff(&early().cov).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn posterior_counts_accumulate() {
+        let prior = NormalWishartPrior::from_early_moments(&early(), 3.0, 7.0).unwrap();
+        let est = BmfEstimator::new(prior)
+            .unwrap()
+            .estimate(&samples())
+            .unwrap();
+        assert_eq!(est.posterior.kappa_n, 7.0); // 3 + 4
+        assert_eq!(est.posterior.nu_n, 11.0); // 7 + 4
+    }
+
+    #[test]
+    fn map_covariance_is_spd() {
+        // Even with n = 1 (rank-0 scatter) the prior term keeps Σ_MAP SPD.
+        let prior = NormalWishartPrior::from_early_moments(&early(), 1.0, 3.0).unwrap();
+        let one = Matrix::from_rows(&[&[5.0, 5.0]]).unwrap();
+        let est = BmfEstimator::new(prior).unwrap().estimate(&one).unwrap();
+        assert!(bmf_linalg::Cholesky::new(&est.map.cov).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_samples() {
+        let prior = NormalWishartPrior::from_early_moments(&early(), 1.0, 5.0).unwrap();
+        let est = BmfEstimator::new(prior).unwrap();
+        assert!(est.estimate(&Matrix::zeros(0, 2)).is_err());
+        assert!(est.estimate(&Matrix::zeros(3, 3)).is_err());
+        let mut nan = Matrix::zeros(2, 2);
+        nan[(1, 1)] = f64::NAN;
+        assert!(est.estimate(&nan).is_err());
+    }
+
+    #[test]
+    fn posterior_concentrates_with_data() {
+        // As n grows, the MAP estimate converges to the data-generating
+        // moments even with a wrong prior.
+        let truth = MultivariateNormal::new(
+            Vector::from_slice(&[3.0, 3.0]),
+            Matrix::from_rows(&[&[0.5, 0.1], &[0.1, 0.5]]).unwrap(),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let prior = NormalWishartPrior::from_early_moments(&early(), 5.0, 20.0).unwrap();
+        let estimator = BmfEstimator::new(prior).unwrap();
+
+        let big = truth.sample_matrix(&mut rng, 20_000);
+        let est = estimator.estimate(&big).unwrap();
+        assert!((&est.map.mean - truth.mean()).norm2() < 0.05);
+        assert!(est.map.cov.max_abs_diff(truth.cov()).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn predictive_is_student_t_centred_on_mu_n() {
+        let prior = NormalWishartPrior::from_early_moments(&early(), 2.0, 10.0).unwrap();
+        let est = BmfEstimator::new(prior)
+            .unwrap()
+            .estimate(&samples())
+            .unwrap();
+        let pred = est.predictive().unwrap();
+        assert!((pred.location() - &est.posterior.mu_n).norm2() < 1e-12);
+        // dof = ν_n − d + 1 = (10+4) − 2 + 1 = 13
+        assert!((pred.dof() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_samples_concentrate_around_map() {
+        use rand::SeedableRng;
+        let prior = NormalWishartPrior::from_early_moments(&early(), 2.0, 10.0).unwrap();
+        let est = BmfEstimator::new(prior)
+            .unwrap()
+            .estimate(&samples())
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let draws = est.sample_posterior(&mut rng, 400).unwrap();
+        assert_eq!(draws.len(), 400);
+        // Posterior mean of μ equals μ_n (exactly, in expectation).
+        let mut acc = Vector::zeros(2);
+        for d in &draws {
+            acc += &d.mean;
+            assert!(bmf_linalg::Cholesky::new(&d.cov).is_ok());
+        }
+        acc *= 1.0 / 400.0;
+        assert!(
+            (&acc - &est.posterior.mu_n).norm2() < 0.15,
+            "mean of draws {acc}"
+        );
+
+        // The conjugate structure is exposed faithfully.
+        let dist = est.posterior_distribution().unwrap();
+        assert_eq!(dist.kappa0(), est.posterior.kappa_n);
+        assert_eq!(dist.nu0(), est.posterior.nu_n);
+    }
+
+    #[test]
+    fn map_interpolates_between_limits_monotonically() {
+        // Increasing κ₀ pulls μ_MAP monotonically towards μ_E.
+        let xbar = descriptive::mean_vector(&samples()).unwrap();
+        let mut prev_dist_to_prior = (&xbar - &early().mean).norm2();
+        for &kappa in &[0.5, 2.0, 8.0, 32.0, 128.0] {
+            let prior = NormalWishartPrior::from_early_moments(&early(), kappa, 10.0).unwrap();
+            let est = BmfEstimator::new(prior)
+                .unwrap()
+                .estimate(&samples())
+                .unwrap();
+            let dist = (&est.map.mean - &early().mean).norm2();
+            assert!(dist < prev_dist_to_prior + 1e-12);
+            prev_dist_to_prior = dist;
+        }
+    }
+}

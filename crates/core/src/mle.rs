@@ -1,0 +1,125 @@
+//! Maximum-likelihood moment estimation — the paper's baseline (Eq. 10–11).
+
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::Matrix;
+use bmf_stats::descriptive;
+
+/// The traditional MLE estimator: sample mean and biased sample covariance.
+///
+/// * `μ_MLE = (1/n) Σ Xᵢ` (Eq. 10)
+/// * `Σ_MLE = (1/n) Σ (Xᵢ − μ)(Xᵢ − μ)ᵀ` (Eq. 11)
+///
+/// This is the method BMF is benchmarked against: unbiased asymptotically
+/// but very noisy at the tiny sample sizes the paper targets.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::mle::MleEstimator;
+/// use bmf_linalg::Matrix;
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let samples = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// let est = MleEstimator::new().estimate(&samples)?;
+/// assert_eq!(est.mean.as_slice(), &[2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MleEstimator;
+
+impl MleEstimator {
+    /// Creates the estimator (stateless).
+    pub fn new() -> Self {
+        MleEstimator
+    }
+
+    /// Estimates the moments of an `n × d` sample matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for an empty matrix or
+    /// non-finite entries.
+    pub fn estimate(&self, samples: &Matrix) -> Result<MomentEstimate> {
+        if samples.nrows() == 0 || samples.ncols() == 0 {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "need at least one sample and one metric, got {}x{}",
+                    samples.nrows(),
+                    samples.ncols()
+                ),
+            });
+        }
+        if !samples.is_finite() {
+            return Err(BmfError::InvalidSamples {
+                reason: "sample matrix contains non-finite entries".to_string(),
+            });
+        }
+        let mean = descriptive::mean_vector(samples)?;
+        let cov = descriptive::covariance_mle(samples)?;
+        let est = MomentEstimate { mean, cov };
+        est.validate()?;
+        Ok(est)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_linalg::Vector;
+    use bmf_stats::MultivariateNormal;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_hand_computation() {
+        let samples = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0], &[5.0, 4.0]]).unwrap();
+        let est = MleEstimator::new().estimate(&samples).unwrap();
+        assert_eq!(est.mean.as_slice(), &[3.0, 4.0]);
+        // biased covariance = scatter/3 = [[8/3, 4/3], [4/3, 8/3]]
+        assert!((est.cov[(0, 0)] - 8.0 / 3.0).abs() < 1e-14);
+        assert!((est.cov[(0, 1)] - 4.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn single_sample_gives_zero_covariance() {
+        let samples = Matrix::from_rows(&[&[7.0, -2.0]]).unwrap();
+        let est = MleEstimator::new().estimate(&samples).unwrap();
+        assert_eq!(est.mean.as_slice(), &[7.0, -2.0]);
+        assert_eq!(est.cov, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mle = MleEstimator::new();
+        assert!(mle.estimate(&Matrix::zeros(0, 2)).is_err());
+        let mut nan = Matrix::zeros(2, 2);
+        nan[(0, 0)] = f64::NAN;
+        assert!(mle.estimate(&nan).is_err());
+    }
+
+    #[test]
+    fn error_shrinks_with_sample_count() {
+        let truth = MultivariateNormal::new(
+            Vector::from_slice(&[1.0, -1.0, 0.5]),
+            Matrix::from_rows(&[&[1.0, 0.3, 0.1], &[0.3, 2.0, 0.4], &[0.1, 0.4, 1.5]]).unwrap(),
+        )
+        .unwrap();
+        let mle = MleEstimator::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let reps = 40;
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        for _ in 0..reps {
+            let s = truth.sample_matrix(&mut rng, 8);
+            err_small += (&mle.estimate(&s).unwrap().mean - truth.mean()).norm2();
+            let s = truth.sample_matrix(&mut rng, 512);
+            err_large += (&mle.estimate(&s).unwrap().mean - truth.mean()).norm2();
+        }
+        // ~n^{-1/2} scaling: 64× the samples → ~8× smaller error.
+        assert!(
+            err_small / err_large > 4.0,
+            "ratio = {}",
+            err_small / err_large
+        );
+    }
+}

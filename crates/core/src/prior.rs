@@ -1,0 +1,222 @@
+//! Normal-Wishart prior construction from early-stage moments (§3.2).
+
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::{Cholesky, Matrix, Vector};
+use bmf_stats::NormalWishart;
+use serde::{Deserialize, Serialize};
+
+/// The BMF prior: a normal-Wishart distribution anchored on early-stage
+/// moments.
+///
+/// The paper sets the hyper-parameters so that the prior **mode** coincides
+/// with the early-stage knowledge (Eq. 17–20):
+///
+/// * `μ₀ = μ_E`
+/// * `T₀ = Λ_E / (ν₀ − d)`   so that   `Λ_M = (ν₀ − d) T₀ = Λ_E`
+///
+/// leaving only the two confidence scalars `(κ₀, ν₀)` free; they are chosen
+/// by cross-validation ([`crate::cv`]).
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::prior::NormalWishartPrior;
+/// use bmf_core::MomentEstimate;
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let early = MomentEstimate {
+///     mean: Vector::from_slice(&[1.0, 2.0]),
+///     cov: Matrix::from_rows(&[&[1.0, 0.2], &[0.2, 0.5]]).unwrap(),
+/// };
+/// let prior = NormalWishartPrior::from_early_moments(&early, 5.0, 20.0)?;
+/// let (mu_mode, sigma_mode) = prior.mode_moments()?;
+/// // The prior mode reproduces the early-stage moments exactly.
+/// assert!((&mu_mode - &early.mean).norm2() < 1e-12);
+/// assert!(sigma_mode.max_abs_diff(&early.cov).unwrap() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NormalWishartPrior {
+    mu0: Vector,
+    kappa0: f64,
+    nu0: f64,
+    /// Early-stage covariance `Σ_E` (kept, since the MAP update uses it
+    /// directly via Eq. 32).
+    sigma_e: Matrix,
+}
+
+impl NormalWishartPrior {
+    /// Builds the prior from early-stage moments and confidence
+    /// hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::InvalidHyperParameter`] when `κ₀ <= 0` or `ν₀ <= d`.
+    /// * [`BmfError::InvalidMoments`] when the early moments are malformed.
+    /// * [`BmfError::Linalg`] when `Σ_E` is not positive definite.
+    pub fn from_early_moments(early: &MomentEstimate, kappa0: f64, nu0: f64) -> Result<Self> {
+        early.validate()?;
+        let d = early.dim() as f64;
+        if !(kappa0 > 0.0) || !kappa0.is_finite() {
+            return Err(BmfError::InvalidHyperParameter {
+                name: "kappa0",
+                value: kappa0,
+                constraint: "kappa0 > 0 and finite".to_string(),
+            });
+        }
+        if !(nu0 > d) || !nu0.is_finite() {
+            return Err(BmfError::InvalidHyperParameter {
+                name: "nu0",
+                value: nu0,
+                constraint: format!("nu0 > d = {d} (T0 = Λ_E/(ν0−d) must be positive)"),
+            });
+        }
+        // Verify Σ_E is SPD now so estimation can't fail later.
+        Cholesky::new(&early.cov)?;
+        Ok(NormalWishartPrior {
+            mu0: early.mean.clone(),
+            kappa0,
+            nu0,
+            sigma_e: early.cov.clone(),
+        })
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.mu0.len()
+    }
+
+    /// Location hyper-parameter `μ₀` (= early-stage mean).
+    pub fn mu0(&self) -> &Vector {
+        &self.mu0
+    }
+
+    /// Mean-confidence hyper-parameter `κ₀`.
+    pub fn kappa0(&self) -> f64 {
+        self.kappa0
+    }
+
+    /// Covariance-confidence hyper-parameter `ν₀`.
+    pub fn nu0(&self) -> f64 {
+        self.nu0
+    }
+
+    /// Early-stage covariance `Σ_E`.
+    pub fn sigma_e(&self) -> &Matrix {
+        &self.sigma_e
+    }
+
+    /// Wishart scale matrix `T₀ = Λ_E / (ν₀ − d)` (Eq. 20).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (already verified) SPD inversion.
+    pub fn t0(&self) -> Result<Matrix> {
+        let d = self.dim() as f64;
+        let lambda_e = Cholesky::new(&self.sigma_e)?.inverse()?;
+        Ok(&lambda_e / (self.nu0 - d))
+    }
+
+    /// The prior mode expressed as moments `(μ_M, Σ_M)` — by construction
+    /// the early-stage moments (Eq. 15–18).
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix inversion failures.
+    pub fn mode_moments(&self) -> Result<(Vector, Matrix)> {
+        // Λ_M = (ν₀ − d) T₀ = Λ_E  ⇒  Σ_M = Σ_E.
+        Ok((self.mu0.clone(), self.sigma_e.clone()))
+    }
+
+    /// Converts to the generic [`NormalWishart`] distribution from
+    /// `bmf-stats` (for sampling from the prior or evaluating its density).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures (unreachable for validated
+    /// hyper-parameters).
+    pub fn to_normal_wishart(&self) -> Result<NormalWishart> {
+        Ok(NormalWishart::new(
+            self.mu0.clone(),
+            self.kappa0,
+            self.nu0,
+            self.t0()?,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn early() -> MomentEstimate {
+        MomentEstimate {
+            mean: Vector::from_slice(&[1.0, -2.0]),
+            cov: Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn construction_validates_hyper_parameters() {
+        let e = early();
+        assert!(NormalWishartPrior::from_early_moments(&e, 0.0, 10.0).is_err());
+        assert!(NormalWishartPrior::from_early_moments(&e, -1.0, 10.0).is_err());
+        assert!(NormalWishartPrior::from_early_moments(&e, 1.0, 2.0).is_err()); // nu0 <= d
+        assert!(NormalWishartPrior::from_early_moments(&e, 1.0, f64::NAN).is_err());
+        assert!(NormalWishartPrior::from_early_moments(&e, 1.0, 2.1).is_ok());
+    }
+
+    #[test]
+    fn construction_rejects_bad_moments() {
+        let bad = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(), // indefinite
+        };
+        assert!(NormalWishartPrior::from_early_moments(&bad, 1.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn t0_satisfies_equation_20() {
+        let e = early();
+        let prior = NormalWishartPrior::from_early_moments(&e, 3.0, 12.0).unwrap();
+        let t0 = prior.t0().unwrap();
+        // (ν₀ − d) T₀ = Λ_E  ⇔  (ν₀ − d) T₀ Σ_E = I
+        let prod = (&t0 * (12.0 - 2.0)).mat_mul(&e.cov).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn mode_is_early_moments() {
+        let e = early();
+        let prior = NormalWishartPrior::from_early_moments(&e, 7.0, 30.0).unwrap();
+        let (mu, sigma) = prior.mode_moments().unwrap();
+        assert_eq!(mu, e.mean);
+        assert_eq!(sigma, e.cov);
+    }
+
+    #[test]
+    fn converts_to_normal_wishart_with_matching_mode() {
+        let e = early();
+        let prior = NormalWishartPrior::from_early_moments(&e, 2.0, 9.0).unwrap();
+        let nw = prior.to_normal_wishart().unwrap();
+        assert_eq!(nw.kappa0(), 2.0);
+        assert_eq!(nw.nu0(), 9.0);
+        // Mode of Λ in the joint density is (ν₀−d)T₀ = Λ_E.
+        let (_, lambda_mode) = nw.mode();
+        let sigma_mode = Cholesky::new(&lambda_mode).unwrap().inverse().unwrap();
+        assert!(sigma_mode.max_abs_diff(&e.cov).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = early();
+        let prior = NormalWishartPrior::from_early_moments(&e, 2.5, 8.0).unwrap();
+        assert_eq!(prior.dim(), 2);
+        assert_eq!(prior.kappa0(), 2.5);
+        assert_eq!(prior.nu0(), 8.0);
+        assert_eq!(prior.mu0(), &e.mean);
+        assert_eq!(prior.sigma_e(), &e.cov);
+    }
+}

@@ -1,0 +1,279 @@
+//! Sequential (streaming) BMF updating.
+//!
+//! In the paper's post-silicon setting, late-stage samples arrive one die
+//! at a time from the tester. Conjugacy makes streaming exact: the
+//! normal-Wishart posterior after `n` samples, used as the prior for
+//! sample `n+1`, yields the same posterior as batching all `n+1` samples —
+//! so a validation flow can keep a single running [`SequentialBmf`]
+//! updated per measurement and read the current MAP moments at any point
+//! (e.g. to decide when enough silicon has been measured).
+//!
+//! Internally the updater maintains the sufficient statistics in the
+//! numerically friendly form `(κ, ν, μ, T⁻¹)` and applies the rank-one
+//! conjugate update
+//!
+//! * `κ ← κ + 1`, `ν ← ν + 1`
+//! * `μ ← (κμ + x)/(κ + 1)`
+//! * `T⁻¹ ← T⁻¹ + κ/(κ+1) · (x − μ_old)(x − μ_old)ᵀ`
+//!
+//! which is Eq. 24–28 specialised to `n = 1` and then chained.
+
+use crate::map::{BmfEstimate, BmfPosterior};
+use crate::prior::NormalWishartPrior;
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// A streaming BMF estimator: observe late-stage samples one at a time and
+/// read the MAP moment estimate at any point.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::prior::NormalWishartPrior;
+/// use bmf_core::sequential::SequentialBmf;
+/// use bmf_core::MomentEstimate;
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let early = MomentEstimate { mean: Vector::zeros(2), cov: Matrix::identity(2) };
+/// let prior = NormalWishartPrior::from_early_moments(&early, 4.0, 12.0)?;
+/// let mut seq = SequentialBmf::new(prior)?;
+/// seq.observe(&Vector::from_slice(&[0.4, -0.2]))?;
+/// seq.observe(&Vector::from_slice(&[0.1, 0.3]))?;
+/// let estimate = seq.estimate()?;
+/// assert_eq!(estimate.map.mean.len(), 2);
+/// assert_eq!(seq.observed(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequentialBmf {
+    dim: usize,
+    kappa: f64,
+    nu: f64,
+    mu: Vector,
+    t_inv: Matrix,
+    observed: usize,
+}
+
+impl SequentialBmf {
+    /// Starts a stream from a validated prior (zero samples observed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `T₀⁻¹` formation failures (unreachable for a validated
+    /// prior).
+    pub fn new(prior: NormalWishartPrior) -> Result<Self> {
+        let d = prior.dim() as f64;
+        // T₀⁻¹ = (ν₀ − d) Σ_E, per Eq. 20/25.
+        let t_inv = prior.sigma_e() * (prior.nu0() - d);
+        Ok(SequentialBmf {
+            dim: prior.dim(),
+            kappa: prior.kappa0(),
+            nu: prior.nu0(),
+            mu: prior.mu0().clone(),
+            t_inv,
+            observed: 0,
+        })
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of samples observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Incorporates one late-stage sample (rank-one conjugate update).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for a wrong-length or
+    /// non-finite sample.
+    pub fn observe(&mut self, x: &Vector) -> Result<()> {
+        if x.len() != self.dim {
+            return Err(BmfError::InvalidSamples {
+                reason: format!("sample has length {}, expected {}", x.len(), self.dim),
+            });
+        }
+        if !x.is_finite() {
+            return Err(BmfError::InvalidSamples {
+                reason: "sample contains non-finite values".to_string(),
+            });
+        }
+        let diff = x - &self.mu;
+        let weight = self.kappa / (self.kappa + 1.0);
+        self.t_inv.axpy(weight, &Matrix::outer(&diff))?;
+        self.mu = (&(&self.mu * self.kappa) + x) / (self.kappa + 1.0);
+        self.kappa += 1.0;
+        self.nu += 1.0;
+        self.observed += 1;
+        Ok(())
+    }
+
+    /// Incorporates every row of an `n × d` sample matrix, in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`SequentialBmf::observe`]; on error, samples before the failing
+    /// row remain incorporated.
+    pub fn observe_all(&mut self, samples: &Matrix) -> Result<()> {
+        for i in 0..samples.nrows() {
+            self.observe(&samples.row_vec(i))?;
+        }
+        Ok(())
+    }
+
+    /// The current estimate — identical to a batch
+    /// [`crate::map::BmfEstimator`] run on all observed samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::InvalidSamples`] before the first observation (the
+    ///   paper's MAP needs `n ≥ 1`; read the prior mode instead).
+    /// * Propagates validation failures (unreachable for valid updates).
+    pub fn estimate(&self) -> Result<BmfEstimate> {
+        if self.observed == 0 {
+            return Err(BmfError::InvalidSamples {
+                reason: "no samples observed yet; the prior mode is the only estimate"
+                    .to_string(),
+            });
+        }
+        let d = self.dim as f64;
+        let mut sigma = &self.t_inv / (self.nu - d);
+        sigma.symmetrize()?;
+        let map = MomentEstimate {
+            mean: self.mu.clone(),
+            cov: sigma,
+        };
+        map.validate()?;
+        Ok(BmfEstimate {
+            map,
+            posterior: BmfPosterior {
+                mu_n: self.mu.clone(),
+                kappa_n: self.kappa,
+                nu_n: self.nu,
+                t_n_inv: self.t_inv.clone(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::BmfEstimator;
+    use bmf_stats::MultivariateNormal;
+    use rand::SeedableRng;
+
+    fn early() -> MomentEstimate {
+        MomentEstimate {
+            mean: Vector::from_slice(&[1.0, -1.0]),
+            cov: Matrix::from_rows(&[&[2.0, 0.6], &[0.6, 1.0]]).unwrap(),
+        }
+    }
+
+    fn prior() -> NormalWishartPrior {
+        NormalWishartPrior::from_early_moments(&early(), 3.0, 9.0).unwrap()
+    }
+
+    #[test]
+    fn sequential_matches_batch_exactly() {
+        let truth = MultivariateNormal::new(
+            Vector::from_slice(&[0.8, -0.7]),
+            Matrix::from_rows(&[&[1.5, 0.4], &[0.4, 0.9]]).unwrap(),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for n in [1usize, 2, 5, 17, 64] {
+            let samples = truth.sample_matrix(&mut rng, n);
+            let batch = BmfEstimator::new(prior()).unwrap().estimate(&samples).unwrap();
+            let mut seq = SequentialBmf::new(prior()).unwrap();
+            seq.observe_all(&samples).unwrap();
+            let streaming = seq.estimate().unwrap();
+            assert!(
+                (&streaming.map.mean - &batch.map.mean).norm2() < 1e-10,
+                "n = {n}: means diverge"
+            );
+            assert!(
+                streaming.map.cov.max_abs_diff(&batch.map.cov).unwrap() < 1e-10,
+                "n = {n}: covariances diverge"
+            );
+            assert_eq!(streaming.posterior.kappa_n, batch.posterior.kappa_n);
+            assert_eq!(streaming.posterior.nu_n, batch.posterior.nu_n);
+            assert!(
+                streaming
+                    .posterior
+                    .t_n_inv
+                    .max_abs_diff(&batch.posterior.t_n_inv)
+                    .unwrap()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn order_of_observation_is_irrelevant() {
+        // Exchangeability: any permutation of the same samples gives the
+        // same posterior.
+        let samples = [
+            Vector::from_slice(&[0.1, 0.2]),
+            Vector::from_slice(&[-0.4, 0.9]),
+            Vector::from_slice(&[1.2, -0.3]),
+            Vector::from_slice(&[0.5, 0.5]),
+        ];
+        let mut forward = SequentialBmf::new(prior()).unwrap();
+        for s in &samples {
+            forward.observe(s).unwrap();
+        }
+        let mut backward = SequentialBmf::new(prior()).unwrap();
+        for s in samples.iter().rev() {
+            backward.observe(s).unwrap();
+        }
+        let f = forward.estimate().unwrap();
+        let b = backward.estimate().unwrap();
+        assert!((&f.map.mean - &b.map.mean).norm2() < 1e-12);
+        assert!(f.map.cov.max_abs_diff(&b.map.cov).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn validates_input_and_state() {
+        let mut seq = SequentialBmf::new(prior()).unwrap();
+        assert!(seq.estimate().is_err()); // nothing observed
+        assert!(seq.observe(&Vector::zeros(3)).is_err());
+        assert!(seq
+            .observe(&Vector::from_slice(&[1.0, f64::NAN]))
+            .is_err());
+        assert_eq!(seq.observed(), 0);
+        assert_eq!(seq.dim(), 2);
+        seq.observe(&Vector::zeros(2)).unwrap();
+        assert_eq!(seq.observed(), 1);
+        assert!(seq.estimate().is_ok());
+    }
+
+    #[test]
+    fn streaming_converges_to_data_moments() {
+        let truth = MultivariateNormal::new(
+            Vector::from_slice(&[4.0, 4.0]),
+            Matrix::from_rows(&[&[0.5, 0.2], &[0.2, 0.8]]).unwrap(),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut seq = SequentialBmf::new(prior()).unwrap();
+        // Error to truth must shrink as the stream progresses.
+        let mut checkpoints = Vec::new();
+        for i in 0..2000 {
+            seq.observe(&truth.sample(&mut rng)).unwrap();
+            if [10usize, 100, 2000].contains(&(i + 1)) {
+                let est = seq.estimate().unwrap();
+                checkpoints.push((&est.map.mean - truth.mean()).norm2());
+            }
+        }
+        assert!(checkpoints[0] > checkpoints[2], "{checkpoints:?}");
+        assert!(checkpoints[2] < 0.05);
+    }
+}

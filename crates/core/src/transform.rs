@@ -1,0 +1,324 @@
+//! Performance shift and scaling (§4.1).
+//!
+//! Early- and late-stage distributions of the same circuit share their
+//! *shape* but not their nominal operating point, and raw metrics span many
+//! orders of magnitude (gain in dB vs. power in watts). Before fusing, the
+//! paper therefore:
+//!
+//! 1. **shifts** each stage's data by that stage's nominal performance
+//!    `P_NOM` (measured with a single variation-free run), and
+//! 2. **scales** both stages by the early stage's per-dimension standard
+//!    deviation,
+//!
+//! producing origin-centred, near-isotropic distributions (paper Fig. 1).
+//! Estimation errors (Eq. 37–38) are evaluated in this normalised space so
+//! no metric's error is drowned out by another's units.
+
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// An affine per-dimension transform `y = (x − shift) / scale`.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::transform::ShiftScale;
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let t = ShiftScale::new(
+///     Vector::from_slice(&[100.0, 1e-3]),
+///     Vector::from_slice(&[10.0, 1e-4]),
+/// )?;
+/// let samples = Matrix::from_rows(&[&[110.0, 1.2e-3]]).unwrap();
+/// let normalised = t.apply_samples(&samples)?;
+/// assert!((normalised[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!((normalised[(0, 1)] - 2.0).abs() < 1e-12);
+/// let back = t.invert_samples(&normalised)?;
+/// assert!(back.max_abs_diff(&samples).unwrap() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftScale {
+    shift: Vector,
+    scale: Vector,
+}
+
+impl ShiftScale {
+    /// Creates a transform from explicit shift and scale vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidConfig`] for mismatched lengths or
+    /// non-positive/non-finite scales.
+    pub fn new(shift: Vector, scale: Vector) -> Result<Self> {
+        if shift.len() != scale.len() {
+            return Err(BmfError::InvalidConfig {
+                reason: format!(
+                    "shift has length {} but scale has length {}",
+                    shift.len(),
+                    scale.len()
+                ),
+            });
+        }
+        if shift.is_empty() {
+            return Err(BmfError::InvalidConfig {
+                reason: "transform must have at least one dimension".to_string(),
+            });
+        }
+        if !shift.is_finite() {
+            return Err(BmfError::InvalidConfig {
+                reason: "shift contains non-finite entries".to_string(),
+            });
+        }
+        for (i, &s) in scale.iter().enumerate() {
+            if !(s > 0.0) || !s.is_finite() {
+                return Err(BmfError::InvalidConfig {
+                    reason: format!("scale[{i}] = {s} must be positive and finite"),
+                });
+            }
+        }
+        Ok(ShiftScale { shift, scale })
+    }
+
+    /// Fits the paper's transform: shift = this stage's nominal
+    /// performance, scale = the early stage's per-dimension σ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShiftScale::new`] validation.
+    pub fn from_nominal_and_early_sd(nominal: &Vector, early_sd: &Vector) -> Result<Self> {
+        Self::new(nominal.clone(), early_sd.clone())
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.shift.len()
+    }
+
+    /// The shift vector.
+    pub fn shift(&self) -> &Vector {
+        &self.shift
+    }
+
+    /// The scale vector.
+    pub fn scale(&self) -> &Vector {
+        &self.scale
+    }
+
+    fn check_dim(&self, d: usize, what: &'static str) -> Result<()> {
+        if d != self.dim() {
+            return Err(BmfError::InvalidSamples {
+                reason: format!("{what} has dimension {d}, transform expects {}", self.dim()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Normalises one sample vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for a wrong-length vector.
+    pub fn apply_vector(&self, x: &Vector) -> Result<Vector> {
+        self.check_dim(x.len(), "vector")?;
+        Ok(Vector::from_fn(x.len(), |i| {
+            (x[i] - self.shift[i]) / self.scale[i]
+        }))
+    }
+
+    /// Maps a normalised vector back to raw units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for a wrong-length vector.
+    pub fn invert_vector(&self, y: &Vector) -> Result<Vector> {
+        self.check_dim(y.len(), "vector")?;
+        Ok(Vector::from_fn(y.len(), |i| {
+            y[i] * self.scale[i] + self.shift[i]
+        }))
+    }
+
+    /// Normalises an `n × d` sample matrix row-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for a wrong column count.
+    pub fn apply_samples(&self, samples: &Matrix) -> Result<Matrix> {
+        self.check_dim(samples.ncols(), "sample matrix")?;
+        Ok(Matrix::from_fn(samples.nrows(), samples.ncols(), |i, j| {
+            (samples[(i, j)] - self.shift[j]) / self.scale[j]
+        }))
+    }
+
+    /// Maps a normalised sample matrix back to raw units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for a wrong column count.
+    pub fn invert_samples(&self, samples: &Matrix) -> Result<Matrix> {
+        self.check_dim(samples.ncols(), "sample matrix")?;
+        Ok(Matrix::from_fn(samples.nrows(), samples.ncols(), |i, j| {
+            samples[(i, j)] * self.scale[j] + self.shift[j]
+        }))
+    }
+
+    /// Transforms moments into normalised space:
+    /// `μ' = (μ − shift)/scale`, `Σ'ᵢⱼ = Σᵢⱼ/(scaleᵢ scaleⱼ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidMoments`]/[`BmfError::InvalidSamples`] on
+    /// malformed input.
+    pub fn apply_moments(&self, m: &MomentEstimate) -> Result<MomentEstimate> {
+        m.validate()?;
+        self.check_dim(m.dim(), "moments")?;
+        let mean = self.apply_vector(&m.mean)?;
+        let cov = Matrix::from_fn(m.dim(), m.dim(), |i, j| {
+            m.cov[(i, j)] / (self.scale[i] * self.scale[j])
+        });
+        Ok(MomentEstimate { mean, cov })
+    }
+
+    /// Maps normalised moments back to raw units (inverse of
+    /// [`Self::apply_moments`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidMoments`]/[`BmfError::InvalidSamples`] on
+    /// malformed input.
+    pub fn invert_moments(&self, m: &MomentEstimate) -> Result<MomentEstimate> {
+        m.validate()?;
+        self.check_dim(m.dim(), "moments")?;
+        let mean = self.invert_vector(&m.mean)?;
+        let cov = Matrix::from_fn(m.dim(), m.dim(), |i, j| {
+            m.cov[(i, j)] * self.scale[i] * self.scale[j]
+        });
+        Ok(MomentEstimate { mean, cov })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_stats::descriptive;
+
+    fn transform() -> ShiftScale {
+        ShiftScale::new(
+            Vector::from_slice(&[10.0, -5.0]),
+            Vector::from_slice(&[2.0, 0.5]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ShiftScale::new(Vector::zeros(2), Vector::zeros(3)).is_err());
+        assert!(ShiftScale::new(Vector::zeros(0), Vector::zeros(0)).is_err());
+        assert!(ShiftScale::new(Vector::zeros(1), Vector::from_slice(&[0.0])).is_err());
+        assert!(ShiftScale::new(Vector::zeros(1), Vector::from_slice(&[-1.0])).is_err());
+        assert!(
+            ShiftScale::new(Vector::from_slice(&[f64::NAN]), Vector::from_slice(&[1.0])).is_err()
+        );
+        assert!(ShiftScale::new(Vector::zeros(1), Vector::from_slice(&[1.0])).is_ok());
+    }
+
+    #[test]
+    fn vector_round_trip() {
+        let t = transform();
+        let x = Vector::from_slice(&[12.0, -4.0]);
+        let y = t.apply_vector(&x).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 2.0]);
+        let back = t.invert_vector(&y).unwrap();
+        assert!((&back - &x).norm2() < 1e-12);
+        assert!(t.apply_vector(&Vector::zeros(3)).is_err());
+        assert!(t.invert_vector(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let t = transform();
+        let m = Matrix::from_rows(&[&[10.0, -5.0], &[14.0, -4.5]]).unwrap();
+        let y = t.apply_samples(&m).unwrap();
+        assert_eq!(y.row(0), &[0.0, 0.0]);
+        assert_eq!(y.row(1), &[2.0, 1.0]);
+        let back = t.invert_samples(&y).unwrap();
+        assert!(back.max_abs_diff(&m).unwrap() < 1e-12);
+        assert!(t.apply_samples(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn moments_round_trip() {
+        let t = transform();
+        let m = MomentEstimate {
+            mean: Vector::from_slice(&[12.0, -4.0]),
+            cov: Matrix::from_rows(&[&[4.0, 0.5], &[0.5, 0.25]]).unwrap(),
+        };
+        let y = t.apply_moments(&m).unwrap();
+        assert_eq!(y.mean.as_slice(), &[1.0, 2.0]);
+        assert!((y.cov[(0, 0)] - 1.0).abs() < 1e-12); // 4/(2·2)
+        assert!((y.cov[(1, 1)] - 1.0).abs() < 1e-12); // 0.25/(0.5·0.5)
+        assert!((y.cov[(0, 1)] - 0.5).abs() < 1e-12); // 0.5/(2·0.5)
+        let back = t.invert_moments(&y).unwrap();
+        assert!((&back.mean - &m.mean).norm2() < 1e-12);
+        assert!(back.cov.max_abs_diff(&m.cov).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig1_isotropy() {
+        // Fitting on nominal + early σ makes the early data isotropic:
+        // near-zero mean, near-unit σ per dimension (paper Fig. 1).
+        let raw = Matrix::from_fn(500, 2, |i, j| {
+            // two metrics with wildly different scales, correlated
+            let t = (i as f64 * 0.7).sin();
+            let u = (i as f64 * 1.3).cos();
+            if j == 0 {
+                1e6 + 1e4 * (t + 0.2 * u)
+            } else {
+                1e-3 + 1e-5 * (0.5 * t - u)
+            }
+        });
+        let nominal = Vector::from_slice(&[1e6, 1e-3]);
+        let sd = descriptive::column_stddevs(&raw).unwrap();
+        let t = ShiftScale::from_nominal_and_early_sd(&nominal, &sd).unwrap();
+        let norm = t.apply_samples(&raw).unwrap();
+        let mean = descriptive::mean_vector(&norm).unwrap();
+        let nsd = descriptive::column_stddevs(&norm).unwrap();
+        assert!(mean.norm_inf() < 0.2, "mean = {mean}");
+        assert!((nsd[0] - 1.0).abs() < 1e-9);
+        assert!((nsd[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moment_transform_matches_sample_transform() {
+        // Transforming moments must equal computing moments of transformed
+        // samples.
+        let raw = Matrix::from_rows(&[&[11.0, -4.8], &[9.0, -5.1], &[10.5, -4.9], &[12.0, -5.4]])
+            .unwrap();
+        let t = transform();
+        let direct = {
+            let mean = descriptive::mean_vector(&raw).unwrap();
+            let cov = descriptive::covariance_mle(&raw).unwrap();
+            t.apply_moments(&MomentEstimate { mean, cov }).unwrap()
+        };
+        let via_samples = {
+            let norm = t.apply_samples(&raw).unwrap();
+            MomentEstimate {
+                mean: descriptive::mean_vector(&norm).unwrap(),
+                cov: descriptive::covariance_mle(&norm).unwrap(),
+            }
+        };
+        assert!((&direct.mean - &via_samples.mean).norm2() < 1e-12);
+        assert!(direct.cov.max_abs_diff(&via_samples.cov).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = transform();
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.shift().as_slice(), &[10.0, -5.0]);
+        assert_eq!(t.scale().as_slice(), &[2.0, 0.5]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Single-metric BMF — the prior art the paper extends (§2, ref. \[7\]).
+//!
+//! Gu et al. (DAC 2013) fuse early-stage knowledge of a *single* Gaussian
+//! performance metric with few late-stage samples through the
+//! **normal-gamma** conjugate prior (the 1-D specialisation of the
+//! normal-Wishart):
+//!
+//! `p(μ, λ) = N(μ | μ₀, (κ₀λ)⁻¹) · Gamma(λ | α₀, β₀)`
+//!
+//! with precision `λ = 1/σ²`. This module implements that estimator both
+//! as a faithful baseline and as the ablation the paper's motivation rests
+//! on: applying it **independently per metric** recovers the marginal
+//! means/variances but *cannot estimate cross-metric correlations* — which
+//! is exactly why the multivariate method exists (§2: “the marginal
+//! statistics of single performance … is not enough”).
+
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Scalar moment estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarMoments {
+    /// Estimated mean.
+    pub mean: f64,
+    /// Estimated variance.
+    pub variance: f64,
+}
+
+/// Normal-gamma prior for one Gaussian metric, anchored on early-stage
+/// scalar moments so that its mode reproduces them (the 1-D analogue of
+/// paper Eq. 17–20).
+///
+/// Mode of the joint density: `μ_M = μ₀`, `λ_M = (α₀ − 1/2)/β₀` (the extra
+/// `|λ|^{1/2}` from the Gaussian factor shifts the usual Gamma mode by ½,
+/// exactly as `(ν₀ − d)` replaces `(ν₀ − d − 1)` in the matrix case). We
+/// parameterise with `ν₀ := 2α₀` so the confidence scalars (κ₀, ν₀) read
+/// the same as in the multivariate method.
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::univariate::UnivariateBmf;
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let est = UnivariateBmf::from_early_moments(10.0, 4.0, 2.0, 8.0)?;
+/// let fused = est.estimate(&[10.5, 9.5, 10.2])?;
+/// assert!((fused.mean - 10.0).abs() < 0.5);
+/// assert!(fused.variance > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnivariateBmf {
+    mu0: f64,
+    kappa0: f64,
+    /// Degrees of freedom ν₀ = 2α₀.
+    nu0: f64,
+    /// Rate β₀, set so the joint mode's variance equals the early variance.
+    beta0: f64,
+}
+
+impl UnivariateBmf {
+    /// Builds the estimator from early-stage scalar moments and confidence
+    /// hyper-parameters `(κ₀, ν₀)`.
+    ///
+    /// `β₀` is fixed by requiring the prior mode to sit on the early
+    /// moments: `λ_M = (α₀ − ½)/β₀ = 1/σ_E²` with `α₀ = ν₀/2`, i.e.
+    /// `β₀ = (ν₀ − 1) σ_E² / 2` — the direct 1-D analogue of Eq. 20.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::InvalidHyperParameter`] when `κ₀ <= 0` or `ν₀ <= 1`
+    ///   (the mode needs `α₀ > ½`).
+    /// * [`BmfError::InvalidMoments`] for a non-positive early variance.
+    pub fn from_early_moments(
+        mean_early: f64,
+        var_early: f64,
+        kappa0: f64,
+        nu0: f64,
+    ) -> Result<Self> {
+        if !(var_early > 0.0) || !var_early.is_finite() || !mean_early.is_finite() {
+            return Err(BmfError::InvalidMoments {
+                reason: format!("early moments ({mean_early}, {var_early}) must be finite with positive variance"),
+            });
+        }
+        if !(kappa0 > 0.0) || !kappa0.is_finite() {
+            return Err(BmfError::InvalidHyperParameter {
+                name: "kappa0",
+                value: kappa0,
+                constraint: "kappa0 > 0".to_string(),
+            });
+        }
+        if !(nu0 > 1.0) || !nu0.is_finite() {
+            return Err(BmfError::InvalidHyperParameter {
+                name: "nu0",
+                value: nu0,
+                constraint: "nu0 > 1 (prior mode needs alpha0 > 1/2)".to_string(),
+            });
+        }
+        Ok(UnivariateBmf {
+            mu0: mean_early,
+            kappa0,
+            nu0,
+            beta0: (nu0 - 1.0) * var_early / 2.0,
+        })
+    }
+
+    /// Prior location `μ₀`.
+    pub fn mu0(&self) -> f64 {
+        self.mu0
+    }
+
+    /// Mean-confidence `κ₀`.
+    pub fn kappa0(&self) -> f64 {
+        self.kappa0
+    }
+
+    /// Variance-confidence `ν₀`.
+    pub fn nu0(&self) -> f64 {
+        self.nu0
+    }
+
+    /// The variance at the prior mode (= the early-stage variance).
+    pub fn mode_variance(&self) -> f64 {
+        2.0 * self.beta0 / (self.nu0 - 1.0)
+    }
+
+    /// MAP estimation from late-stage scalar samples.
+    ///
+    /// Posterior update (1-D specialisation of Eq. 24–28):
+    ///
+    /// * `μ_n = (κ₀μ₀ + n x̄)/(κ₀ + n)`
+    /// * `β_n = β₀ + ½Σ(xᵢ−x̄)² + κ₀n(x̄−μ₀)²/(2(κ₀+n))`
+    /// * `α_n = α₀ + n/2`, `κ_n = κ₀ + n`
+    ///
+    /// MAP variance: `σ²_MAP = β_n / (α_n − ½) = 2β_n / (ν₀ + n − 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for an empty or non-finite
+    /// sample slice.
+    pub fn estimate(&self, samples: &[f64]) -> Result<ScalarMoments> {
+        if samples.is_empty() {
+            return Err(BmfError::InvalidSamples {
+                reason: "need at least one late-stage sample".to_string(),
+            });
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(BmfError::InvalidSamples {
+                reason: "samples contain non-finite values".to_string(),
+            });
+        }
+        let n = samples.len() as f64;
+        let xbar: f64 = samples.iter().sum::<f64>() / n;
+        let ss: f64 = samples.iter().map(|x| (x - xbar).powi(2)).sum();
+
+        let mu_n = (self.kappa0 * self.mu0 + n * xbar) / (self.kappa0 + n);
+        let beta_n = self.beta0
+            + 0.5 * ss
+            + self.kappa0 * n * (xbar - self.mu0).powi(2) / (2.0 * (self.kappa0 + n));
+        let variance = 2.0 * beta_n / (self.nu0 + n - 1.0);
+        Ok(ScalarMoments {
+            mean: mu_n,
+            variance,
+        })
+    }
+}
+
+/// Applies [`UnivariateBmf`] independently to every column of a sample
+/// matrix — the “prior art” estimator for multiple metrics. The returned
+/// covariance is **diagonal**: per-metric variances are fused, but all
+/// cross-metric correlation information is discarded. Comparing this
+/// against [`crate::map::BmfEstimator`] quantifies the value of the
+/// paper's multivariate extension (see the `univariate_vs_multivariate`
+/// integration test and the `ablations` binary).
+///
+/// # Errors
+///
+/// * [`BmfError::InvalidSamples`]/[`BmfError::InvalidMoments`] on
+///   malformed inputs.
+/// * Propagates scalar-estimator errors per dimension.
+pub fn estimate_per_metric(
+    early: &MomentEstimate,
+    kappa0: f64,
+    nu0: f64,
+    samples: &Matrix,
+) -> Result<MomentEstimate> {
+    early.validate()?;
+    let d = early.dim();
+    if samples.ncols() != d {
+        return Err(BmfError::InvalidSamples {
+            reason: format!("samples have {} columns, expected {d}", samples.ncols()),
+        });
+    }
+    let mut mean = Vector::zeros(d);
+    let mut cov = Matrix::zeros(d, d);
+    for j in 0..d {
+        let est = UnivariateBmf::from_early_moments(early.mean[j], early.cov[(j, j)], kappa0, nu0)?;
+        let col: Vec<f64> = (0..samples.nrows()).map(|i| samples[(i, j)]).collect();
+        let m = est.estimate(&col)?;
+        mean[j] = m.mean;
+        cov[(j, j)] = m.variance;
+    }
+    let out = MomentEstimate { mean, cov };
+    out.validate()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_stats::MultivariateNormal;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(UnivariateBmf::from_early_moments(0.0, 0.0, 1.0, 5.0).is_err());
+        assert!(UnivariateBmf::from_early_moments(0.0, -1.0, 1.0, 5.0).is_err());
+        assert!(UnivariateBmf::from_early_moments(f64::NAN, 1.0, 1.0, 5.0).is_err());
+        assert!(UnivariateBmf::from_early_moments(0.0, 1.0, 0.0, 5.0).is_err());
+        assert!(UnivariateBmf::from_early_moments(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(UnivariateBmf::from_early_moments(0.0, 1.0, 1.0, 1.5).is_ok());
+    }
+
+    #[test]
+    fn mode_reproduces_early_variance() {
+        for &nu0 in &[1.5, 3.0, 50.0] {
+            let est = UnivariateBmf::from_early_moments(2.0, 7.0, 1.0, nu0).unwrap();
+            assert!((est.mode_variance() - 7.0).abs() < 1e-12, "nu0 = {nu0}");
+        }
+    }
+
+    #[test]
+    fn mean_is_convex_combination() {
+        let est = UnivariateBmf::from_early_moments(0.0, 1.0, 4.0, 8.0).unwrap();
+        let m = est.estimate(&[2.0, 2.0, 2.0, 2.0]).unwrap();
+        // (4·0 + 4·2)/8 = 1.
+        assert!((m.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uninformative_limit_recovers_mle() {
+        let samples = [1.0, 3.0, 2.0, 4.0, 0.0];
+        let est = UnivariateBmf::from_early_moments(100.0, 50.0, 1e-9, 1.0 + 1e-9).unwrap();
+        let m = est.estimate(&samples).unwrap();
+        let xbar = 2.0;
+        let mle_var = samples.iter().map(|x| (x - xbar).powi(2)).sum::<f64>() / 5.0;
+        assert!((m.mean - xbar).abs() < 1e-5);
+        assert!((m.variance - mle_var).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dogmatic_limit_recovers_prior() {
+        let est = UnivariateBmf::from_early_moments(5.0, 2.0, 1e9, 1e9).unwrap();
+        let m = est.estimate(&[100.0, 101.0]).unwrap();
+        assert!((m.mean - 5.0).abs() < 1e-5);
+        assert!((m.variance - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matches_multivariate_bmf_in_one_dimension() {
+        // The 1-D normal-gamma and the d=1 normal-Wishart must agree
+        // exactly (same conjugate family): ν₀(1-D) = ν₀(matrix) since
+        // d = 1 gives (ν₀ − d) = ν₀ − 1 = 2α₀ − 1 ⇒ α₀ = ν₀/2. Verified
+        // numerically.
+        use crate::map::BmfEstimator;
+        use crate::prior::NormalWishartPrior;
+        let early_mean = 1.5;
+        let early_var = 0.8;
+        let kappa0 = 3.0;
+        let nu0 = 9.0;
+        let samples = [1.2, 1.9, 1.4, 2.1, 1.6];
+
+        let uni = UnivariateBmf::from_early_moments(early_mean, early_var, kappa0, nu0)
+            .unwrap()
+            .estimate(&samples)
+            .unwrap();
+
+        let early = MomentEstimate {
+            mean: Vector::from_slice(&[early_mean]),
+            cov: Matrix::from_rows(&[&[early_var]]).unwrap(),
+        };
+        let prior = NormalWishartPrior::from_early_moments(&early, kappa0, nu0).unwrap();
+        let mat = Matrix::from_fn(5, 1, |i, _| samples[i]);
+        let multi = BmfEstimator::new(prior).unwrap().estimate(&mat).unwrap();
+
+        assert!((uni.mean - multi.map.mean[0]).abs() < 1e-12);
+        assert!((uni.variance - multi.map.cov[(0, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_metric_estimator_loses_correlations() {
+        // The motivating limitation: the per-metric estimator returns a
+        // diagonal covariance no matter how correlated the data is.
+        let truth = MultivariateNormal::new(
+            Vector::zeros(2),
+            Matrix::from_rows(&[&[1.0, 0.9], &[0.9, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let samples = truth.sample_matrix(&mut rng, 50);
+        let early = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: truth.cov().clone(),
+        };
+        let est = estimate_per_metric(&early, 2.0, 10.0, &samples).unwrap();
+        assert_eq!(est.cov[(0, 1)], 0.0);
+        assert_eq!(est.cov[(1, 0)], 0.0);
+        // Marginals are still sensible.
+        assert!((est.cov[(0, 0)] - 1.0).abs() < 0.4);
+        // The multivariate estimator recovers the correlation.
+        use crate::map::BmfEstimator;
+        use crate::prior::NormalWishartPrior;
+        let prior = NormalWishartPrior::from_early_moments(&early, 2.0, 10.0).unwrap();
+        let multi = BmfEstimator::new(prior)
+            .unwrap()
+            .estimate(&samples)
+            .unwrap();
+        assert!(multi.map.cov[(0, 1)] > 0.5);
+    }
+
+    #[test]
+    fn per_metric_validates_input() {
+        let early = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::identity(2),
+        };
+        assert!(estimate_per_metric(&early, 1.0, 5.0, &Matrix::zeros(3, 3)).is_err());
+        assert!(estimate_per_metric(&early, 0.0, 5.0, &Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn estimate_validates_samples() {
+        let est = UnivariateBmf::from_early_moments(0.0, 1.0, 1.0, 5.0).unwrap();
+        assert!(est.estimate(&[]).is_err());
+        assert!(est.estimate(&[1.0, f64::NAN]).is_err());
+        assert_eq!(est.mu0(), 0.0);
+        assert_eq!(est.kappa0(), 1.0);
+        assert_eq!(est.nu0(), 5.0);
+    }
+
+    #[test]
+    fn variance_estimate_converges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let truth = crate::mle::MleEstimator::new();
+        let _ = truth;
+        let normal = bmf_stats::Normal::new(3.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| normal.sample(&mut rng)).collect();
+        let est = UnivariateBmf::from_early_moments(0.0, 1.0, 1.0, 3.0).unwrap();
+        let m = est.estimate(&samples).unwrap();
+        assert!((m.mean - 3.0).abs() < 0.05);
+        assert!((m.variance - 4.0).abs() < 0.15);
+    }
+}

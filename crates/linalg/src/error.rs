@@ -1,0 +1,116 @@
+//! Error type shared by all fallible operations in this crate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a square matrix but got a rectangular one.
+    NotSquare {
+        /// Actual shape `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A factorisation failed because the matrix is singular (or numerically
+    /// so) at the given pivot index.
+    Singular {
+        /// Pivot (row/column) index at which breakdown was detected.
+        pivot: usize,
+    },
+    /// Cholesky factorisation failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Leading-minor index at which a non-positive pivot appeared.
+        pivot: usize,
+        /// The offending pivot value.
+        value: f64,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Construction from raw data received inconsistent lengths.
+    InvalidData {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// An empty (zero-sized) operand where a non-empty one is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value:.6e}"
+            ),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
+            LinalgError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+            LinalgError::Empty => write!(f, "operand must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "mat_mul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("mat_mul"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 1,
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("positive definite"));
+
+        let e = LinalgError::NoConvergence {
+            algorithm: "jacobi",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("jacobi"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! Dense real and complex linear algebra primitives for the `bmf-ams` workspace.
+//!
+//! This crate is a small, self-contained linear-algebra kernel written from
+//! scratch (no `ndarray`/`nalgebra`), sized for the needs of multivariate
+//! statistics on a handful of correlated circuit performance metrics
+//! (`d` ≈ 2–20) and for complex-valued modified nodal analysis of small
+//! analog circuits (tens of nodes).
+//!
+//! # Contents
+//!
+//! * [`Vector`] and [`Matrix`]: owned, row-major dense containers with the
+//!   usual arithmetic, norms and views.
+//! * [`Cholesky`]: SPD factorisation — solve, inverse, log-determinant and
+//!   the lower factor used to colour white noise when sampling Gaussians.
+//! * [`Lu`]: partial-pivoted LU for general square systems.
+//! * [`SymmetricEigen`]: cyclic Jacobi eigen-decomposition of symmetric
+//!   matrices (used for PSD diagnostics and nearest-SPD projection).
+//! * [`Qr`]: Householder QR with least-squares solve.
+//! * [`Complex64`], [`CVector`], [`CMatrix`], [`CLu`]: complex arithmetic
+//!   and a complex LU solver for AC circuit analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use bmf_linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), bmf_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let chol = Cholesky::new(&a)?;
+//! let x = chol.solve_vec(&bmf_linalg::Vector::from_slice(&[1.0, 2.0]))?;
+//! assert!((&a.mat_vec(&x)? - &bmf_linalg::Vector::from_slice(&[1.0, 2.0])).norm2() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+// Validation deliberately uses `!(x > 0.0)`-style negated comparisons: they
+// reject NaN along with out-of-domain values in one test, which is exactly
+// the semantics every constructor here wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod cholesky;
+mod complex;
+mod eigen;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod vector;
+
+pub use cholesky::{nearest_spd, Cholesky};
+pub use complex::{CLu, CMatrix, CVector, Complex64};
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use vector::Vector;
+
+/// Convenience result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,239 @@
+//! Householder QR factorisation and least-squares solve.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// QR factorisation `A = Q R` of an `m × n` matrix (`m ≥ n`) via Householder
+/// reflections.
+///
+/// Used for least-squares fits in diagnostics (e.g. fitting the `n^{-1/2}`
+/// convergence slope of MLE error curves) and available to downstream users
+/// as the numerically-stable way to solve over-determined systems.
+///
+/// # Example
+///
+/// ```
+/// use bmf_linalg::{Matrix, Qr, Vector};
+///
+/// # fn main() -> Result<(), bmf_linalg::LinalgError> {
+/// // Fit y = a + b x to three points on the line y = 1 + 2x.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let y = Vector::from_slice(&[1.0, 3.0, 5.0]);
+/// let coeffs = Qr::new(&a)?.solve_least_squares(&y)?;
+/// assert!((coeffs[0] - 1.0).abs() < 1e-12);
+/// assert!((coeffs[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors in the lower part, R in the upper part.
+    qr: Matrix,
+    /// Scaling factors for the Householder reflections.
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorises an `m × n` matrix with `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidData`] when `m < n`.
+    /// * [`LinalgError::Empty`] for an empty matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::InvalidData {
+                reason: format!("QR requires rows >= cols, got {m}x{n}"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut norm = 0.0_f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, qr[k+1..m, k]]; normalise so v[0] = 1.
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            let beta = -v0 / alpha;
+            qr[(k, k)] = alpha;
+            betas.push(beta);
+
+            // Apply reflection to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta;
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Shape `(m, n)` of the factorised matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.ncols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != m`.
+    pub fn q_t_mul(&self, b: &Vector) -> Result<Vector> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "q_t_mul",
+                lhs: (m, m),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.clone();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= beta;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                let vik = self.qr[(i, k)];
+                y[i] -= s * vik;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] when `b.len() != m`.
+    /// * [`LinalgError::Singular`] when `R` has a (numerically) zero diagonal
+    ///   entry — i.e. `A` is rank-deficient.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        let n = self.qr.ncols();
+        let y = self.q_t_mul(b)?;
+        let rmax = (0..n).fold(0.0_f64, |m, i| m.max(self.qr[(i, i)].abs()));
+        let tol = rmax * 1e-13 * n as f64;
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= tol {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.qr[(i, k)] * x[k];
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = Vector::from_slice(&[5.0, 10.0]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!(a.mat_vec(&x).unwrap().max_abs_diff(&b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_fit() {
+        // y = 2 + 3x with exact data: residual must be ~0.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { xs[i] });
+        let y = Vector::from_fn(5, |i| 2.0 + 3.0 * xs[i]);
+        let c = Qr::new(&a).unwrap().solve_least_squares(&y).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-12);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimises_residual() {
+        // Inconsistent system; compare residual to a perturbed solution.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Vector::from_slice(&[0.0, 1.0, 1.0]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let res = (&a.mat_vec(&x).unwrap() - &b).norm2();
+        for dx in [[0.01, 0.0], [0.0, 0.01], [-0.01, 0.01]] {
+            let xp = Vector::from_slice(&[x[0] + dx[0], x[1] + dx[1]]);
+            let rp = (&a.mat_vec(&xp).unwrap() - &b).norm2();
+            assert!(rp >= res - 1e-12);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r.shape(), (2, 2));
+        assert_eq!(r[(1, 0)], 0.0);
+        // |R| diag non-zero for full-rank input
+        assert!(r[(0, 0)].abs() > 0.0 && r[(1, 1)].abs() > 0.0);
+    }
+
+    #[test]
+    fn q_preserves_norm() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        let qtb = qr.q_t_mul(&b).unwrap();
+        assert!((qtb.norm2() - b.norm2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Qr::new(&Matrix::zeros(0, 0)).is_err());
+        let qr = Qr::new(&Matrix::identity(2)).unwrap();
+        assert!(qr.q_t_mul(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_reports_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&Vector::from_slice(&[1.0, 1.0, 1.0])),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+}

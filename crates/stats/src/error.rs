@@ -1,0 +1,105 @@
+//! Error type for the statistics crate.
+
+use bmf_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by statistical constructions and evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value (formatted).
+        value: String,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// Operand dimensions are inconsistent.
+    DimensionMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// Not enough samples for the requested statistic.
+    InsufficientSamples {
+        /// Samples required.
+        required: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// An underlying linear-algebra operation failed (e.g. a covariance
+    /// matrix was not positive definite).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "invalid parameter {name} = {value}: must satisfy {constraint}"
+            ),
+            StatsError::DimensionMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {op}: expected {expected}, got {actual}"
+            ),
+            StatsError::InsufficientSamples {
+                required,
+                available,
+            } => write!(f, "insufficient samples: need {required}, have {available}"),
+            StatsError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for StatsError {
+    fn from(e: LinalgError) -> Self {
+        StatsError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StatsError::InvalidParameter {
+            name: "dof",
+            value: "0".to_string(),
+            constraint: "dof > d - 1",
+        };
+        assert!(e.to_string().contains("dof"));
+
+        let e: StatsError = LinalgError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("linear algebra"));
+
+        let e = StatsError::InsufficientSamples {
+            required: 2,
+            available: 1,
+        };
+        assert!(e.to_string().contains("need 2"));
+    }
+}

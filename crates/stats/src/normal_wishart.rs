@@ -1,0 +1,317 @@
+//! Joint normal-Wishart distribution — the conjugate prior of the paper.
+
+use crate::special::ln_gamma_d;
+use crate::{MultivariateNormal, Result, StatsError, Wishart};
+use bmf_linalg::{Cholesky, Matrix, Vector};
+use rand::Rng;
+
+/// Normal-Wishart distribution `NW(μ, Λ | μ₀, κ₀, ν₀, T₀)` (paper Eq. 12):
+///
+/// `p(μ, Λ) = N_d(μ | μ₀, (κ₀Λ)⁻¹) · Wi_{ν₀}(Λ | T₀)`
+///
+/// This is the conjugate prior for the jointly-Gaussian likelihood with
+/// unknown mean and precision; the BMF method encodes early-stage knowledge
+/// in exactly this family.
+///
+/// # Example
+///
+/// ```
+/// use bmf_linalg::{Matrix, Vector};
+/// use bmf_stats::NormalWishart;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bmf_stats::StatsError> {
+/// let nw = NormalWishart::new(Vector::zeros(2), 2.0, 5.0, Matrix::identity(2))?;
+/// let (mu_mode, lambda_mode) = nw.mode();
+/// assert_eq!(mu_mode.as_slice(), &[0.0, 0.0]); // mode of μ is μ₀ (Eq. 15)
+/// assert_eq!(lambda_mode[(0, 0)], 3.0);        // (ν₀ − d) T₀ (Eq. 16)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NormalWishart {
+    mu0: Vector,
+    kappa0: f64,
+    nu0: f64,
+    t0: Matrix,
+    wishart: Wishart,
+}
+
+impl NormalWishart {
+    /// Creates a normal-Wishart distribution with hyper-parameters
+    /// `(μ₀, κ₀, ν₀, T₀)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] when `κ₀ <= 0` or `ν₀ <= d − 1`.
+    /// * [`StatsError::DimensionMismatch`] when `μ₀` and `T₀` disagree.
+    /// * [`StatsError::Linalg`] when `T₀` is not SPD.
+    pub fn new(mu0: Vector, kappa0: f64, nu0: f64, t0: Matrix) -> Result<Self> {
+        if mu0.len() != t0.nrows() {
+            return Err(StatsError::DimensionMismatch {
+                op: "NormalWishart::new",
+                expected: t0.nrows(),
+                actual: mu0.len(),
+            });
+        }
+        if !(kappa0 > 0.0) || !kappa0.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "kappa0",
+                value: format!("{kappa0}"),
+                constraint: "kappa0 > 0 and finite",
+            });
+        }
+        let wishart = Wishart::new(t0.clone(), nu0)?;
+        Ok(NormalWishart {
+            mu0,
+            kappa0,
+            nu0,
+            t0,
+            wishart,
+        })
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.mu0.len()
+    }
+
+    /// Location hyper-parameter `μ₀`.
+    pub fn mu0(&self) -> &Vector {
+        &self.mu0
+    }
+
+    /// Mean-confidence hyper-parameter `κ₀`.
+    pub fn kappa0(&self) -> f64 {
+        self.kappa0
+    }
+
+    /// Degrees-of-freedom hyper-parameter `ν₀`.
+    pub fn nu0(&self) -> f64 {
+        self.nu0
+    }
+
+    /// Wishart scale hyper-parameter `T₀`.
+    pub fn t0(&self) -> &Matrix {
+        &self.t0
+    }
+
+    /// Joint mode `(μ_M, Λ_M)` of the density (paper Eq. 15–16):
+    /// `μ_M = μ₀`, `Λ_M = (ν₀ − d) T₀`.
+    ///
+    /// Note: the paper maximises the *joint* density over `(μ, Λ)`, giving
+    /// the `(ν₀ − d)` factor (rather than the marginal Wishart mode's
+    /// `ν₀ − d − 1`) because the Gaussian factor contributes an extra
+    /// `|Λ|^{1/2}`.
+    pub fn mode(&self) -> (Vector, Matrix) {
+        let d = self.dim() as f64;
+        (self.mu0.clone(), &self.t0 * (self.nu0 - d))
+    }
+
+    /// Log-density at `(μ, Λ)` (paper Eq. 12 in log form, with the
+    /// normalisation of Eq. 13).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] for wrong-shaped arguments.
+    /// * [`StatsError::Linalg`] when `Λ` is not SPD.
+    pub fn ln_pdf(&self, mu: &Vector, lambda: &Matrix) -> Result<f64> {
+        let d = self.dim();
+        if mu.len() != d {
+            return Err(StatsError::DimensionMismatch {
+                op: "normal_wishart ln_pdf (mu)",
+                expected: d,
+                actual: mu.len(),
+            });
+        }
+        if lambda.shape() != (d, d) {
+            return Err(StatsError::DimensionMismatch {
+                op: "normal_wishart ln_pdf (lambda)",
+                expected: d,
+                actual: lambda.nrows(),
+            });
+        }
+        let dd = d as f64;
+        let chol_lambda = Cholesky::new(lambda)?;
+        let ln_det_lambda = chol_lambda.ln_det();
+
+        // Gaussian factor: N(μ | μ₀, (κ₀Λ)⁻¹)
+        let diff = mu - &self.mu0;
+        let quad = lambda.quadratic_form(&diff)?;
+        let ln_gauss = 0.5 * dd * (self.kappa0 / (2.0 * std::f64::consts::PI)).ln()
+            + 0.5 * ln_det_lambda
+            - 0.5 * self.kappa0 * quad;
+
+        // Wishart factor — reuse the cached implementation but inline the
+        // normalisation so the doc equation stays visible.
+        let t0_inv_lambda_tr = {
+            let t0_chol = Cholesky::new(&self.t0)?;
+            t0_chol.inverse()?.mat_mul(lambda)?.trace()?
+        };
+        let ln_wish = 0.5 * (self.nu0 - dd - 1.0) * ln_det_lambda
+            - 0.5 * t0_inv_lambda_tr
+            - 0.5 * self.nu0 * dd * 2.0_f64.ln()
+            - 0.5 * self.nu0 * Cholesky::new(&self.t0)?.ln_det()
+            - ln_gamma_d(d, self.nu0 / 2.0);
+
+        Ok(ln_gauss + ln_wish)
+    }
+
+    /// Draws one `(μ, Λ)` pair: `Λ ~ Wi_{ν₀}(T₀)`, then
+    /// `μ ~ N(μ₀, (κ₀Λ)⁻¹)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Linalg`] if a drawn `Λ` is numerically
+    /// singular (vanishingly rare for valid hyper-parameters).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<(Vector, Matrix)> {
+        let lambda = self.wishart.sample(rng);
+        // Covariance of μ is (κ₀ Λ)⁻¹.
+        let chol = Cholesky::new(&(&lambda * self.kappa0))?;
+        let cov_mu = chol.inverse()?;
+        let mvn = MultivariateNormal::new(self.mu0.clone(), cov_mu)?;
+        Ok((mvn.sample(rng), lambda))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    fn nw() -> NormalWishart {
+        NormalWishart::new(
+            Vector::from_slice(&[1.0, -1.0]),
+            3.0,
+            7.0,
+            Matrix::from_rows(&[&[0.5, 0.1], &[0.1, 0.4]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(NormalWishart::new(Vector::zeros(3), 1.0, 5.0, Matrix::identity(2)).is_err());
+        assert!(NormalWishart::new(Vector::zeros(2), 0.0, 5.0, Matrix::identity(2)).is_err());
+        assert!(NormalWishart::new(Vector::zeros(2), -1.0, 5.0, Matrix::identity(2)).is_err());
+        assert!(NormalWishart::new(Vector::zeros(2), 1.0, 1.0, Matrix::identity(2)).is_err());
+        assert!(NormalWishart::new(Vector::zeros(2), 1.0, 5.0, Matrix::identity(2)).is_ok());
+    }
+
+    #[test]
+    fn mode_matches_paper_equations() {
+        let nw = nw();
+        let (mu_m, lambda_m) = nw.mode();
+        assert_eq!(mu_m.as_slice(), &[1.0, -1.0]);
+        // Λ_M = (ν₀ − d) T₀ = 5 T₀
+        assert!((lambda_m[(0, 0)] - 2.5).abs() < 1e-14);
+        assert!((lambda_m[(0, 1)] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mode_maximises_density() {
+        let nw = nw();
+        let (mu_m, lambda_m) = nw.mode();
+        let peak = nw.ln_pdf(&mu_m, &lambda_m).unwrap();
+        // Perturbations of the mode must not increase the density.
+        for eps in [0.05, -0.05] {
+            let mut mu = mu_m.clone();
+            mu[0] += eps;
+            assert!(nw.ln_pdf(&mu, &lambda_m).unwrap() <= peak + 1e-12);
+
+            let mut lam = lambda_m.clone();
+            lam[(0, 0)] += eps;
+            assert!(nw.ln_pdf(&mu_m, &lam).unwrap() <= peak + 1e-12);
+
+            let mut lam2 = lambda_m.clone();
+            lam2[(0, 1)] += eps;
+            lam2[(1, 0)] += eps;
+            assert!(nw.ln_pdf(&mu_m, &lam2).unwrap() <= peak + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_pdf_validates_input() {
+        let nw = nw();
+        assert!(nw.ln_pdf(&Vector::zeros(3), &Matrix::identity(2)).is_err());
+        assert!(nw.ln_pdf(&Vector::zeros(2), &Matrix::identity(3)).is_err());
+    }
+
+    #[test]
+    fn samples_have_consistent_shapes_and_spd_lambda() {
+        let nw = nw();
+        let mut r = rng();
+        for _ in 0..20 {
+            let (mu, lambda) = nw.sample(&mut r).unwrap();
+            assert_eq!(mu.len(), 2);
+            assert_eq!(lambda.shape(), (2, 2));
+            assert!(Cholesky::new(&lambda).is_ok());
+        }
+    }
+
+    #[test]
+    fn sample_mean_of_mu_converges_to_mu0() {
+        let nw = nw();
+        let mut r = rng();
+        let n = 5_000;
+        let mut acc = Vector::zeros(2);
+        for _ in 0..n {
+            let (mu, _) = nw.sample(&mut r).unwrap();
+            acc += &mu;
+        }
+        acc *= 1.0 / n as f64;
+        assert!((&acc - nw.mu0()).norm2() < 0.05, "mean of mu = {acc}");
+    }
+
+    #[test]
+    fn sample_mean_of_lambda_converges_to_nu_t() {
+        let nw = nw();
+        let mut r = rng();
+        let n = 5_000;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let (_, lambda) = nw.sample(&mut r).unwrap();
+            acc += &lambda;
+        }
+        acc *= 1.0 / n as f64;
+        let expected = nw.t0() * nw.nu0();
+        assert!(acc.max_abs_diff(&expected).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn larger_kappa_concentrates_mu() {
+        let base = nw();
+        let tight =
+            NormalWishart::new(base.mu0().clone(), 300.0, base.nu0(), base.t0().clone()).unwrap();
+        let mut r = rng();
+        let spread = |nw: &NormalWishart, r: &mut rand::rngs::StdRng| -> f64 {
+            (0..500)
+                .map(|_| {
+                    let (mu, _) = nw.sample(r).unwrap();
+                    (&mu - nw.mu0()).norm2()
+                })
+                .sum::<f64>()
+                / 500.0
+        };
+        let loose_spread = spread(&base, &mut r);
+        let tight_spread = spread(&tight, &mut r);
+        assert!(
+            tight_spread < loose_spread / 3.0,
+            "tight {tight_spread} vs loose {loose_spread}"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let nw = nw();
+        assert_eq!(nw.dim(), 2);
+        assert_eq!(nw.kappa0(), 3.0);
+        assert_eq!(nw.nu0(), 7.0);
+        assert_eq!(nw.mu0().len(), 2);
+        assert_eq!(nw.t0().shape(), (2, 2));
+    }
+}

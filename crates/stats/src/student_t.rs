@@ -1,0 +1,241 @@
+//! Multivariate Student-t distribution.
+//!
+//! The posterior predictive of the normal-Wishart model is a multivariate
+//! Student-t; exposing it lets downstream code attach credible intervals to
+//! BMF estimates instead of using only the MAP point estimate.
+
+use crate::special::ln_gamma;
+use crate::{sample_chi_squared, sample_standard_normal, Result, StatsError};
+use bmf_linalg::{Cholesky, Matrix, Vector};
+use rand::Rng;
+
+/// Multivariate Student-t distribution `t_ν(μ, Σ)` with location `μ`,
+/// positive-definite scale matrix `Σ` and degrees of freedom `ν`.
+///
+/// Density:
+///
+/// `p(x) = Γ((ν+d)/2) / [Γ(ν/2) (νπ)^{d/2} |Σ|^{1/2}] · (1 + δ²/ν)^{-(ν+d)/2}`
+///
+/// with `δ² = (x−μ)ᵀ Σ⁻¹ (x−μ)`.
+///
+/// # Example
+///
+/// ```
+/// use bmf_linalg::{Matrix, Vector};
+/// use bmf_stats::MultivariateStudentT;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bmf_stats::StatsError> {
+/// let t = MultivariateStudentT::new(Vector::zeros(2), Matrix::identity(2), 5.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let x = t.sample(&mut rng);
+/// assert_eq!(x.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultivariateStudentT {
+    location: Vector,
+    scale: Matrix,
+    dof: f64,
+    chol: Cholesky,
+}
+
+impl MultivariateStudentT {
+    /// Creates a multivariate Student-t distribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] when `dof <= 0`.
+    /// * [`StatsError::DimensionMismatch`] when shapes disagree.
+    /// * [`StatsError::Linalg`] when `scale` is not SPD.
+    pub fn new(location: Vector, scale: Matrix, dof: f64) -> Result<Self> {
+        if location.len() != scale.nrows() {
+            return Err(StatsError::DimensionMismatch {
+                op: "MultivariateStudentT::new",
+                expected: scale.nrows(),
+                actual: location.len(),
+            });
+        }
+        if !(dof > 0.0) || !dof.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "dof",
+                value: format!("{dof}"),
+                constraint: "dof > 0 and finite",
+            });
+        }
+        let chol = Cholesky::new(&scale)?;
+        Ok(MultivariateStudentT {
+            location,
+            scale,
+            dof,
+            chol,
+        })
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.location.len()
+    }
+
+    /// Location parameter `μ` (which is also the mean when `ν > 1`).
+    pub fn location(&self) -> &Vector {
+        &self.location
+    }
+
+    /// Scale matrix `Σ` (not the covariance; see [`Self::covariance`]).
+    pub fn scale(&self) -> &Matrix {
+        &self.scale
+    }
+
+    /// Degrees of freedom `ν`.
+    pub fn dof(&self) -> f64 {
+        self.dof
+    }
+
+    /// Covariance `ν/(ν−2) Σ`; `None` when `ν <= 2` (undefined).
+    pub fn covariance(&self) -> Option<Matrix> {
+        if self.dof > 2.0 {
+            Some(&self.scale * (self.dof / (self.dof - 2.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Log-density at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for a wrong-length `x`.
+    pub fn ln_pdf(&self, x: &Vector) -> Result<f64> {
+        let d = self.dim();
+        if x.len() != d {
+            return Err(StatsError::DimensionMismatch {
+                op: "student_t ln_pdf",
+                expected: d,
+                actual: x.len(),
+            });
+        }
+        let dd = d as f64;
+        let nu = self.dof;
+        let delta2 = self.chol.mahalanobis_sq(x, &self.location)?;
+        Ok(ln_gamma((nu + dd) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * dd * (nu * std::f64::consts::PI).ln()
+            - 0.5 * self.chol.ln_det()
+            - 0.5 * (nu + dd) * (1.0 + delta2 / nu).ln())
+    }
+
+    /// Draws one sample: `x = μ + L z / sqrt(w/ν)` with `z` white Gaussian
+    /// and `w ~ χ²(ν)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let d = self.dim();
+        let z = Vector::from_fn(d, |_| sample_standard_normal(rng));
+        let w = sample_chi_squared(rng, self.dof);
+        let scale_factor = (self.dof / w).sqrt();
+        let coloured = self.chol.colour(&z).expect("consistent dims");
+        &self.location + &(&coloured * scale_factor)
+    }
+
+    /// Draws `n` samples as an `n × d` matrix.
+    pub fn sample_matrix<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Matrix {
+        let d = self.dim();
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            let x = self.sample(rng);
+            out.row_mut(i).copy_from_slice(x.as_slice());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(MultivariateStudentT::new(Vector::zeros(2), Matrix::identity(3), 3.0).is_err());
+        assert!(MultivariateStudentT::new(Vector::zeros(2), Matrix::identity(2), 0.0).is_err());
+        assert!(MultivariateStudentT::new(Vector::zeros(2), Matrix::identity(2), -2.0).is_err());
+        let not_spd = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(MultivariateStudentT::new(Vector::zeros(2), not_spd, 3.0).is_err());
+    }
+
+    #[test]
+    fn univariate_density_matches_known_t() {
+        // t(ν=1, d=1) is the Cauchy distribution: p(0) = 1/π.
+        let t = MultivariateStudentT::new(Vector::zeros(1), Matrix::identity(1), 1.0).unwrap();
+        let p0 = t.ln_pdf(&Vector::zeros(1)).unwrap().exp();
+        assert!((p0 - 1.0 / std::f64::consts::PI).abs() < 1e-12);
+        // Cauchy at x=1: 1/(2π)
+        let p1 = t.ln_pdf(&Vector::from_slice(&[1.0])).unwrap().exp();
+        assert!((p1 - 1.0 / (2.0 * std::f64::consts::PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approaches_gaussian_for_large_dof() {
+        let t = MultivariateStudentT::new(Vector::zeros(2), Matrix::identity(2), 1e6).unwrap();
+        let g = crate::MultivariateNormal::standard(2).unwrap();
+        for pt in [[0.0, 0.0], [1.0, -1.0], [2.0, 0.5]] {
+            let x = Vector::from_slice(&pt);
+            let lt = t.ln_pdf(&x).unwrap();
+            let lg = g.ln_pdf(&x).unwrap();
+            assert!((lt - lg).abs() < 1e-3, "at {pt:?}: {lt} vs {lg}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges_to_location() {
+        let loc = Vector::from_slice(&[2.0, -3.0]);
+        let t = MultivariateStudentT::new(loc.clone(), Matrix::identity(2), 5.0).unwrap();
+        let mut r = rng();
+        let samples = t.sample_matrix(&mut r, 40_000);
+        let mean = descriptive::mean_vector(&samples).unwrap();
+        assert!((&mean - &loc).norm2() < 0.05);
+    }
+
+    #[test]
+    fn sample_covariance_matches_theory() {
+        let scale = Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 0.8]]).unwrap();
+        let t = MultivariateStudentT::new(Vector::zeros(2), scale, 8.0).unwrap();
+        let mut r = rng();
+        let samples = t.sample_matrix(&mut r, 60_000);
+        let cov = descriptive::covariance_unbiased(&samples).unwrap();
+        let expected = t.covariance().unwrap();
+        assert!(cov.max_abs_diff(&expected).unwrap() < 0.06);
+    }
+
+    #[test]
+    fn covariance_undefined_for_small_dof() {
+        let t = MultivariateStudentT::new(Vector::zeros(1), Matrix::identity(1), 2.0).unwrap();
+        assert!(t.covariance().is_none());
+        let t = MultivariateStudentT::new(Vector::zeros(1), Matrix::identity(1), 2.1).unwrap();
+        assert!(t.covariance().is_some());
+    }
+
+    #[test]
+    fn heavier_tails_than_gaussian() {
+        // For small dof, tail density exceeds the Gaussian's.
+        let t = MultivariateStudentT::new(Vector::zeros(1), Matrix::identity(1), 2.0).unwrap();
+        let g = crate::MultivariateNormal::standard(1).unwrap();
+        let far = Vector::from_slice(&[5.0]);
+        assert!(t.ln_pdf(&far).unwrap() > g.ln_pdf(&far).unwrap());
+    }
+
+    #[test]
+    fn ln_pdf_validates() {
+        let t = MultivariateStudentT::new(Vector::zeros(2), Matrix::identity(2), 3.0).unwrap();
+        assert!(t.ln_pdf(&Vector::zeros(3)).is_err());
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.dof(), 3.0);
+        assert_eq!(t.location().len(), 2);
+        assert_eq!(t.scale().shape(), (2, 2));
+    }
+}

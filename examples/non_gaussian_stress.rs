@@ -1,0 +1,53 @@
+//! Non-Gaussian robustness stress — the paper's stated future work (§1).
+//!
+//! The BMF derivation assumes jointly-Gaussian metrics. This example
+//! measures how the BMF-vs-MLE covariance advantage degrades as the
+//! population marginals become increasingly skewed (Gaussian copula with
+//! exponentially-warped marginals), at the paper's small-sample operating
+//! point (n = 12 late samples).
+//!
+//! Run with: `cargo run --release --example non_gaussian_stress`
+
+use bmf_ams::core::robustness::skew_robustness_sweep;
+use bmf_ams::linalg::Matrix;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let core_cov = Matrix::from_rows(&[&[1.0, 0.6, 0.3], &[0.6, 1.0, 0.4], &[0.3, 0.4, 1.0]])?;
+    let gammas = [0.0, 0.2, 0.4, 0.6, 0.8];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+
+    println!("covariance estimation error vs marginal skew (n = 12, 20 reps)");
+    println!("gamma = 0 is exactly Gaussian; larger gamma = stronger right skew\n");
+    println!(" gamma |  MLE cov err |  BMF cov err | BMF/MLE ratio");
+    println!("-------+--------------+--------------+--------------");
+    let points = skew_robustness_sweep(&core_cov, &gammas, 12, 20, &mut rng)?;
+    for p in &points {
+        println!(
+            "  {:4.2} | {:12.4} | {:12.4} | {:12.3}",
+            p.gamma, p.mle_cov_err, p.bmf_cov_err, p.ratio
+        );
+    }
+
+    println!();
+    let gaussian = &points[0];
+    let worst = points
+        .iter()
+        .max_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "BMF/MLE ratio moves from {:.3} (Gaussian) to {:.3} (gamma = {:.1}).",
+        gaussian.ratio, worst.ratio, worst.gamma
+    );
+    if worst.ratio < 1.0 {
+        println!("BMF stays ahead of MLE across the tested skew range: the prior");
+        println!("still transfers the (true) second moments even when the shape");
+        println!("assumption is wrong — supporting the paper's §3.1 argument that");
+        println!("the Gaussian approximation is acceptable for moment estimation.");
+    } else {
+        println!("BMF loses its advantage beyond gamma where ratio crosses 1 —");
+        println!("the regime where the paper's future-work extension (high-order");
+        println!("moment matching) would be required.");
+    }
+    Ok(())
+}

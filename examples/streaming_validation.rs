@@ -1,0 +1,125 @@
+//! Streaming post-silicon validation with a stopping rule.
+//!
+//! The paper's post-silicon setting measures dies one at a time, and every
+//! measurement is expensive. Conjugacy makes BMF naturally *sequential*:
+//! keep one running posterior, update it per die, and stop as soon as the
+//! estimate is good enough. Here the stopping rule is a posterior credible
+//! check on the quantity a validation engineer actually signs off —
+//! parametric yield: stop when the 90 % credible interval of yield
+//! (propagated through posterior samples of (μ, Σ)) is narrower than ±2
+//! percentage points.
+//!
+//! Run with: `cargo run --release --example streaming_validation`
+
+use bmf_ams::circuits::monte_carlo::{run_monte_carlo, Stage};
+use bmf_ams::circuits::opamp::OpAmpTestbench;
+use bmf_ams::core::prelude::*;
+use bmf_ams::core::sequential::SequentialBmf;
+use bmf_ams::core::yield_estimation::estimate_yield;
+use bmf_ams::stats::descriptive;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tb = OpAmpTestbench::default_45nm();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+
+    // Early-stage characterisation + the spec the product must meet.
+    let early = run_monte_carlo(&tb, Stage::Schematic, 1500, &mut rng)?;
+    let late = run_monte_carlo(&tb, Stage::PostLayout, 1500, &mut rng)?;
+    let specs = SpecLimits::new(
+        vec![Some(82.0), Some(5.0e3), None, Some(-5e-3), Some(64.0)],
+        vec![None, None, Some(1.30e-4), Some(5e-3), None],
+    )?;
+
+    // Reference yield (what infinite measurement would converge to).
+    let mut passes = 0usize;
+    for i in 0..late.samples.nrows() {
+        if specs.passes(&late.samples.row_vec(i)) {
+            passes += 1;
+        }
+    }
+    let reference = passes as f64 / late.samples.nrows() as f64;
+    println!("reference post-layout yield: {:.1}%\n", reference * 100.0);
+
+    // Normalise and set up the prior (hyper-parameters from a CV run on
+    // the first few dies — in production these would be re-selected
+    // periodically; a one-shot selection keeps the example readable).
+    let early_sd = descriptive::column_stddevs(&early.samples)?;
+    let early_t = ShiftScale::from_nominal_and_early_sd(&early.nominal, &early_sd)?;
+    let late_t = ShiftScale::from_nominal_and_early_sd(&late.nominal, &early_sd)?;
+    let early_norm = early_t.apply_samples(&early.samples)?;
+    let late_norm = late_t.apply_samples(&late.samples)?;
+    let early_moments = MomentEstimate {
+        mean: descriptive::mean_vector(&early_norm)?,
+        cov: descriptive::covariance_mle(&early_norm)?,
+    };
+    let warmup = 8;
+    let first = bmf_ams::linalg::Matrix::from_fn(warmup, 5, |i, j| late_norm[(i, j)]);
+    let sel = CrossValidation::default().select(&early_moments, &first, &mut rng)?;
+    println!(
+        "hyper-parameters from the first {warmup} dies: kappa0 = {:.2}, nu0 = {:.1}\n",
+        sel.kappa0, sel.nu0
+    );
+
+    let prior = NormalWishartPrior::from_early_moments(&early_moments, sel.kappa0, sel.nu0)?;
+    let mut stream = SequentialBmf::new(prior)?;
+
+    println!(" die |  yield MAP | 90% credible interval | stop?");
+    println!("-----+------------+-----------------------+------");
+    let max_dies = 64;
+    let mut stopped_at = None;
+    for die in 0..max_dies {
+        stream.observe(&late_norm.row_vec(die))?;
+        if stream.observed() < 4 {
+            continue; // too early for a meaningful interval
+        }
+        let est = stream.estimate()?;
+
+        // Propagate posterior uncertainty into yield: sample (μ, Σ) from
+        // the posterior, compute each draw's yield, take the quantiles.
+        let draws = est.sample_posterior(&mut rng, 60)?;
+        let mut yields: Vec<f64> = Vec::with_capacity(draws.len());
+        for m in draws {
+            let phys = late_t.invert_moments(&m)?;
+            let y = estimate_yield(&phys, &specs, 4_000, &mut rng)?;
+            yields.push(y.yield_fraction);
+        }
+        yields.sort_by(f64::total_cmp);
+        let lo = yields[3]; // ~5th percentile of 60
+        let hi = yields[56]; // ~95th
+        let map_phys = late_t.invert_moments(&est.map)?;
+        let y_map = estimate_yield(&map_phys, &specs, 20_000, &mut rng)?.yield_fraction;
+
+        let width = hi - lo;
+        let stop = width < 0.04;
+        if (die + 1) % 4 == 0 || stop {
+            println!(
+                "{:4} | {:9.1}% | [{:5.1}%, {:5.1}%]      | {}",
+                die + 1,
+                y_map * 100.0,
+                lo * 100.0,
+                hi * 100.0,
+                if stop { "STOP" } else { "" }
+            );
+        }
+        if stop {
+            stopped_at = Some((die + 1, y_map));
+            break;
+        }
+    }
+
+    match stopped_at {
+        Some((n, y)) => {
+            println!(
+                "\nstopped after {n} dies: yield {:.1}% vs reference {:.1}% (|err| = {:.1} pts)",
+                y * 100.0,
+                reference * 100.0,
+                (y - reference).abs() * 100.0
+            );
+            println!("a plain-MC flow without the early-stage prior would need far more");
+            println!("silicon to pin the joint moments this tightly (see EXPERIMENTS.md).");
+        }
+        None => println!("\ninterval never tightened below ±2 points within {max_dies} dies"),
+    }
+    Ok(())
+}

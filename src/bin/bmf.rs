@@ -1,0 +1,318 @@
+//! `bmf` — command-line front end for the multivariate BMF estimator.
+//!
+//! ```text
+//! bmf estimate --early early.csv --late late.csv [--out moments.csv]
+//!     Fuse early-stage samples with few late-stage samples: shift/scale,
+//!     cross-validate (kappa0, nu0), MAP-estimate, print/export moments.
+//!     Both CSVs: header of metric names + one sample per row. The first
+//!     row of each file is treated as that stage's nominal run.
+//!
+//! bmf generate --circuit opamp|adc --stage schematic|postlayout \
+//!              --samples N --seed S [--out samples.csv]
+//!     Run the built-in circuit Monte Carlo and emit a sample CSV.
+//!
+//! bmf yield --moments moments.csv --spec "gain_db>=80" --spec "power_w<=1.2e-4" \
+//!           [--draws N]
+//!     Estimate parametric yield of the fitted Gaussian against spec
+//!     bounds.
+//!
+//! bmf diagnose --samples samples.csv
+//!     Data-quality report: moment summary, Mardia multivariate normality
+//!     test (the BMF modelling assumption), and PCA variance structure.
+//! ```
+
+use bmf_ams::circuits::adc::AdcTestbench;
+use bmf_ams::circuits::monte_carlo::{run_monte_carlo, Stage, Testbench};
+use bmf_ams::circuits::opamp::OpAmpTestbench;
+use bmf_ams::core::io::{
+    read_moments_csv, read_samples_csv, write_moments_csv, write_samples_csv, LabelledSamples,
+};
+use bmf_ams::core::prelude::*;
+use bmf_ams::core::yield_estimation::estimate_yield;
+use bmf_ams::linalg::Matrix;
+use bmf_ams::stats::descriptive;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("yield") => cmd_yield(&args[1..]),
+        Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run 'bmf --help' for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("bmf — multivariate Bayesian model fusion for AMS circuits (DAC 2015)");
+    println!();
+    println!("subcommands:");
+    println!("  estimate --early <csv> --late <csv> [--out <csv>] [--seed <u64>]");
+    println!("  generate --circuit opamp|adc --stage schematic|postlayout");
+    println!("           --samples <n> [--seed <u64>] [--out <csv>]");
+    println!("  yield    --moments <csv> --spec \"<metric><=|>=<value>\" ... [--draws <n>]");
+    println!("  diagnose --samples <csv>");
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Parses `--key value` pairs; repeated keys accumulate.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, String> {
+    let mut map: HashMap<String, Vec<String>> = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(format!("expected a --flag, got '{key}'"));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {key} needs a value"))?;
+        map.entry(key[2..].to_string())
+            .or_default()
+            .push(value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn single<'a>(flags: &'a HashMap<String, Vec<String>>, key: &str) -> Result<&'a str, String> {
+    match flags.get(key).map(Vec::as_slice) {
+        Some([v]) => Ok(v),
+        Some(_) => Err(format!("--{key} given more than once")),
+        None => Err(format!("missing required flag --{key}")),
+    }
+}
+
+fn optional<'a>(flags: &'a HashMap<String, Vec<String>>, key: &str) -> Option<&'a str> {
+    flags.get(key).and_then(|v| v.first()).map(String::as_str)
+}
+
+fn cmd_estimate(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let early_path = single(&flags, "early")?;
+    let late_path = single(&flags, "late")?;
+    let seed: u64 = optional(&flags, "seed").unwrap_or("2015").parse()?;
+
+    let early = read_samples_csv(&mut File::open(early_path)?)?;
+    let late = read_samples_csv(&mut File::open(late_path)?)?;
+    if early.names != late.names {
+        return Err(format!(
+            "metric mismatch: early has {:?}, late has {:?}",
+            early.names, late.names
+        )
+        .into());
+    }
+    if early.samples.nrows() < 3 || late.samples.nrows() < 3 {
+        return Err("each stage needs the nominal row plus at least 2 samples".into());
+    }
+
+    // Row 0 of each file is the nominal run (the shift anchor).
+    let early_nominal = early.samples.row_vec(0);
+    let late_nominal = late.samples.row_vec(0);
+    let early_mc = early.samples.submatrix(
+        &(1..early.samples.nrows()).collect::<Vec<_>>(),
+        &(0..early.samples.ncols()).collect::<Vec<_>>(),
+    );
+    let late_mc = late.samples.submatrix(
+        &(1..late.samples.nrows()).collect::<Vec<_>>(),
+        &(0..late.samples.ncols()).collect::<Vec<_>>(),
+    );
+
+    let early_sd = descriptive::column_stddevs(&early_mc)?;
+    let early_t = ShiftScale::from_nominal_and_early_sd(&early_nominal, &early_sd)?;
+    let late_t = ShiftScale::from_nominal_and_early_sd(&late_nominal, &early_sd)?;
+    let early_norm = early_t.apply_samples(&early_mc)?;
+    let late_norm = late_t.apply_samples(&late_mc)?;
+
+    let early_moments = MomentEstimate {
+        mean: descriptive::mean_vector(&early_norm)?,
+        cov: descriptive::covariance_mle(&early_norm)?,
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let sel = CrossValidation::default().select(&early_moments, &late_norm, &mut rng)?;
+    eprintln!(
+        "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4})",
+        sel.kappa0, sel.nu0, sel.score
+    );
+
+    let prior = NormalWishartPrior::from_early_moments(&early_moments, sel.kappa0, sel.nu0)?;
+    let est = BmfEstimator::new(prior)?.estimate(&late_norm)?;
+    let physical = late_t.invert_moments(&est.map)?;
+
+    match optional(&flags, "out") {
+        Some(path) => {
+            write_moments_csv(&mut File::create(path)?, &early.names, &physical)?;
+            eprintln!("moments written to {path}");
+        }
+        None => {
+            write_moments_csv(&mut std::io::stdout().lock(), &early.names, &physical)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let circuit = single(&flags, "circuit")?;
+    let stage = match single(&flags, "stage")? {
+        "schematic" => Stage::Schematic,
+        "postlayout" | "post-layout" => Stage::PostLayout,
+        other => return Err(format!("unknown stage '{other}'").into()),
+    };
+    let n: usize = single(&flags, "samples")?.parse()?;
+    let seed: u64 = optional(&flags, "seed").unwrap_or("1").parse()?;
+
+    let tb: Box<dyn Testbench> = match circuit {
+        "opamp" => Box::new(OpAmpTestbench::default_45nm()),
+        "adc" => Box::new(AdcTestbench::default_180nm()),
+        other => return Err(format!("unknown circuit '{other}' (use opamp|adc)").into()),
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data = run_monte_carlo(tb.as_ref(), stage, n, &mut rng)?;
+
+    // First row is the nominal run, as `bmf estimate` expects.
+    let d = data.samples.ncols();
+    let mut all = Matrix::zeros(n + 1, d);
+    all.row_mut(0).copy_from_slice(data.nominal.as_slice());
+    for i in 0..n {
+        let row: Vec<f64> = data.samples.row(i).to_vec();
+        all.row_mut(i + 1).copy_from_slice(&row);
+    }
+    let labelled = LabelledSamples {
+        names: tb.metric_names().iter().map(|s| s.to_string()).collect(),
+        samples: all,
+    };
+    match optional(&flags, "out") {
+        Some(path) => {
+            write_samples_csv(&mut File::create(path)?, &labelled)?;
+            eprintln!("{} samples (+ nominal row) written to {path}", n);
+        }
+        None => write_samples_csv(&mut std::io::stdout().lock(), &labelled)?,
+    }
+    Ok(())
+}
+
+fn cmd_diagnose(args: &[String]) -> CliResult {
+    use bmf_ams::core::diagnostics::mardia_test;
+    use bmf_ams::stats::pca::Pca;
+
+    let flags = parse_flags(args)?;
+    let path = single(&flags, "samples")?;
+    let data = read_samples_csv(&mut File::open(path)?)?;
+    let (n, d) = data.samples.shape();
+    println!("{path}: {n} samples x {d} metrics");
+    println!();
+
+    let mean = descriptive::mean_vector(&data.samples)?;
+    let sd = descriptive::column_stddevs(&data.samples)?;
+    let skew = descriptive::column_skewness(&data.samples)?;
+    let kurt = descriptive::column_excess_kurtosis(&data.samples)?;
+    println!(
+        "{:>18} | {:>12} | {:>12} | {:>8} | {:>8}",
+        "metric", "mean", "sd", "skew", "ex.kurt"
+    );
+    for j in 0..d {
+        println!(
+            "{:>18} | {:12.5e} | {:12.5e} | {:8.3} | {:8.3}",
+            data.names[j], mean[j], sd[j], skew[j], kurt[j]
+        );
+    }
+
+    println!();
+    match mardia_test(&data.samples) {
+        Ok(t) => {
+            println!(
+                "Mardia multivariate normality: skewness b1 = {:.4} (p = {:.4}), kurtosis b2 = {:.3} (p = {:.4})",
+                t.skewness, t.skewness_p_value, t.kurtosis, t.kurtosis_p_value
+            );
+            if t.is_consistent_with_gaussian(0.01) {
+                println!("-> consistent with the jointly-Gaussian BMF assumption (alpha = 0.01)");
+            } else {
+                println!("-> NOT consistent with joint Gaussianity at alpha = 0.01;");
+                println!("   BMF moment estimates remain usable but interpret tails with care");
+            }
+        }
+        Err(e) => println!("Mardia test unavailable: {e}"),
+    }
+
+    println!();
+    // PCA on standardised data so units don't dominate.
+    let t = ShiftScale::new(mean, sd)?;
+    let norm = t.apply_samples(&data.samples)?;
+    let pca = Pca::fit(&norm)?;
+    let ratios = pca.explained_variance_ratio();
+    print!("PCA variance ratios:");
+    for k in 0..d {
+        print!(" {:.3}", ratios[k]);
+    }
+    println!();
+    println!(
+        "-> {} component(s) explain 90% of the (standardised) variance",
+        pca.components_for_variance(0.9)
+    );
+    Ok(())
+}
+
+fn cmd_yield(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let moments_path = single(&flags, "moments")?;
+    let draws: usize = optional(&flags, "draws").unwrap_or("100000").parse()?;
+    let seed: u64 = optional(&flags, "seed").unwrap_or("7").parse()?;
+    let specs_raw = flags
+        .get("spec")
+        .ok_or("need at least one --spec \"<metric><=|>=<value>\"")?;
+
+    let (names, moments) = read_moments_csv(&mut File::open(moments_path)?)?;
+    let d = names.len();
+    let mut lower = vec![None; d];
+    let mut upper = vec![None; d];
+    for raw in specs_raw {
+        let (idx, op_pos, op_len) = if let Some(p) = raw.find(">=") {
+            (p, p, 2)
+        } else if let Some(p) = raw.find("<=") {
+            (p, p, 2)
+        } else {
+            return Err(format!("spec '{raw}' must contain >= or <=").into());
+        };
+        let metric = raw[..idx].trim();
+        let value: f64 = raw[op_pos + op_len..].trim().parse()?;
+        let j = names
+            .iter()
+            .position(|n| n == metric)
+            .ok_or_else(|| format!("unknown metric '{metric}' (have {names:?})"))?;
+        if raw[op_pos..].starts_with(">=") {
+            lower[j] = Some(value);
+        } else {
+            upper[j] = Some(value);
+        }
+    }
+    let specs = SpecLimits::new(lower, upper)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let y = estimate_yield(&moments, &specs, draws, &mut rng)?;
+    println!(
+        "yield = {:.3}% +- {:.3}% ({} draws)",
+        y.yield_fraction * 100.0,
+        y.std_error * 100.0,
+        y.draws
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # bmf-ams — Multivariate Bayesian Model Fusion for AMS circuits
+//!
+//! Umbrella crate of the workspace reproducing *“Efficient Multivariate
+//! Moment Estimation via Bayesian Model Fusion for Analog and Mixed-Signal
+//! Circuits”* (DAC 2015). It re-exports the member crates so applications
+//! can depend on a single entry point:
+//!
+//! * [`linalg`] — dense real/complex linear algebra ([`bmf_linalg`]).
+//! * [`stats`] — distributions, samplers, special functions
+//!   ([`bmf_stats`]).
+//! * [`circuits`] — the AMS simulation substrate: MNA AC analysis, op-amp
+//!   and flash-ADC testbenches, process variation, Monte Carlo
+//!   ([`bmf_circuits`]).
+//! * [`core`] — the paper's contribution: normal-Wishart prior, MAP moment
+//!   estimation, two-dimensional cross-validation, shift & scale,
+//!   experiment harness, yield estimation ([`bmf_core`]).
+//!
+//! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
+//! system inventory and per-experiment index.
+//!
+//! ```
+//! use bmf_ams::core::prelude::*;
+//! use bmf_ams::linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), bmf_ams::core::BmfError> {
+//! let early = MomentEstimate {
+//!     mean: Vector::zeros(2),
+//!     cov: Matrix::identity(2),
+//! };
+//! let prior = NormalWishartPrior::from_early_moments(&early, 4.0, 20.0)?;
+//! assert_eq!(prior.dim(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bmf_circuits as circuits;
+pub use bmf_core as core;
+pub use bmf_linalg as linalg;
+pub use bmf_stats as stats;

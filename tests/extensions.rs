@@ -1,0 +1,201 @@
+//! Integration tests for the extension modules, exercised on real circuit
+//! data: univariate-vs-multivariate BMF, Bernoulli yield fusion vs
+//! moment-based yield, Gaussianity diagnostics, LHS sampling and PCA.
+
+use bmf_ams::circuits::monte_carlo::{run_monte_carlo, Stage};
+use bmf_ams::circuits::opamp::OpAmpTestbench;
+use bmf_ams::core::bernoulli::BernoulliBmf;
+use bmf_ams::core::diagnostics::mardia_test;
+use bmf_ams::core::prelude::*;
+use bmf_ams::core::univariate;
+use bmf_ams::core::yield_estimation::estimate_yield;
+use bmf_ams::linalg::Matrix;
+use bmf_ams::stats::pca::Pca;
+use bmf_ams::stats::{descriptive, lhs, MultivariateNormal};
+use rand::SeedableRng;
+
+fn opamp_pools(seed: u64, n: usize) -> (Matrix, Matrix) {
+    let tb = OpAmpTestbench::default_45nm();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let early = run_monte_carlo(&tb, Stage::Schematic, n, &mut rng).expect("early");
+    let late = run_monte_carlo(&tb, Stage::PostLayout, n, &mut rng).expect("late");
+    (early.samples, late.samples)
+}
+
+#[test]
+fn multivariate_bmf_beats_per_metric_univariate_on_circuit_data() {
+    // The paper's motivation (§2): per-metric fusion loses the correlation
+    // structure. Measure both against the full-pool covariance.
+    let (early_pool, late_pool) = opamp_pools(1, 800);
+    // Centre each stage on its own pool mean (stand-in for the nominal
+    // shift of §4.1) and scale both by the early σ, as the pipeline does.
+    let early_sd = descriptive::column_stddevs(&early_pool).expect("sd");
+    let early_mean = descriptive::mean_vector(&early_pool).expect("mean");
+    let late_mean = descriptive::mean_vector(&late_pool).expect("mean");
+    let t_early = ShiftScale::new(early_mean, early_sd.clone()).expect("transform");
+    let t_late = ShiftScale::new(late_mean, early_sd).expect("transform");
+    let early_norm = t_early.apply_samples(&early_pool).expect("norm");
+    let late_norm = t_late.apply_samples(&late_pool).expect("norm");
+
+    let early_moments = MomentEstimate {
+        mean: descriptive::mean_vector(&early_norm).expect("mean"),
+        cov: descriptive::covariance_mle(&early_norm).expect("cov"),
+    };
+    let exact = MomentEstimate {
+        mean: descriptive::mean_vector(&late_norm).expect("mean"),
+        cov: descriptive::covariance_mle(&late_norm).expect("cov"),
+    };
+    let few = Matrix::from_fn(16, 5, |i, j| late_norm[(i, j)]);
+
+    let per_metric =
+        univariate::estimate_per_metric(&early_moments, 5.0, 50.0, &few).expect("univariate");
+    let prior = NormalWishartPrior::from_early_moments(&early_moments, 5.0, 50.0).expect("prior");
+    let multi = BmfEstimator::new(prior)
+        .expect("estimator")
+        .estimate(&few)
+        .expect("map");
+
+    let uni_err = error_cov(&per_metric, &exact).expect("err");
+    let multi_err = error_cov(&multi.map, &exact).expect("err");
+    assert!(
+        multi_err < uni_err,
+        "multivariate ({multi_err:.4}) must beat correlation-blind per-metric ({uni_err:.4})"
+    );
+    // The gap is the off-diagonal mass the univariate method cannot see.
+    let corr = descriptive::correlation_from_cov(&exact.cov).expect("corr");
+    let mut max_off = 0.0_f64;
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            max_off = max_off.max(corr[(i, j)].abs());
+        }
+    }
+    assert!(
+        max_off > 0.5,
+        "circuit data must be correlated for this test"
+    );
+}
+
+#[test]
+fn bernoulli_fusion_agrees_with_moment_based_yield() {
+    // Two routes to the same quantity: (a) BMF moments → Gaussian yield,
+    // (b) Beta-Bernoulli fusion of pass/fail counts. With a good prior and
+    // the same data they should land in the same neighbourhood.
+    let (_, late_pool) = opamp_pools(2, 1200);
+    let specs = SpecLimits::new(
+        vec![Some(82.0), None, None, Some(-5e-3), Some(64.0)],
+        vec![None, None, Some(1.30e-4), Some(5e-3), None],
+    )
+    .expect("specs");
+
+    // Reference yield from the pool.
+    let mut passes = 0usize;
+    for i in 0..late_pool.nrows() {
+        if specs.passes(&late_pool.row_vec(i)) {
+            passes += 1;
+        }
+    }
+    let reference = passes as f64 / late_pool.nrows() as f64;
+    assert!(
+        reference > 0.2 && reference < 0.995,
+        "reference = {reference}"
+    );
+
+    // Route (b): early yield (here: reference as a stand-in prior) fused
+    // with 20 observed dies.
+    let n_obs = 20;
+    let mut obs_pass = 0usize;
+    for i in 0..n_obs {
+        if specs.passes(&late_pool.row_vec(i)) {
+            obs_pass += 1;
+        }
+    }
+    let bd = BernoulliBmf::from_early_yield(reference.clamp(0.01, 0.99), 30.0).expect("prior");
+    let post = bd.observe(obs_pass, n_obs - obs_pass).expect("observe");
+    assert!(
+        (post.mean_yield() - reference).abs() < 0.15,
+        "beta-fused {} vs reference {reference}",
+        post.mean_yield()
+    );
+    let (lo, hi) = post.credible_interval(0.95).expect("interval");
+    assert!(
+        lo < reference && reference < hi,
+        "[{lo}, {hi}] vs {reference}"
+    );
+
+    // Route (a): moments of the pool → Gaussian yield.
+    let moments = MomentEstimate {
+        mean: descriptive::mean_vector(&late_pool).expect("mean"),
+        cov: descriptive::covariance_mle(&late_pool).expect("cov"),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let gauss = estimate_yield(&moments, &specs, 40_000, &mut rng).expect("yield");
+    assert!(
+        (gauss.yield_fraction - reference).abs() < 0.05,
+        "gaussian-model yield {} vs empirical {reference}",
+        gauss.yield_fraction
+    );
+}
+
+#[test]
+fn mardia_diagnostics_run_on_both_stages() {
+    let (early_pool, late_pool) = opamp_pools(4, 500);
+    let e = mardia_test(&early_pool).expect("early test");
+    let l = mardia_test(&late_pool).expect("late test");
+    // The substrate is near-Gaussian by construction; kurtosis must sit
+    // near d(d+2) = 35 for both stages.
+    assert!((e.kurtosis - 35.0).abs() < 8.0, "early b2 = {}", e.kurtosis);
+    assert!((l.kurtosis - 35.0).abs() < 8.0, "late b2 = {}", l.kurtosis);
+}
+
+#[test]
+fn lhs_early_pool_gives_tighter_prior_mean() {
+    // Using LHS for the early pool reduces the prior-moment noise at equal
+    // simulation cost — demonstrated on the fitted Gaussian surrogate.
+    let (early_pool, _) = opamp_pools(5, 1500);
+    let surrogate = MultivariateNormal::new(
+        descriptive::mean_vector(&early_pool).expect("mean"),
+        bmf_ams::linalg::nearest_spd(
+            &descriptive::covariance_mle(&early_pool).expect("cov"),
+            1e-9,
+        )
+        .expect("spd"),
+    )
+    .expect("surrogate");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let reps = 30;
+    let n = 64;
+    let mut iid_err = 0.0;
+    let mut lhs_err = 0.0;
+    for _ in 0..reps {
+        let iid = surrogate.sample_matrix(&mut rng, n);
+        iid_err += (&descriptive::mean_vector(&iid).expect("mean") - surrogate.mean()).norm2();
+        let stratified = lhs::sample_mvn_lhs(&surrogate, &mut rng, n).expect("lhs");
+        lhs_err +=
+            (&descriptive::mean_vector(&stratified).expect("mean") - surrogate.mean()).norm2();
+    }
+    assert!(
+        lhs_err < 0.5 * iid_err,
+        "LHS mean error {lhs_err:.4} should be well below IID {iid_err:.4}"
+    );
+}
+
+#[test]
+fn pca_compresses_opamp_metrics() {
+    // Standardise first (metrics span orders of magnitude), then check
+    // that a couple of process-driven components dominate.
+    let (early_pool, _) = opamp_pools(7, 1000);
+    let sd = descriptive::column_stddevs(&early_pool).expect("sd");
+    let mean = descriptive::mean_vector(&early_pool).expect("mean");
+    let t = ShiftScale::new(mean, sd).expect("transform");
+    let norm = t.apply_samples(&early_pool).expect("norm");
+    let pca = Pca::fit(&norm).expect("pca");
+    let k = pca.components_for_variance(0.9);
+    assert!(
+        k <= 3,
+        "5 op-amp metrics should compress to <= 3 components for 90 % variance, got {k}"
+    );
+    // Projection round-trip sanity.
+    let scores = pca.transform(&norm, k).expect("scores");
+    assert_eq!(scores.shape(), (1000, k));
+}
