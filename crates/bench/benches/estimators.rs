@@ -68,6 +68,29 @@ fn bench_cv_select(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cv_select_parallel(c: &mut Criterion) {
+    // Serial vs parallel CV selection on the full default grid. The seeded
+    // entry point is bit-identical across thread counts, so this measures
+    // pure wall-clock scaling of the parallel execution layer.
+    let mut group = c.benchmark_group("cv_grid_threads");
+    group.sample_size(10);
+    let (early, samples) = setup(5, 64);
+    let cv = CrossValidation::default();
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("12x12_q4_n64", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    cv.select_seeded(&early, black_box(&samples), 6, t)
+                        .expect("select")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_univariate(c: &mut Criterion) {
     // The prior-art single-metric estimator (ref. [7]) per dimension.
     use bmf_core::univariate::UnivariateBmf;
@@ -119,6 +142,7 @@ criterion_group!(
     bench_mle,
     bench_bmf_map,
     bench_cv_select,
+    bench_cv_select_parallel,
     bench_univariate,
     bench_csv_io,
     bench_posterior_sampling

@@ -8,10 +8,13 @@
 //!    the corresponding confidence parameter (validating the §3.3
 //!    interpretation of `κ₀`/`ν₀`).
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick]`
+//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick] [--threads <n>]`
+//!
+//! `--threads` defaults to the machine's available parallelism; every
+//! ablation is bit-identical for every thread count.
 
 use bmf_bench::study_to_data;
-use bmf_circuits::monte_carlo::two_stage_study;
+use bmf_circuits::monte_carlo::two_stage_study_seeded;
 use bmf_circuits::opamp::OpAmpTestbench;
 use bmf_core::cv::CrossValidation;
 use bmf_core::error_metrics::{error_cov, error_mean};
@@ -24,6 +27,7 @@ use bmf_linalg::Matrix;
 use bmf_stats::descriptive;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rand::RngCore;
 use rand::SeedableRng;
 
 fn subsample<R: Rng>(pool: &Matrix, n: usize, rng: &mut R) -> Matrix {
@@ -42,6 +46,7 @@ fn ablation_no_shift_scale(
     n: usize,
     reps: usize,
     seed: u64,
+    threads: usize,
 ) {
     println!("--- ablation 1: BMF without shift & scale (n = {n}) ---");
     let cv = CrossValidation::default();
@@ -55,7 +60,7 @@ fn ablation_no_shift_scale(
         // Raw-space BMF: prior from raw early moments, samples raw.
         let raw_samples = subsample(raw_late, n, &mut rng);
         match cv
-            .select(raw_early_moments, &raw_samples, &mut rng)
+            .select_seeded(raw_early_moments, &raw_samples, rng.next_u64(), threads)
             .and_then(|sel| {
                 let prior =
                     NormalWishartPrior::from_early_moments(raw_early_moments, sel.kappa0, sel.nu0)?;
@@ -78,7 +83,7 @@ fn ablation_no_shift_scale(
         // Proper pipeline for reference.
         let norm_samples = subsample(&study.late_pool, n, &mut rng);
         let sel = cv
-            .select(&study.early_moments, &norm_samples, &mut rng)
+            .select_seeded(&study.early_moments, &norm_samples, rng.next_u64(), threads)
             .expect("normalised CV");
         let prior =
             NormalWishartPrior::from_early_moments(&study.early_moments, sel.kappa0, sel.nu0)
@@ -106,7 +111,7 @@ fn ablation_no_shift_scale(
 }
 
 /// Ablation 2: fixed hyper-parameters vs cross-validated ones.
-fn ablation_fixed_vs_cv(study: &PreparedStudy, n: usize, reps: usize, seed: u64) {
+fn ablation_fixed_vs_cv(study: &PreparedStudy, n: usize, reps: usize, seed: u64, threads: usize) {
     println!("--- ablation 2: fixed hyper-parameters vs CV (n = {n}) ---");
     let cv = CrossValidation::default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -134,7 +139,7 @@ fn ablation_fixed_vs_cv(study: &PreparedStudy, n: usize, reps: usize, seed: u64)
             fixed_mean_err[k] += error_mean(&est.map, &study.exact_late).unwrap();
         }
         let sel = cv
-            .select(&study.early_moments, &samples, &mut rng)
+            .select_seeded(&study.early_moments, &samples, rng.next_u64(), threads)
             .expect("CV");
         let prior =
             NormalWishartPrior::from_early_moments(&study.early_moments, sel.kappa0, sel.nu0)
@@ -171,7 +176,13 @@ fn ablation_fixed_vs_cv(study: &PreparedStudy, n: usize, reps: usize, seed: u64)
 
 /// Ablation 3: corrupt one half of the prior and watch CV shrink the
 /// matching confidence parameter.
-fn ablation_prior_corruption(study: &PreparedStudy, n: usize, reps: usize, seed: u64) {
+fn ablation_prior_corruption(
+    study: &PreparedStudy,
+    n: usize,
+    reps: usize,
+    seed: u64,
+    threads: usize,
+) {
     println!("--- ablation 3: prior corruption vs selected confidence (n = {n}) ---");
     let cv = CrossValidation::default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -190,10 +201,14 @@ fn ablation_prior_corruption(study: &PreparedStudy, n: usize, reps: usize, seed:
     for _ in 0..reps {
         let samples = subsample(&study.late_pool, n, &mut rng);
         let clean = cv
-            .select(&study.early_moments, &samples, &mut rng)
+            .select_seeded(&study.early_moments, &samples, rng.next_u64(), threads)
             .expect("CV clean");
-        let cm = cv.select(&corrupt_mean, &samples, &mut rng).expect("CV cm");
-        let cc = cv.select(&corrupt_cov, &samples, &mut rng).expect("CV cc");
+        let cm = cv
+            .select_seeded(&corrupt_mean, &samples, rng.next_u64(), threads)
+            .expect("CV cm");
+        let cc = cv
+            .select_seeded(&corrupt_cov, &samples, rng.next_u64(), threads)
+            .expect("CV cc");
         k_clean += clean.kappa0;
         k_cm += cm.kappa0;
         v_clean += clean.nu0;
@@ -219,7 +234,7 @@ fn ablation_prior_corruption(study: &PreparedStudy, n: usize, reps: usize, seed:
 /// fixed budget n — the sample covariance has d(d+1)/2 free parameters, so
 /// MLE degrades fast while a good prior keeps BMF flat (the structural
 /// argument for the paper's multivariate extension).
-fn ablation_dimensionality(n: usize, reps: usize, seed: u64) {
+fn ablation_dimensionality(n: usize, reps: usize, seed: u64, threads: usize) {
     use bmf_linalg::{Matrix, Vector};
     use bmf_stats::MultivariateNormal;
 
@@ -246,7 +261,9 @@ fn ablation_dimensionality(n: usize, reps: usize, seed: u64) {
                 cov: truth.cov().clone(),
             };
             mle_err += error_cov(&mle, &exact).expect("err");
-            let sel = cv.select(&early, &samples, &mut rng).expect("cv");
+            let sel = cv
+                .select_seeded(&early, &samples, rng.next_u64(), threads)
+                .expect("cv");
             let prior =
                 NormalWishartPrior::from_early_moments(&early, sel.kappa0, sel.nu0).expect("prior");
             let est = BmfEstimator::new(prior)
@@ -267,14 +284,22 @@ fn ablation_dimensionality(n: usize, reps: usize, seed: u64) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = bmf_core::parallel::resolve_threads(
+        args.iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok()),
+    );
     let (pool, reps) = if quick { (600, 10) } else { (3000, 40) };
     let n = 32;
 
-    eprintln!("ablations: op-amp, {pool} MC samples/stage, {reps} repetitions");
+    eprintln!(
+        "ablations: op-amp, {pool} MC samples/stage, {reps} repetitions, {threads} thread(s)"
+    );
     let tb = OpAmpTestbench::default_45nm();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let study_raw = two_stage_study(&tb, pool, pool, &mut rng).expect("monte carlo");
+    let study_raw = two_stage_study_seeded(&tb, pool, pool, 7, threads).expect("monte carlo");
     let data = study_to_data(&study_raw);
     let prepared = prepare(&data).expect("prepare");
 
@@ -291,8 +316,9 @@ fn main() {
         n,
         reps,
         101,
+        threads,
     );
-    ablation_fixed_vs_cv(&prepared, n, reps, 102);
-    ablation_prior_corruption(&prepared, n, reps, 103);
-    ablation_dimensionality(16, reps, 104);
+    ablation_fixed_vs_cv(&prepared, n, reps, 102, threads);
+    ablation_prior_corruption(&prepared, n, reps, 103, threads);
+    ablation_dimensionality(16, reps, 104, threads);
 }

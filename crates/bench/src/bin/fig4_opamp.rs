@@ -3,14 +3,15 @@
 //! samples, MLE vs BMF, plus the in-text cost-reduction factors and the
 //! CV-selected hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>] [--threads <n>]`
 //!
 //! With `--svg results/fig4` the two panels are also written as
 //! `results/fig4_mean.svg` and `results/fig4_cov.svg`.
 //!
 //! `--quick` reduces the Monte Carlo pools and repetition count for a fast
 //! smoke run; the default matches the paper (5000 MC samples per stage,
-//! 100 repetitions, n ∈ {8..512}).
+//! 100 repetitions, n ∈ {8..512}). `--threads` defaults to the machine's
+//! available parallelism; results are bit-identical for every value.
 
 use bmf_bench::plot::figure_svgs;
 use bmf_bench::{format_cost_reduction, run_circuit_experiment};
@@ -24,6 +25,12 @@ fn main() {
         .iter()
         .position(|a| a == "--svg")
         .and_then(|i| args.get(i + 1).cloned());
+    let threads = bmf_core::parallel::resolve_threads(
+        args.iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok()),
+    );
     let (pool, reps) = if quick { (800, 15) } else { (5000, 100) };
 
     let tb = OpAmpTestbench::default_45nm();
@@ -34,11 +41,11 @@ fn main() {
     }
 
     eprintln!(
-        "fig4_opamp: {pool} MC samples/stage, {reps} repetitions, n = {:?}",
+        "fig4_opamp: {pool} MC samples/stage, {reps} repetitions, n = {:?}, {threads} thread(s)",
         config.sample_sizes
     );
     let t0 = std::time::Instant::now();
-    let result = match run_circuit_experiment(&tb, pool, pool, 45, &config) {
+    let result = match run_circuit_experiment(&tb, pool, pool, 45, &config, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");

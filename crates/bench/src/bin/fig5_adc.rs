@@ -3,10 +3,11 @@
 //! vs BMF, plus the in-text >10× cost reduction and the CV-selected
 //! hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>] [--threads <n>]`
 //!
 //! The default matches the paper: 1000 MC samples per stage, 100
-//! repetitions, n ∈ {8..256}.
+//! repetitions, n ∈ {8..256}. `--threads` defaults to the machine's
+//! available parallelism; results are bit-identical for every value.
 
 use bmf_bench::plot::figure_svgs;
 use bmf_bench::{format_cost_reduction, run_circuit_experiment};
@@ -20,6 +21,12 @@ fn main() {
         .iter()
         .position(|a| a == "--svg")
         .and_then(|i| args.get(i + 1).cloned());
+    let threads = bmf_core::parallel::resolve_threads(
+        args.iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok()),
+    );
     let (pool, reps) = if quick { (400, 15) } else { (1000, 100) };
 
     let tb = AdcTestbench::default_180nm();
@@ -29,11 +36,11 @@ fn main() {
     config.sample_sizes = vec![8, 16, 32, 64, 128, 256];
 
     eprintln!(
-        "fig5_adc: {pool} MC samples/stage, {reps} repetitions, n = {:?}",
+        "fig5_adc: {pool} MC samples/stage, {reps} repetitions, n = {:?}, {threads} thread(s)",
         config.sample_sizes
     );
     let t0 = std::time::Instant::now();
-    let result = match run_circuit_experiment(&tb, pool, pool, 180, &config) {
+    let result = match run_circuit_experiment(&tb, pool, pool, 180, &config, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");

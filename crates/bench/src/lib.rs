@@ -10,12 +10,11 @@
 
 pub mod plot;
 
-use bmf_circuits::monte_carlo::{two_stage_study, Testbench, TwoStageStudy};
+use bmf_circuits::monte_carlo::{two_stage_study_seeded, Testbench, TwoStageStudy};
 use bmf_core::experiment::{
     cost_reduction, prepare, run_error_sweep_parallel, ErrorKind, SweepConfig, SweepResult,
     TwoStageData,
 };
-use rand::SeedableRng;
 
 /// Converts the circuit crate's study format into the estimator crate's
 /// experiment input.
@@ -32,6 +31,10 @@ pub fn study_to_data(study: &TwoStageStudy) -> TwoStageData {
 /// Runs the complete protocol for one circuit: Monte Carlo both stages,
 /// prepare (shift & scale), sweep errors, and return the result.
 ///
+/// Both the Monte Carlo stage and the error sweep use per-task seed
+/// derivation, so the result is bit-identical for every `threads` value;
+/// parallelism is purely a wall-clock optimisation.
+///
 /// # Errors
 ///
 /// Returns a boxed error on simulation or estimation failure.
@@ -41,14 +44,11 @@ pub fn run_circuit_experiment<T: Testbench + ?Sized>(
     n_late: usize,
     mc_seed: u64,
     config: &SweepConfig,
+    threads: usize,
 ) -> Result<SweepResult, Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(mc_seed);
-    let study = two_stage_study(tb, n_early, n_late, &mut rng)?;
+    let study = two_stage_study_seeded(tb, n_early, n_late, mc_seed, threads)?;
     let data = study_to_data(&study);
     let prepared = prepare(&data)?;
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // Per-repetition seeding makes the parallel run bit-identical to the
-    // sequential one, so parallelism is purely a wall-clock optimisation.
     Ok(run_error_sweep_parallel(&prepared, config, threads)?)
 }
 
@@ -81,8 +81,7 @@ mod tests {
     #[test]
     fn study_conversion_preserves_shapes() {
         let tb = AdcTestbench::default_180nm();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let study = two_stage_study(&tb, 10, 12, &mut rng).unwrap();
+        let study = two_stage_study_seeded(&tb, 10, 12, 2, 1).unwrap();
         let data = study_to_data(&study);
         assert_eq!(data.metric_names.len(), 5);
         assert_eq!(data.early_samples.shape(), (10, 5));
@@ -99,10 +98,29 @@ mod tests {
             cv: CrossValidation::new(vec![1.0, 100.0], vec![10.0, 100.0], 2).unwrap(),
             seed: 3,
         };
-        let result = run_circuit_experiment(&tb, 60, 60, 4, &config).unwrap();
+        let result = run_circuit_experiment(&tb, 60, 60, 4, &config, 2).unwrap();
         assert_eq!(result.rows.len(), 1);
         assert!(result.rows[0].bmf_cov_err.is_finite());
         let summary = format_cost_reduction(&result);
         assert!(summary.contains("cost reduction"));
+    }
+
+    #[test]
+    fn circuit_experiment_is_thread_count_invariant() {
+        let tb = AdcTestbench::default_180nm();
+        let config = SweepConfig {
+            sample_sizes: vec![8],
+            repetitions: 2,
+            cv: CrossValidation::new(vec![1.0, 100.0], vec![10.0, 100.0], 2).unwrap(),
+            seed: 3,
+        };
+        let serial = run_circuit_experiment(&tb, 40, 40, 4, &config, 1).unwrap();
+        let parallel = run_circuit_experiment(&tb, 40, 40, 4, &config, 4).unwrap();
+        assert_eq!(serial.rows.len(), parallel.rows.len());
+        for (s, p) in serial.rows.iter().zip(parallel.rows.iter()) {
+            assert_eq!(s.bmf_cov_err.to_bits(), p.bmf_cov_err.to_bits());
+            assert_eq!(s.bmf_mean_err.to_bits(), p.bmf_mean_err.to_bits());
+            assert_eq!(s.mle_cov_err.to_bits(), p.mle_cov_err.to_bits());
+        }
     }
 }

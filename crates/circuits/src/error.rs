@@ -47,6 +47,13 @@ pub enum CircuitError {
         /// Description of the problem.
         reason: String,
     },
+    /// A worker thread panicked during a parallel Monte Carlo stage; the
+    /// panic was contained and converted so the caller can degrade
+    /// gracefully.
+    Worker {
+        /// The joined worker's panic payload (when it was a string).
+        reason: String,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(LinalgError),
 }
@@ -70,6 +77,7 @@ impl fmt::Display for CircuitError {
                 write!(f, "failed to measure {metric}: {reason}")
             }
             CircuitError::InvalidSignal { reason } => write!(f, "invalid signal: {reason}"),
+            CircuitError::Worker { reason } => write!(f, "parallel worker failure: {reason}"),
             CircuitError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }

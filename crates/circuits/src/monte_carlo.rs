@@ -11,6 +11,7 @@ use crate::opamp::OpAmpTestbench;
 use crate::{CircuitError, Result};
 use bmf_linalg::{Matrix, Vector};
 use rand::Rng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Design stage of a simulation (the paper's early/late split).
@@ -41,8 +42,11 @@ impl std::fmt::Display for Stage {
 /// A circuit testbench that can be Monte Carlo sampled.
 ///
 /// Object-safe so heterogeneous benchmark harnesses can hold
-/// `Box<dyn Testbench>`.
-pub trait Testbench {
+/// `Box<dyn Testbench>`. `Sync` is a supertrait so one testbench can be
+/// shared by the scoped workers of [`run_monte_carlo_seeded`] —
+/// testbenches are immutable device/netlist descriptions, so this costs
+/// implementations nothing.
+pub trait Testbench: Sync {
     /// Number of performance metrics `d`.
     fn dim(&self) -> usize;
 
@@ -155,21 +159,80 @@ pub fn run_monte_carlo<T: Testbench + ?Sized, R: Rng>(
     let d = tb.dim();
     let mut samples = Matrix::zeros(n, d);
     for i in 0..n {
-        let mut last_err: Option<CircuitError> = None;
-        let mut done = false;
-        for _ in 0..MAX_RETRIES {
-            match tb.sample(stage, rng) {
-                Ok(v) => {
-                    samples.row_mut(i).copy_from_slice(v.as_slice());
-                    done = true;
-                    break;
-                }
-                Err(e) => last_err = Some(e),
-            }
+        let v = sample_with_retries(tb, stage, rng)?;
+        samples.row_mut(i).copy_from_slice(v.as_slice());
+    }
+    Ok(StageData {
+        stage,
+        nominal,
+        samples,
+    })
+}
+
+/// Draws one sample, redrawing up to [`MAX_RETRIES`] times on simulation
+/// failure (the retry policy shared by the serial and seeded runners).
+fn sample_with_retries<T: Testbench + ?Sized>(
+    tb: &T,
+    stage: Stage,
+    rng: &mut dyn rand::RngCore,
+) -> Result<Vector> {
+    let mut last_err: Option<CircuitError> = None;
+    for _ in 0..MAX_RETRIES {
+        match tb.sample(stage, rng) {
+            Ok(v) => return Ok(v),
+            Err(e) => last_err = Some(e),
         }
-        if !done {
-            return Err(last_err.expect("retry loop ran at least once"));
-        }
+    }
+    Err(last_err.expect("retry loop ran at least once"))
+}
+
+/// Per-stage seed-derivation stream for [`run_monte_carlo_seeded`]: the
+/// two stages of one study must consume disjoint random streams under a
+/// shared root seed.
+fn stage_stream(stage: Stage) -> u64 {
+    match stage {
+        Stage::Schematic => 0x4D43_0001,
+        Stage::PostLayout => 0x4D43_0002,
+    }
+}
+
+/// Runs `n` Monte Carlo simulations of `tb` at `stage` across `threads`
+/// scoped worker threads, deterministically.
+///
+/// Sample `i` owns an RNG seeded from
+/// [`bmf_stats::parallel::derive_seed`]`(seed, stage_stream, i)` — its
+/// retry draws come from that private stream — so the resulting matrix is
+/// **bit-identical for every thread count**, including 1.
+///
+/// # Errors
+///
+/// * Propagates the nominal-simulation failure unchanged.
+/// * Returns the last error of any sample whose draws failed 100
+///   consecutive times (`MAX_RETRIES`).
+/// * Returns [`CircuitError::Worker`] when a worker thread panics.
+pub fn run_monte_carlo_seeded<T: Testbench + ?Sized>(
+    tb: &T,
+    stage: Stage,
+    n: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<StageData> {
+    let nominal = tb.nominal(stage)?;
+    let d = tb.dim();
+    let stream = stage_stream(stage);
+    let rows = bmf_stats::parallel::scoped_map_range(n, threads, |i| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(bmf_stats::parallel::derive_seed(
+            seed, stream, i as u64,
+        ));
+        sample_with_retries(tb, stage, &mut rng)
+    })
+    .map_err(|p| CircuitError::Worker {
+        reason: p.to_string(),
+    })?;
+
+    let mut samples = Matrix::zeros(n, d);
+    for (i, row) in rows.into_iter().enumerate() {
+        samples.row_mut(i).copy_from_slice(row?.as_slice());
     }
     Ok(StageData {
         stage,
@@ -219,6 +282,30 @@ pub fn two_stage_study<T: Testbench + ?Sized, R: Rng>(
 ) -> Result<TwoStageStudy> {
     let early = run_monte_carlo(tb, Stage::Schematic, n_early, rng)?;
     let late = run_monte_carlo(tb, Stage::PostLayout, n_late, rng)?;
+    Ok(TwoStageStudy {
+        metric_names: tb.metric_names(),
+        early,
+        late,
+    })
+}
+
+/// Deterministic multi-threaded variant of [`two_stage_study`]: both
+/// stages run through [`run_monte_carlo_seeded`] under one root seed
+/// (their per-stage streams are disjoint), so the study is bit-identical
+/// for every thread count.
+///
+/// # Errors
+///
+/// As [`run_monte_carlo_seeded`], from either stage.
+pub fn two_stage_study_seeded<T: Testbench + ?Sized>(
+    tb: &T,
+    n_early: usize,
+    n_late: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<TwoStageStudy> {
+    let early = run_monte_carlo_seeded(tb, Stage::Schematic, n_early, seed, threads)?;
+    let late = run_monte_carlo_seeded(tb, Stage::PostLayout, n_late, seed, threads)?;
     Ok(TwoStageStudy {
         metric_names: tb.metric_names(),
         early,
@@ -295,6 +382,79 @@ mod tests {
             let data = run_monte_carlo(tb.as_ref(), Stage::Schematic, 3, &mut r).unwrap();
             assert_eq!(data.sample_count(), 3);
         }
+    }
+
+    /// A testbench whose draws fail ~40% of the time, to exercise the
+    /// retry path under seeded parallel execution.
+    struct FlakyTestbench;
+
+    impl Testbench for FlakyTestbench {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn metric_names(&self) -> Vec<&'static str> {
+            vec!["a", "b"]
+        }
+        fn nominal(&self, _stage: Stage) -> crate::Result<bmf_linalg::Vector> {
+            Ok(bmf_linalg::Vector::from_slice(&[0.0, 0.0]))
+        }
+        fn sample(
+            &self,
+            _stage: Stage,
+            rng: &mut dyn rand::RngCore,
+        ) -> crate::Result<bmf_linalg::Vector> {
+            let u: f64 = rand::Rng::gen(rng);
+            if u < 0.4 {
+                Err(CircuitError::BiasFailure {
+                    reason: "flaky corner".into(),
+                })
+            } else {
+                Ok(bmf_linalg::Vector::from_slice(&[u, 2.0 * u]))
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_monte_carlo_is_bit_identical_across_thread_counts() {
+        let tb = OpAmpTestbench::default_45nm();
+        let reference = run_monte_carlo_seeded(&tb, Stage::Schematic, 25, 7, 1).unwrap();
+        for threads in [2, 3, 7, 64] {
+            let par = run_monte_carlo_seeded(&tb, Stage::Schematic, 25, 7, threads).unwrap();
+            assert_eq!(par.samples, reference.samples, "threads = {threads}");
+            assert_eq!(par.nominal, reference.nominal);
+        }
+        // Different stages consume disjoint streams under the same root.
+        let late = run_monte_carlo_seeded(&tb, Stage::PostLayout, 25, 7, 2).unwrap();
+        assert_ne!(late.samples, reference.samples);
+    }
+
+    #[test]
+    fn seeded_monte_carlo_preserves_retry_logic() {
+        let tb = FlakyTestbench;
+        let reference = run_monte_carlo_seeded(&tb, Stage::Schematic, 50, 11, 1).unwrap();
+        assert_eq!(reference.sample_count(), 50);
+        assert!(reference.samples.is_finite());
+        // Retried draws come from each sample's private stream, so the
+        // flaky bench is still deterministic at any thread count.
+        for threads in [2, 7] {
+            let par = run_monte_carlo_seeded(&tb, Stage::Schematic, 50, 11, threads).unwrap();
+            assert_eq!(par.samples, reference.samples, "threads = {threads}");
+        }
+        // All accepted values respect the bench's acceptance region.
+        for i in 0..50 {
+            assert!(reference.samples[(i, 0)] >= 0.4);
+        }
+    }
+
+    #[test]
+    fn seeded_two_stage_study_is_deterministic() {
+        let tb = AdcTestbench::default_180nm();
+        let a = two_stage_study_seeded(&tb, 10, 6, 3, 1).unwrap();
+        let b = two_stage_study_seeded(&tb, 10, 6, 3, 4).unwrap();
+        assert_eq!(a.early.samples, b.early.samples);
+        assert_eq!(a.late.samples, b.late.samples);
+        assert_eq!(a.early.sample_count(), 10);
+        assert_eq!(a.late.sample_count(), 6);
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! (Eq. 9) of the held-out fold, and average over the `Q` runs.
 
 use crate::map::BmfEstimator;
+use crate::parallel;
 use crate::prior::NormalWishartPrior;
 use crate::{BmfError, MomentEstimate, Result};
 use bmf_linalg::Matrix;
 use bmf_stats::{descriptive, MultivariateNormal};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// One scored grid point of the CV search.
@@ -29,7 +31,7 @@ pub struct CvGridPoint {
 }
 
 /// The result of one hyper-parameter search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HyperParameterSelection {
     /// Selected `κ₀`.
     pub kappa0: f64,
@@ -67,6 +69,11 @@ pub struct CrossValidation {
 
 /// Builds a log-spaced grid over `[lo, hi]` with `points` entries.
 fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    if points == 1 {
+        // A single point has no spacing to interpolate; the general
+        // formula below would divide by zero and yield NaN.
+        return vec![lo];
+    }
     let llo = lo.ln();
     let lhi = hi.ln();
     (0..points)
@@ -173,6 +180,10 @@ impl CrossValidation {
     /// Candidates with `ν₀ ≤ d` are skipped (the prior of Eq. 20 requires
     /// `ν₀ > d`); the effective fold count shrinks to `n` when `n < Q`.
     ///
+    /// Draws a single root seed from `rng` and delegates to
+    /// [`CrossValidation::select_seeded`] on one thread; pass an explicit
+    /// seed and thread count there for parallel execution.
+    ///
     /// # Errors
     ///
     /// * [`BmfError::InvalidSamples`] when there are fewer than 2 samples
@@ -183,6 +194,31 @@ impl CrossValidation {
         early: &MomentEstimate,
         late_samples: &Matrix,
         rng: &mut R,
+    ) -> Result<HyperParameterSelection> {
+        self.select_seeded(early, late_samples, rng.next_u64(), 1)
+    }
+
+    /// [`CrossValidation::select`] with an explicit root seed and thread
+    /// count: candidates are scored in parallel over `threads` scoped
+    /// workers, and the per-repeat fold shuffles are derived from `seed`
+    /// (stream [`parallel::streams::CV_FOLD_SHUFFLE`], index = repeat).
+    ///
+    /// The result is **bit-identical for every `threads` value**: each
+    /// candidate's score is accumulated entirely within one task in repeat
+    /// order, and tasks are combined in candidate order, so neither the
+    /// random streams nor the floating-point reduction order depend on
+    /// scheduling.
+    ///
+    /// # Errors
+    ///
+    /// As [`CrossValidation::select`], plus [`BmfError::Worker`] if a
+    /// scoring worker panics.
+    pub fn select_seeded(
+        &self,
+        early: &MomentEstimate,
+        late_samples: &Matrix,
+        seed: u64,
+        threads: usize,
     ) -> Result<HyperParameterSelection> {
         early.validate()?;
         let d = early.dim();
@@ -208,12 +244,20 @@ impl CrossValidation {
             .filter(|&&nu0| nu0 > d as f64 + 1e-9)
             .flat_map(|&nu0| self.kappa_grid.iter().map(move |&kappa0| (kappa0, nu0)))
             .collect();
-        let mut scores = vec![0.0_f64; candidates.len()];
 
-        for _ in 0..self.repeats {
-            // Randomly permute rows so folds are exchangeable, then split.
+        // Assemble each repeat's folds and training sets up front (cheap —
+        // data movement only), with the row shuffle of repeat `rep` drawn
+        // from its own derived seed so it is independent of both thread
+        // count and the caller's RNG state.
+        let mut fold_sets: Vec<(Vec<Matrix>, Vec<Matrix>)> = Vec::with_capacity(self.repeats);
+        for rep in 0..self.repeats {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(parallel::derive_seed(
+                seed,
+                parallel::streams::CV_FOLD_SHUFFLE,
+                rep as u64,
+            ));
             let mut order: Vec<usize> = (0..n).collect();
-            order.shuffle(rng);
+            order.shuffle(&mut rng);
             let shuffled = Matrix::from_fn(n, d, |i, j| late_samples[(order[i], j)]);
             let q = self.q.min(n);
             let folds = descriptive::split_folds(&shuffled, q)?;
@@ -229,12 +273,19 @@ impl CrossValidation {
                     .collect();
                 training.push(descriptive::vstack(&parts)?);
             }
+            fold_sets.push((training, folds));
+        }
 
-            for (slot, &(kappa0, nu0)) in scores.iter_mut().zip(candidates.iter()) {
-                *slot += self.score_combination(early, kappa0, nu0, &training, &folds)
+        // Score candidates in parallel; this is the hot loop (one BMF fit
+        // per candidate × repeat × fold).
+        let scores = parallel::map_slice(&candidates, threads, |_, &(kappa0, nu0)| {
+            let mut score = 0.0_f64;
+            for (training, folds) in &fold_sets {
+                score += self.score_combination(early, kappa0, nu0, training, folds)
                     / self.repeats as f64;
             }
-        }
+            score
+        })?;
 
         let mut grid = Vec::with_capacity(candidates.len());
         let mut best: Option<CvGridPoint> = None;
@@ -274,6 +325,9 @@ impl CrossValidation {
     /// axis). This is how optima like the paper's κ₀ = 4.67 — between
     /// integer grid lines — are resolved.
     ///
+    /// Draws a single root seed from `rng` and delegates to
+    /// [`CrossValidation::select_refined_seeded`] on one thread.
+    ///
     /// # Errors
     ///
     /// As [`CrossValidation::select`].
@@ -284,12 +338,41 @@ impl CrossValidation {
         zoom_points: usize,
         rng: &mut R,
     ) -> Result<HyperParameterSelection> {
+        self.select_refined_seeded(early, late_samples, zoom_points, rng.next_u64(), 1)
+    }
+
+    /// [`CrossValidation::select_refined`] with an explicit root seed and
+    /// thread count. The coarse and zoomed stages run on seeds derived
+    /// from `seed` (streams [`parallel::streams::CV_COARSE`] and
+    /// [`parallel::streams::CV_ZOOM`]), each scoring its grid across
+    /// `threads` workers — bit-identical for every thread count.
+    ///
+    /// The zoomed ν₀ window is clamped above the feasibility floor
+    /// `ν₀ > d`, so no zoom point is wasted on candidates the prior must
+    /// reject; if the zoomed stage still fails (e.g. a degenerate window
+    /// around an extreme coarse optimum), the coarse selection is
+    /// returned instead of an error.
+    ///
+    /// # Errors
+    ///
+    /// As [`CrossValidation::select_seeded`] (from the coarse stage —
+    /// zoomed-stage failures fall back to the coarse result).
+    pub fn select_refined_seeded(
+        &self,
+        early: &MomentEstimate,
+        late_samples: &Matrix,
+        zoom_points: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<HyperParameterSelection> {
         if zoom_points < 2 {
             return Err(BmfError::InvalidConfig {
                 reason: format!("zoom grid needs at least 2 points per axis, got {zoom_points}"),
             });
         }
-        let coarse = self.select(early, late_samples, rng)?;
+        let coarse_seed = parallel::derive_seed(seed, parallel::streams::CV_COARSE, 0);
+        let zoom_seed = parallel::derive_seed(seed, parallel::streams::CV_ZOOM, 0);
+        let coarse = self.select_seeded(early, late_samples, coarse_seed, threads)?;
 
         // Local window: one coarse step each way in log space (with the
         // coarse step ratio estimated from the grids themselves).
@@ -302,16 +385,37 @@ impl CrossValidation {
         };
         let rk = step_ratio(&self.kappa_grid);
         let rn = step_ratio(&self.nu_grid);
-        let zoom = |centre: f64, ratio: f64| -> Vec<f64> {
-            log_grid(centre / ratio, centre * ratio, zoom_points)
+        let zoom = |centre: f64, ratio: f64, floor: Option<f64>| -> Vec<f64> {
+            let (mut lo, mut hi) = (centre / ratio, centre * ratio);
+            if lo > hi {
+                // A descending grid yields ratio < 1; normalise.
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            if let Some(floor) = floor {
+                // Clamp the window into the feasible region ν₀ > d. The
+                // coarse optimum is feasible, so centre (≤ hi) is a valid
+                // upper bound whenever the floor crosses hi.
+                lo = lo.max(floor);
+                hi = hi.max(lo);
+            }
+            log_grid(lo, hi, zoom_points)
         };
-        let fine = CrossValidation::with_repeats(
-            zoom(coarse.kappa0, rk),
-            zoom(coarse.nu0, rn),
+        let d = early.dim();
+        let nu_floor = (d as f64 + 1e-9) * (1.0 + 1e-9);
+        let refined = CrossValidation::with_repeats(
+            zoom(coarse.kappa0, rk, None),
+            zoom(coarse.nu0, rn, Some(nu_floor)),
             self.q,
             self.repeats,
-        )?;
-        let refined = fine.select(early, late_samples, rng)?;
+        )
+        .and_then(|fine| fine.select_seeded(early, late_samples, zoom_seed, threads));
+        let refined = match refined {
+            Ok(r) => r,
+            // The zoom is an opportunistic improvement; a degenerate fine
+            // grid (e.g. non-finite window endpoints around an extreme
+            // coarse optimum) must not discard the valid coarse result.
+            Err(_) => return Ok(coarse),
+        };
 
         // Keep whichever stage scored better (the zoom can only help when
         // its folds agree), and report the union of both scored grids.
@@ -407,6 +511,22 @@ mod tests {
         assert!((g[0] - 1.0).abs() < 1e-12);
         assert!((g[11] - 1000.0).abs() < 1e-9);
         assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn log_grid_single_point_is_lo_not_nan() {
+        // Regression: `points == 1` used to interpolate with a 0/0 step
+        // and produce a NaN candidate, which the CV constructor rejects.
+        assert_eq!(log_grid(5.0, 1000.0, 1), vec![5.0]);
+        let cv = CrossValidation::new(vec![3.0], vec![7.0], 2).unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov().clone(),
+        };
+        let late = truth().sample_matrix(&mut r, 8);
+        let sel = cv.select(&early, &late, &mut r).unwrap();
+        assert_eq!((sel.kappa0, sel.nu0), (3.0, 7.0));
     }
 
     #[test]
@@ -573,6 +693,79 @@ mod tests {
         assert!(refined.score >= coarse_best - 1e-12);
         assert!(refined.nu0 > 2.0);
         assert!(cv.select_refined(&early, &late, 1, &mut r).is_err());
+    }
+
+    #[test]
+    fn refined_zoom_clamps_nu_window_above_d() {
+        // Coarse optimum ν₀ = 2.1 sits just above d = 2; the naive zoom
+        // window [2.1/476, 2.1·476] would waste half its ν₀ points on the
+        // infeasible region ν₀ ≤ d. With the clamp every zoomed candidate
+        // is feasible, so the reported grid holds the full fine grid.
+        let cv = CrossValidation::with_repeats(vec![5.0], vec![2.1, 1000.0], 2, 2).unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov() * 25.0, // inflated prior → small ν₀ wins
+        };
+        let late = truth().sample_matrix(&mut r, 32);
+        let zoom_points = 4;
+        let sel = cv
+            .select_refined(&early, &late, zoom_points, &mut r)
+            .unwrap();
+        let coarse_candidates = 2; // 1 κ₀ × 2 feasible ν₀
+        assert_eq!(
+            sel.grid.len(),
+            coarse_candidates + zoom_points * zoom_points,
+            "zoomed nu window must be clamped into the feasible region"
+        );
+        assert!(sel.grid.iter().all(|p| p.nu0 > 2.0));
+        assert!(sel.nu0 > 2.0);
+    }
+
+    #[test]
+    fn refined_falls_back_to_coarse_when_zoom_fails() {
+        // A coarse optimum at the very bottom of the float range makes the
+        // zoom window's lower edge underflow to 0 (5e-324 / 2 rounds to
+        // zero), which the fine-grid constructor rejects as non-positive;
+        // select_refined must return the valid coarse result, not error.
+        let kappa_min = f64::MIN_POSITIVE * f64::EPSILON; // 5e-324
+        assert_eq!(kappa_min / 2.0, 0.0);
+        let cv = CrossValidation::with_repeats(vec![kappa_min], vec![5.0], 2, 1).unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::identity(2),
+        };
+        let late = truth().sample_matrix(&mut r, 8);
+        let sel = cv.select_refined(&early, &late, 3, &mut r).unwrap();
+        assert_eq!(sel.kappa0, kappa_min);
+        assert_eq!(sel.nu0, 5.0);
+        assert!(sel.score.is_finite());
+    }
+
+    #[test]
+    fn select_seeded_is_bit_identical_across_thread_counts() {
+        let cv =
+            CrossValidation::with_repeats(vec![1.0, 10.0, 100.0], vec![5.0, 50.0, 500.0], 3, 3)
+                .unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov().clone(),
+        };
+        let late = truth().sample_matrix(&mut r, 16);
+        let reference = cv.select_seeded(&early, &late, 42, 1).unwrap();
+        for threads in [2, 3, 7, 16] {
+            let par = cv.select_seeded(&early, &late, 42, threads).unwrap();
+            assert_eq!(par, reference, "threads = {threads}");
+        }
+        let refined_ref = cv.select_refined_seeded(&early, &late, 3, 42, 1).unwrap();
+        for threads in [2, 7] {
+            let par = cv
+                .select_refined_seeded(&early, &late, 3, 42, threads)
+                .unwrap();
+            assert_eq!(par, refined_ref, "threads = {threads}");
+        }
     }
 
     #[test]

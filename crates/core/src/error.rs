@@ -31,6 +31,12 @@ pub enum BmfError {
         /// Description of the problem.
         reason: String,
     },
+    /// A worker thread panicked during a parallel stage; the panic was
+    /// contained and converted so the caller can degrade gracefully.
+    Worker {
+        /// The joined worker's panic payload (when it was a string).
+        reason: String,
+    },
     /// An underlying statistics operation failed.
     Stats(StatsError),
     /// An underlying linear-algebra operation failed.
@@ -48,6 +54,7 @@ impl fmt::Display for BmfError {
             BmfError::InvalidMoments { reason } => write!(f, "invalid moments: {reason}"),
             BmfError::InvalidSamples { reason } => write!(f, "invalid samples: {reason}"),
             BmfError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            BmfError::Worker { reason } => write!(f, "parallel worker failure: {reason}"),
             BmfError::Stats(e) => write!(f, "statistics failure: {e}"),
             BmfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }

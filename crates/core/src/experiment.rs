@@ -19,6 +19,7 @@ use crate::cv::CrossValidation;
 use crate::error_metrics::{error_cov, error_mean};
 use crate::map::BmfEstimator;
 use crate::mle::MleEstimator;
+use crate::parallel;
 use crate::prior::NormalWishartPrior;
 use crate::transform::ShiftScale;
 use crate::{BmfError, MomentEstimate, Result};
@@ -283,16 +284,12 @@ struct RepetitionOutcome {
     nu0: f64,
 }
 
-/// Deterministic seed for repetition `rep` of sample size `n`: a simple
-/// SplitMix64-style mix so parallel and sequential execution see identical
-/// random streams.
+/// Deterministic seed for repetition `rep` of sample size `n`, so parallel
+/// and sequential execution see identical random streams. The sample size
+/// acts as the stream, the repetition as the task index; the mixing is
+/// [`parallel::derive_seed`]'s.
 fn repetition_seed(base: u64, n: usize, rep: usize) -> u64 {
-    let mut z = base
-        .wrapping_add((n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add((rep as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    parallel::derive_seed(base, n as u64, rep as u64)
 }
 
 /// Runs one repetition (subsample → MLE + CV + BMF → errors) with its own
@@ -360,13 +357,17 @@ pub fn run_error_sweep(study: &PreparedStudy, config: &SweepConfig) -> Result<Sw
 }
 
 /// Multi-threaded version of [`run_error_sweep`]: repetitions are
-/// distributed over `threads` OS threads. Because every repetition owns a
-/// deterministic seed, the result is **bit-identical** to the sequential
-/// run regardless of scheduling.
+/// distributed over `threads` scoped workers via
+/// [`parallel::map_range`]. Because every repetition owns a deterministic
+/// seed, the result is **bit-identical** to the sequential run regardless
+/// of scheduling; `threads` may exceed the repetition count (the surplus
+/// workers are simply not spawned).
 ///
 /// # Errors
 ///
 /// * [`BmfError::InvalidConfig`] when `threads == 0`.
+/// * [`BmfError::Worker`] when a repetition panics — the panic is
+///   contained instead of aborting the caller.
 /// * Propagates the first repetition failure encountered.
 pub fn run_error_sweep_parallel(
     study: &PreparedStudy,
@@ -381,30 +382,9 @@ pub fn run_error_sweep_parallel(
     config.validate(study.late_pool.nrows())?;
     let mut rows = Vec::with_capacity(config.sample_sizes.len());
     for &n in &config.sample_sizes {
-        let reps = config.repetitions;
-        let mut outcomes: Vec<Result<RepetitionOutcome>> = Vec::with_capacity(reps);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for worker in 0..threads {
-                let study_ref = &*study;
-                let config_ref = &*config;
-                handles.push(scope.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut rep = worker;
-                    while rep < reps {
-                        local.push((rep, run_repetition(study_ref, config_ref, n, rep)));
-                        rep += threads;
-                    }
-                    local
-                }));
-            }
-            let mut collected: Vec<(usize, Result<RepetitionOutcome>)> = Vec::with_capacity(reps);
-            for h in handles {
-                collected.extend(h.join().expect("worker thread panicked"));
-            }
-            collected.sort_by_key(|(rep, _)| *rep);
-            outcomes.extend(collected.into_iter().map(|(_, o)| o));
-        });
+        let outcomes = parallel::map_range(config.repetitions, threads, |rep| {
+            run_repetition(study, config, n, rep)
+        })?;
         let outcomes: Result<Vec<RepetitionOutcome>> = outcomes.into_iter().collect();
         rows.push(aggregate(n, &outcomes?));
     }
@@ -754,6 +734,21 @@ mod tests {
             assert_eq!(seq, par, "threads = {threads}");
         }
         assert!(run_error_sweep_parallel(&study, &config, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_accepts_more_threads_than_repetitions() {
+        let data = synthetic_data(0.1, 400, 12);
+        let study = prepare(&data).unwrap();
+        let config = SweepConfig {
+            sample_sizes: vec![8],
+            repetitions: 2,
+            cv: CrossValidation::default(),
+            seed: 5,
+        };
+        let seq = run_error_sweep(&study, &config).unwrap();
+        let par = run_error_sweep_parallel(&study, &config, 16).unwrap();
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod experiment;
 pub mod io;
 pub mod map;
 pub mod mle;
+pub mod parallel;
 pub mod prior;
 pub mod robustness;
 pub mod sequential;

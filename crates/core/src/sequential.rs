@@ -139,8 +139,7 @@ impl SequentialBmf {
     pub fn estimate(&self) -> Result<BmfEstimate> {
         if self.observed == 0 {
             return Err(BmfError::InvalidSamples {
-                reason: "no samples observed yet; the prior mode is the only estimate"
-                    .to_string(),
+                reason: "no samples observed yet; the prior mode is the only estimate".to_string(),
             });
         }
         let d = self.dim as f64;
@@ -191,7 +190,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         for n in [1usize, 2, 5, 17, 64] {
             let samples = truth.sample_matrix(&mut rng, n);
-            let batch = BmfEstimator::new(prior()).unwrap().estimate(&samples).unwrap();
+            let batch = BmfEstimator::new(prior())
+                .unwrap()
+                .estimate(&samples)
+                .unwrap();
             let mut seq = SequentialBmf::new(prior()).unwrap();
             seq.observe_all(&samples).unwrap();
             let streaming = seq.estimate().unwrap();
@@ -245,9 +247,7 @@ mod tests {
         let mut seq = SequentialBmf::new(prior()).unwrap();
         assert!(seq.estimate().is_err()); // nothing observed
         assert!(seq.observe(&Vector::zeros(3)).is_err());
-        assert!(seq
-            .observe(&Vector::from_slice(&[1.0, f64::NAN]))
-            .is_err());
+        assert!(seq.observe(&Vector::from_slice(&[1.0, f64::NAN])).is_err());
         assert_eq!(seq.observed(), 0);
         assert_eq!(seq.dim(), 2);
         seq.observe(&Vector::zeros(2)).unwrap();

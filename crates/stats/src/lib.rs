@@ -41,6 +41,7 @@ mod error;
 pub mod lhs;
 mod mvn;
 mod normal_wishart;
+pub mod parallel;
 pub mod pca;
 pub mod special;
 mod student_t;

@@ -22,16 +22,17 @@
 //! ```
 
 use bmf_ams::circuits::adc::AdcTestbench;
-use bmf_ams::circuits::monte_carlo::{run_monte_carlo, Stage, Testbench};
+use bmf_ams::circuits::monte_carlo::{run_monte_carlo_seeded, Stage, Testbench};
 use bmf_ams::circuits::opamp::OpAmpTestbench;
 use bmf_ams::core::io::{
     read_moments_csv, read_samples_csv, write_moments_csv, write_samples_csv, LabelledSamples,
 };
+use bmf_ams::core::parallel::resolve_threads;
 use bmf_ams::core::prelude::*;
 use bmf_ams::core::yield_estimation::estimate_yield;
 use bmf_ams::linalg::Matrix;
 use bmf_ams::stats::descriptive;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
 use std::fs::File;
 use std::process::ExitCode;
@@ -63,11 +64,14 @@ fn print_usage() {
     println!("bmf — multivariate Bayesian model fusion for AMS circuits (DAC 2015)");
     println!();
     println!("subcommands:");
-    println!("  estimate --early <csv> --late <csv> [--out <csv>] [--seed <u64>]");
+    println!("  estimate --early <csv> --late <csv> [--out <csv>] [--seed <u64>] [--threads <n>]");
     println!("  generate --circuit opamp|adc --stage schematic|postlayout");
-    println!("           --samples <n> [--seed <u64>] [--out <csv>]");
+    println!("           --samples <n> [--seed <u64>] [--threads <n>] [--out <csv>]");
     println!("  yield    --moments <csv> --spec \"<metric><=|>=<value>\" ... [--draws <n>]");
     println!("  diagnose --samples <csv>");
+    println!();
+    println!("--threads defaults to the machine's available parallelism; results are");
+    println!("bit-identical for every thread count (per-task seed derivation).");
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -102,6 +106,22 @@ fn single<'a>(flags: &'a HashMap<String, Vec<String>>, key: &str) -> Result<&'a 
 
 fn optional<'a>(flags: &'a HashMap<String, Vec<String>>, key: &str) -> Option<&'a str> {
     flags.get(key).and_then(|v| v.first()).map(String::as_str)
+}
+
+/// Parses `--threads`, defaulting to the machine's available parallelism.
+fn threads_flag(flags: &HashMap<String, Vec<String>>) -> Result<usize, String> {
+    match optional(flags, "threads") {
+        Some(raw) => {
+            let t: usize = raw
+                .parse()
+                .map_err(|_| format!("--threads must be a positive integer, got '{raw}'"))?;
+            if t == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            Ok(t)
+        }
+        None => Ok(resolve_threads(None)),
+    }
 }
 
 fn cmd_estimate(args: &[String]) -> CliResult {
@@ -146,10 +166,12 @@ fn cmd_estimate(args: &[String]) -> CliResult {
         cov: descriptive::covariance_mle(&early_norm)?,
     };
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let sel = CrossValidation::default().select(&early_moments, &late_norm, &mut rng)?;
+    let threads = threads_flag(&flags)?;
+    let cv_seed = rand::rngs::StdRng::seed_from_u64(seed).next_u64();
+    let sel =
+        CrossValidation::default().select_seeded(&early_moments, &late_norm, cv_seed, threads)?;
     eprintln!(
-        "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4})",
+        "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4}, {threads} thread(s))",
         sel.kappa0, sel.nu0, sel.score
     );
 
@@ -186,8 +208,9 @@ fn cmd_generate(args: &[String]) -> CliResult {
         other => return Err(format!("unknown circuit '{other}' (use opamp|adc)").into()),
     };
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let data = run_monte_carlo(tb.as_ref(), stage, n, &mut rng)?;
+    let threads = threads_flag(&flags)?;
+    let data = run_monte_carlo_seeded(tb.as_ref(), stage, n, seed, threads)?;
+    eprintln!("generated {n} samples on {threads} thread(s)");
 
     // First row is the nominal run, as `bmf estimate` expects.
     let d = data.samples.ncols();

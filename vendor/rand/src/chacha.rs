@@ -1,0 +1,173 @@
+//! Serial ChaCha keystream generator with `rand_core::BlockRng`-compatible
+//! word/buffer semantics, used to back [`crate::rngs::StdRng`] (ChaCha12,
+//! matching `rand 0.8`'s choice via `rand_chacha 0.3`).
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Words per refill: `rand_chacha` buffers four 16-word blocks at a time.
+const BUF_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One 64-byte ChaCha block (original djb construction: 64-bit counter in
+/// words 12–13, 64-bit stream id in words 14–15).
+fn block(key: &[u32; 8], counter: u64, stream: u64, rounds: usize, out: &mut [u32; 16]) {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = stream as u32;
+    state[15] = (stream >> 32) as u32;
+
+    let mut w = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut w, 0, 4, 8, 12);
+        quarter_round(&mut w, 1, 5, 9, 13);
+        quarter_round(&mut w, 2, 6, 10, 14);
+        quarter_round(&mut w, 3, 7, 11, 15);
+        quarter_round(&mut w, 0, 5, 10, 15);
+        quarter_round(&mut w, 1, 6, 11, 12);
+        quarter_round(&mut w, 2, 7, 8, 13);
+        quarter_round(&mut w, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = w[i].wrapping_add(state[i]);
+    }
+}
+
+/// ChaCha12 keystream with the `BlockRng` consumption discipline: a
+/// 64-word buffer, `next_u64` taking (lo, hi) word pairs, and the
+/// documented straddle behaviour when a u64 read lands on the last word.
+#[derive(Debug, Clone)]
+pub struct ChaCha12 {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+impl ChaCha12 {
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        ChaCha12 {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            // Start exhausted so the first read triggers a refill.
+            index: BUF_WORDS,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut out = [0u32; 16];
+        for b in 0..BUF_WORDS / 16 {
+            block(&self.key, self.counter + b as u64, 0, 12, &mut out);
+            self.buf[16 * b..16 * (b + 1)].copy_from_slice(&out);
+        }
+        self.counter += (BUF_WORDS / 16) as u64;
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+            self.index = 0;
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index >= BUF_WORDS {
+            self.refill();
+            self.index = 2;
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            // Straddle: low half is the last buffered word, high half is
+            // the first word of the next refill (BlockRng::next_u64).
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | lo
+        }
+    }
+
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // fill_via_u32_chunks semantics: whole words are consumed, the
+        // trailing partial word (if any) is consumed entirely.
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 / djb reference: ChaCha20 keystream block 0 for the
+    /// all-zero key, nonce and counter. Validates the quarter-round and
+    /// serialization shared with the 12-round variant.
+    #[test]
+    fn chacha20_zero_state_test_vector() {
+        let key = [0u32; 8];
+        let mut out = [0u32; 16];
+        block(&key, 0, 0, 20, &mut out);
+        let mut bytes = Vec::new();
+        for w in out {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let expected: [u8; 32] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+            0x8b, 0x77, 0x0d, 0xc7,
+        ];
+        assert_eq!(&bytes[..32], &expected);
+    }
+
+    #[test]
+    fn straddled_u64_is_consistent() {
+        // Consuming 63 u32s then one u64 must produce the same keystream
+        // words as consuming 65 u32s (lo = word 63, hi = word 64).
+        let seed = [7u8; 32];
+        let mut a = ChaCha12::from_seed(seed);
+        let mut b = ChaCha12::from_seed(seed);
+        let mut last_words = (0, 0);
+        for _ in 0..63 {
+            a.next_u32();
+        }
+        for i in 0..65 {
+            let w = b.next_u32();
+            if i == 63 {
+                last_words.0 = w;
+            }
+            if i == 64 {
+                last_words.1 = w;
+            }
+        }
+        let straddled = a.next_u64();
+        assert_eq!(
+            straddled,
+            (u64::from(last_words.1) << 32) | u64::from(last_words.0)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! The `Standard` distribution and the `Distribution` trait, matching
+//! `rand 0.8` output bit-for-bit for the implemented types.
+
+use crate::Rng;
+
+/// Types that can produce samples of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "default" distribution: uniform over a type's natural domain
+/// (`[0, 1)` for floats using the high 53/24 bits, full range for ints).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand 0.8: multiply-based, 53 high bits.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // rand 0.8: 24 high bits of a u32.
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! int_standard {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$method() as $ty
+                }
+            }
+        )*
+    };
+}
+
+// rand 0.8: 8/16/32-bit ints truncate a u32; 64-bit and usize (on 64-bit
+// targets) use a full u64.
+int_standard!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    u64 => next_u64,
+    i64 => next_u64,
+    usize => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the external `rand` dependency is replaced by this crate. It is **not**
+//! a full re-implementation: it provides exactly the surface the workspace
+//! uses, with output **bit-identical** to `rand 0.8.5` + `rand_chacha
+//! 0.3` for those paths:
+//!
+//! * [`rngs::StdRng`] — ChaCha12 with the `rand_core` `BlockRng` buffer
+//!   semantics (including the u64-across-refill straddle case);
+//! * [`SeedableRng::seed_from_u64`] — the PCG32-based seed expansion of
+//!   `rand_core` 0.6;
+//! * `Standard` f64/int sampling, `gen_range` for float and integer
+//!   ranges (widening-multiply rejection for ints, the [1, 2)-mantissa
+//!   trick for floats), and [`seq::SliceRandom::shuffle`].
+//!
+//! Anything else from the real crate is intentionally absent; add pieces
+//! here (matching upstream semantics) as the workspace grows.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+mod uniform;
+
+use distributions::{Distribution, Standard};
+
+/// Core RNG trait: sources of uniform random bits (object-safe).
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// RNGs constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with PCG32 (`rand_core` 0.6
+    /// semantics: advance state by the standard LCG, output XSH-RR, copy
+    /// each output's little-endian bytes into the seed in 4-byte chunks).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let xl = x.to_le_bytes();
+            chunk.copy_from_slice(&xl[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing extension trait with typed sampling helpers.
+pub trait Rng: RngCore {
+    /// Samples a value via the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (rand 0.8 `Bernoulli`
+    /// semantics: 64-bit integer threshold comparison).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        // rand 0.8 Bernoulli: p_int = p * 2^64 rounded; p == 1 always true.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x: f64 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let k: usize = r.gen_range(0..7);
+            assert!(k < 7);
+            let j: usize = r.gen_range(0..=3);
+            assert!(j <= 3);
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_centred() {
+        let mut r = rngs::StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_extension_methods() {
+        let mut r = rngs::StdRng::seed_from_u64(4);
+        let dyn_r: &mut dyn RngCore = &mut r;
+        let x: f64 = dyn_r.gen_range(-1.0..1.0);
+        assert!((-1.0..1.0).contains(&x));
+    }
+}

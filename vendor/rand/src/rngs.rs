@@ -1,0 +1,37 @@
+//! Named RNG types.
+
+use crate::chacha::ChaCha12;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha12, exactly as in `rand 0.8` (via
+/// `rand_chacha`'s `ChaCha12Rng`), including buffer-consumption order.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    core: ChaCha12,
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.core.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.core.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng {
+            core: ChaCha12::from_seed(seed),
+        }
+    }
+}
+
+/// Alias kept for call sites written against `rand::rngs::SmallRng`
+/// (same generator here; the distinction only matters upstream).
+pub type SmallRng = StdRng;

@@ -1,0 +1,144 @@
+//! Range sampling (`Rng::gen_range`) matching `rand 0.8`'s
+//! `UniformInt`/`UniformFloat` `sample_single` code paths bit-for-bit.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline(always)]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = u128::from(a) * u128::from(b);
+    ((t >> 64) as u64, t as u64)
+}
+
+/// rand 0.8 `UniformInt::sample_single_inclusive` on a 64-bit carrier:
+/// widening multiply with the `(range << lz) - 1` acceptance zone.
+#[inline]
+fn sample_u64_inclusive<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+    assert!(low <= high, "gen_range: low > high");
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        // Full u64 range.
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul64(v, range);
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+/// rand 0.8 `UniformFloat::<f64>::sample_single`: a [1, 2) mantissa fill
+/// from the high 52 bits, shifted and scaled into `[low, high)`.
+#[inline]
+fn sample_f64<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+    assert!(low < high, "gen_range: low >= high");
+    let scale = high - low;
+    let value1_2 = f64::from_bits((rng.next_u64() >> 12) | 0x3FF0_0000_0000_0000);
+    let value0_1 = value1_2 - 1.0;
+    let res = value0_1 * scale + low;
+    // Upstream loops with a reduced scale in the (measure-zero) rounding
+    // case res == high; clamping is equivalent for all practical inputs.
+    if res < high {
+        res
+    } else {
+        f64::from_bits(high.to_bits() - 1)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        sample_f64(self.start, self.end, rng)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: low >= high");
+        let scale = self.end - self.start;
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | 0x3F80_0000);
+        let res = (value1_2 - 1.0) * scale + self.start;
+        if res < self.end {
+            res
+        } else {
+            f32::from_bits(self.end.to_bits() - 1)
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    // rand 0.8 sample_single delegates to the inclusive
+                    // variant with high - 1.
+                    sample_u64_inclusive(self.start as u64, (self.end - 1) as u64, rng) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    sample_u64_inclusive(*self.start() as u64, *self.end() as u64, rng) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_int_range {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let low = self.start as i64 as u64;
+                    let high = (self.end as i64 as u64).wrapping_sub(1);
+                    // Widening-multiply rejection operates on the unsigned
+                    // offset from `low`, as upstream does.
+                    let range_high = high.wrapping_sub(low);
+                    let off = sample_u64_inclusive(0, range_high, rng);
+                    low.wrapping_add(off) as i64 as $ty
+                }
+            }
+        )*
+    };
+}
+
+signed_int_range!(i64, i32, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn inclusive_covers_endpoints() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[sample_u64_inclusive(0, 3, &mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_is_half_open() {
+        let mut r = StdRng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            let x = sample_f64(-2.0, 3.0, &mut r);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace builds without crates.io access; its types derive
+//! `Serialize`/`Deserialize` for downstream compatibility but all actual
+//! serialization is hand-rolled (CSV in `bmf-core::io`, JSON in the bench
+//! harness). This facade therefore provides marker traits with blanket
+//! impls plus no-op derive macros — enough for every `use` site and
+//! `#[derive(...)]` in the tree, with zero behavioural surface.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

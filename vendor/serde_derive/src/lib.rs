@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types for API
+//! compatibility, but serializes exclusively through its own CSV/JSON
+//! writers (`bmf-core::io`, the bench JSON emitters), so the derives need
+//! not generate any code. Each macro accepts and ignores `#[serde(...)]`
+//! attributes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
