@@ -8,12 +8,16 @@
 //!    the corresponding confidence parameter (validating the §3.3
 //!    interpretation of `κ₀`/`ν₀`).
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick] [--threads <n>]`
+//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick] [--threads <n>] [--fault-rate <r>]`
 //!
 //! `--threads` defaults to the machine's available parallelism; every
-//! ablation is bit-identical for every thread count.
+//! ablation is bit-identical for every thread count. With
+//! `--fault-rate r` the op-amp study data is generated through the fault
+//! injector and screened by the data-quality guard before the ablations
+//! run (the guard summary is printed), demonstrating that the analyses
+//! survive dirty data.
 
-use bmf_bench::study_to_data;
+use bmf_bench::{faulted_study_data, study_to_data};
 use bmf_circuits::monte_carlo::two_stage_study_seeded;
 use bmf_circuits::opamp::OpAmpTestbench;
 use bmf_core::cv::CrossValidation;
@@ -292,15 +296,28 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok()),
     );
+    let fault_rate: f64 = args
+        .iter()
+        .position(|a| a == "--fault-rate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
     let (pool, reps) = if quick { (600, 10) } else { (3000, 40) };
     let n = 32;
 
     eprintln!(
-        "ablations: op-amp, {pool} MC samples/stage, {reps} repetitions, {threads} thread(s)"
+        "ablations: op-amp, {pool} MC samples/stage, {reps} repetitions, {threads} thread(s), fault rate {fault_rate}"
     );
     let tb = OpAmpTestbench::default_45nm();
-    let study_raw = two_stage_study_seeded(&tb, pool, pool, 7, threads).expect("monte carlo");
-    let data = study_to_data(&study_raw);
+    let data = if fault_rate > 0.0 {
+        let (data, guard_summary) =
+            faulted_study_data(tb, pool, pool, 7, threads, fault_rate).expect("faulted study");
+        eprintln!("{guard_summary}");
+        data
+    } else {
+        let study_raw = two_stage_study_seeded(&tb, pool, pool, 7, threads).expect("monte carlo");
+        study_to_data(&study_raw)
+    };
     let prepared = prepare(&data).expect("prepare");
 
     let raw_early_moments = MomentEstimate {

@@ -3,7 +3,7 @@
 //! samples, MLE vs BMF, plus the in-text cost-reduction factors and the
 //! CV-selected hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>] [--threads <n>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>]`
 //!
 //! With `--svg results/fig4` the two panels are also written as
 //! `results/fig4_mean.svg` and `results/fig4_cov.svg`.
@@ -12,9 +12,14 @@
 //! smoke run; the default matches the paper (5000 MC samples per stage,
 //! 100 repetitions, n ∈ {8..512}). `--threads` defaults to the machine's
 //! available parallelism; results are bit-identical for every value.
+//! `--fault-rate r` injects faults into the simulator (failed sims at `r`,
+//! NaN/outlier corruption at `r/5` each) and routes the pools through the
+//! data-quality guard before estimation — the robustness demonstration.
 
 use bmf_bench::plot::figure_svgs;
-use bmf_bench::{format_cost_reduction, run_circuit_experiment};
+use bmf_bench::{
+    format_cost_reduction, run_circuit_experiment, run_circuit_experiment_with_faults,
+};
 use bmf_circuits::opamp::OpAmpTestbench;
 use bmf_core::experiment::SweepConfig;
 
@@ -31,6 +36,12 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok()),
     );
+    let fault_rate: f64 = args
+        .iter()
+        .position(|a| a == "--fault-rate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
     let (pool, reps) = if quick { (800, 15) } else { (5000, 100) };
 
     let tb = OpAmpTestbench::default_45nm();
@@ -41,11 +52,21 @@ fn main() {
     }
 
     eprintln!(
-        "fig4_opamp: {pool} MC samples/stage, {reps} repetitions, n = {:?}, {threads} thread(s)",
+        "fig4_opamp: {pool} MC samples/stage, {reps} repetitions, n = {:?}, {threads} thread(s), fault rate {fault_rate}",
         config.sample_sizes
     );
     let t0 = std::time::Instant::now();
-    let result = match run_circuit_experiment(&tb, pool, pool, 45, &config, threads) {
+    let run = if fault_rate > 0.0 {
+        run_circuit_experiment_with_faults(tb, pool, pool, 45, &config, threads, fault_rate).map(
+            |(result, guard_summary)| {
+                eprintln!("{guard_summary}");
+                result
+            },
+        )
+    } else {
+        run_circuit_experiment(&tb, pool, pool, 45, &config, threads)
+    };
+    let result = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");

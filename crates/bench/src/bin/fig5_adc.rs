@@ -3,14 +3,19 @@
 //! vs BMF, plus the in-text >10× cost reduction and the CV-selected
 //! hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>] [--threads <n>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>]`
 //!
 //! The default matches the paper: 1000 MC samples per stage, 100
 //! repetitions, n ∈ {8..256}. `--threads` defaults to the machine's
 //! available parallelism; results are bit-identical for every value.
+//! `--fault-rate r` injects simulator faults (failed sims at `r`,
+//! NaN/outlier corruption at `r/5` each) and screens the pools through
+//! the data-quality guard before estimation.
 
 use bmf_bench::plot::figure_svgs;
-use bmf_bench::{format_cost_reduction, run_circuit_experiment};
+use bmf_bench::{
+    format_cost_reduction, run_circuit_experiment, run_circuit_experiment_with_faults,
+};
 use bmf_circuits::adc::AdcTestbench;
 use bmf_core::experiment::SweepConfig;
 
@@ -27,6 +32,12 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok()),
     );
+    let fault_rate: f64 = args
+        .iter()
+        .position(|a| a == "--fault-rate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
     let (pool, reps) = if quick { (400, 15) } else { (1000, 100) };
 
     let tb = AdcTestbench::default_180nm();
@@ -36,11 +47,21 @@ fn main() {
     config.sample_sizes = vec![8, 16, 32, 64, 128, 256];
 
     eprintln!(
-        "fig5_adc: {pool} MC samples/stage, {reps} repetitions, n = {:?}, {threads} thread(s)",
+        "fig5_adc: {pool} MC samples/stage, {reps} repetitions, n = {:?}, {threads} thread(s), fault rate {fault_rate}",
         config.sample_sizes
     );
     let t0 = std::time::Instant::now();
-    let result = match run_circuit_experiment(&tb, pool, pool, 180, &config, threads) {
+    let run = if fault_rate > 0.0 {
+        run_circuit_experiment_with_faults(tb, pool, pool, 180, &config, threads, fault_rate).map(
+            |(result, guard_summary)| {
+                eprintln!("{guard_summary}");
+                result
+            },
+        )
+    } else {
+        run_circuit_experiment(&tb, pool, pool, 180, &config, threads)
+    };
+    let result = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");

@@ -10,11 +10,13 @@
 
 pub mod plot;
 
+use bmf_circuits::fault::{FaultConfig, FaultInjector};
 use bmf_circuits::monte_carlo::{two_stage_study_seeded, Testbench, TwoStageStudy};
 use bmf_core::experiment::{
     cost_reduction, prepare, run_error_sweep_parallel, ErrorKind, SweepConfig, SweepResult,
     TwoStageData,
 };
+use bmf_core::guard::{self, GuardPolicy};
 
 /// Converts the circuit crate's study format into the estimator crate's
 /// experiment input.
@@ -50,6 +52,83 @@ pub fn run_circuit_experiment<T: Testbench + ?Sized>(
     let data = study_to_data(&study);
     let prepared = prepare(&data)?;
     Ok(run_error_sweep_parallel(&prepared, config, threads)?)
+}
+
+/// The fault mix the figure binaries use for a given `--fault-rate r`:
+/// simulation failures at `r` (retried away by the Monte Carlo runner) and
+/// NaN/outlier corruption each at `r/5` (screened by the data-quality
+/// guard). `--fault-rate 0.1` therefore reproduces the robustness
+/// acceptance scenario: 10% failed sims + 2% NaN corruption.
+pub fn fault_config_for_rate(rate: f64) -> FaultConfig {
+    FaultConfig {
+        sim_failure_rate: rate,
+        nan_rate: rate / 5.0,
+        outlier_rate: rate / 5.0,
+        ..FaultConfig::default()
+    }
+}
+
+/// Generates a two-stage study with faults injected at `fault_rate` and
+/// screens both stage pools through the data-quality guard (outlier rows
+/// dropped). Returns the cleaned experiment data plus a human-readable
+/// summary of what the guard found in each stage.
+///
+/// Fault decisions ride the per-sample seed streams, so the corrupted
+/// pools — and therefore the whole downstream experiment — stay
+/// bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Returns a boxed error on an invalid fault rate, simulation failure, or
+/// when the guard declares a pool unusable.
+pub fn faulted_study_data<T: Testbench>(
+    tb: T,
+    n_early: usize,
+    n_late: usize,
+    mc_seed: u64,
+    threads: usize,
+    fault_rate: f64,
+) -> Result<(TwoStageData, String), Box<dyn std::error::Error>> {
+    let injector = FaultInjector::new(tb, fault_config_for_rate(fault_rate))?;
+    let study = two_stage_study_seeded(&injector, n_early, n_late, mc_seed, threads)?;
+    let mut data = study_to_data(&study);
+    let policy = GuardPolicy {
+        drop_outliers: true,
+        ..GuardPolicy::default()
+    };
+    let (early_clean, early_dq) = guard::screen(&data.early_samples, &policy)?;
+    let (late_clean, late_dq) = guard::screen(&data.late_samples, &policy)?;
+    data.early_samples = early_clean;
+    data.late_samples = late_clean;
+    let summary = format!(
+        "guard[early]: {}\nguard[late]:  {}",
+        early_dq.summary(),
+        late_dq.summary()
+    );
+    Ok((data, summary))
+}
+
+/// [`run_circuit_experiment`] under fault injection: wraps `tb` in a
+/// [`FaultInjector`] at `fault_rate` (see [`fault_config_for_rate`]),
+/// screens both stages with the data-quality guard, then runs the sweep
+/// on the surviving samples. Also returns the guard summary for display.
+///
+/// # Errors
+///
+/// As [`faulted_study_data`] plus estimation failures.
+pub fn run_circuit_experiment_with_faults<T: Testbench>(
+    tb: T,
+    n_early: usize,
+    n_late: usize,
+    mc_seed: u64,
+    config: &SweepConfig,
+    threads: usize,
+    fault_rate: f64,
+) -> Result<(SweepResult, String), Box<dyn std::error::Error>> {
+    let (data, summary) = faulted_study_data(tb, n_early, n_late, mc_seed, threads, fault_rate)?;
+    let prepared = prepare(&data)?;
+    let result = run_error_sweep_parallel(&prepared, config, threads)?;
+    Ok((result, summary))
 }
 
 /// Formats the cost-reduction summary the paper reports in-text.
@@ -103,6 +182,39 @@ mod tests {
         assert!(result.rows[0].bmf_cov_err.is_finite());
         let summary = format_cost_reduction(&result);
         assert!(summary.contains("cost reduction"));
+    }
+
+    #[test]
+    fn faulted_experiment_matches_acceptance_scenario() {
+        // --fault-rate 0.1 == 10% failed sims + 2% NaN + 2% outliers; the
+        // guarded experiment must survive it and stay deterministic.
+        let tb = AdcTestbench::default_180nm();
+        let config = SweepConfig {
+            sample_sizes: vec![8],
+            repetitions: 2,
+            cv: CrossValidation::new(vec![1.0, 100.0], vec![10.0, 100.0], 2).unwrap(),
+            seed: 3,
+        };
+        let (r1, summary) =
+            run_circuit_experiment_with_faults(tb.clone(), 60, 60, 4, &config, 1, 0.1).unwrap();
+        assert!(r1.rows[0].bmf_cov_err.is_finite());
+        assert!(summary.contains("guard[early]"), "{summary}");
+        assert!(summary.contains("guard[late]"), "{summary}");
+        let (r2, _) = run_circuit_experiment_with_faults(tb, 60, 60, 4, &config, 2, 0.1).unwrap();
+        assert_eq!(
+            r1.rows[0].bmf_cov_err.to_bits(),
+            r2.rows[0].bmf_cov_err.to_bits(),
+            "faulted experiment must be thread-count invariant"
+        );
+    }
+
+    #[test]
+    fn fault_config_rate_mapping() {
+        let c = fault_config_for_rate(0.1);
+        assert_eq!(c.sim_failure_rate, 0.1);
+        assert!((c.nan_rate - 0.02).abs() < 1e-15);
+        assert!((c.outlier_rate - 0.02).abs() < 1e-15);
+        assert!(fault_config_for_rate(0.0).is_quiet());
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub enum CircuitError {
         /// Description of the problem.
         reason: String,
     },
+    /// A fault deliberately injected by the chaos-testing
+    /// [`crate::fault::FaultInjector`]; never produced by a real
+    /// simulation path.
+    InjectedFault {
+        /// Which fault class fired.
+        kind: &'static str,
+    },
     /// A worker thread panicked during a parallel Monte Carlo stage; the
     /// panic was contained and converted so the caller can degrade
     /// gracefully.
@@ -77,6 +84,7 @@ impl fmt::Display for CircuitError {
                 write!(f, "failed to measure {metric}: {reason}")
             }
             CircuitError::InvalidSignal { reason } => write!(f, "invalid signal: {reason}"),
+            CircuitError::InjectedFault { kind } => write!(f, "injected fault: {kind}"),
             CircuitError::Worker { reason } => write!(f, "parallel worker failure: {reason}"),
             CircuitError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }

@@ -20,6 +20,8 @@
 //!   SFDR, THD, power**.
 //! * [`monte_carlo`] — reproducible generation of early/late-stage
 //!   performance sample matrices, the input format of the BMF estimator.
+//! * [`fault`] — deterministic fault injection (failed sims, NaN'd
+//!   metrics, gross outliers) for chaos-testing the robustness layer.
 //!
 //! # Example — one op-amp Monte Carlo sample
 //!
@@ -48,6 +50,7 @@
 pub mod adc;
 pub mod dc;
 mod error;
+pub mod fault;
 pub mod fft;
 pub mod mna;
 pub mod monte_carlo;

@@ -68,6 +68,26 @@ pub trait Testbench: Sync {
     fn sample(&self, stage: Stage, rng: &mut dyn rand::RngCore) -> Result<Vector>;
 }
 
+// Boxed testbenches delegate, so wrappers like `FaultInjector<Box<dyn
+// Testbench>>` compose with heterogeneous harnesses.
+impl<T: Testbench + ?Sized> Testbench for Box<T> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn metric_names(&self) -> Vec<&'static str> {
+        (**self).metric_names()
+    }
+
+    fn nominal(&self, stage: Stage) -> Result<Vector> {
+        (**self).nominal(stage)
+    }
+
+    fn sample(&self, stage: Stage, rng: &mut dyn rand::RngCore) -> Result<Vector> {
+        (**self).sample(stage, rng)
+    }
+}
+
 impl Testbench for OpAmpTestbench {
     fn dim(&self) -> usize {
         5
@@ -135,31 +155,84 @@ impl StageData {
     }
 }
 
-/// Maximum consecutive failed simulation retries before giving up. Bias
-/// failures at extreme corners are physical (the die really is broken); the
-/// paper's yield context would count them as fails, but the moment-
-/// estimation study needs complete metric vectors, so we redraw — mirroring
-/// how the authors' MC data contains only successfully measured dies.
-const MAX_RETRIES: usize = 100;
+/// How many consecutive failed draws of one sample are tolerated before
+/// the runner gives up.
+///
+/// Bias failures at extreme corners are physical (the die really is
+/// broken); the paper's yield context would count them as fails, but the
+/// moment-estimation study needs complete metric vectors, so failed draws
+/// are redrawn — mirroring how the authors' MC data contains only
+/// successfully measured dies. The default budget of 100 attempts matches
+/// the historical hard-coded constant; chaos tests and benches with known
+/// high failure rates tune it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum simulation attempts per sample (≥ 1). The sample's private
+    /// RNG stream advances per attempt, so two runs with different
+    /// budgets produce identical matrices as long as neither exhausts.
+    pub max_attempts: usize,
+}
 
-/// Runs `n` Monte Carlo simulations of `tb` at `stage`.
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 100 }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] when `max_attempts` is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(CircuitError::InvalidValue {
+                what: "retry max_attempts",
+                value: 0.0,
+                constraint: ">= 1 attempt",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs `n` Monte Carlo simulations of `tb` at `stage` under the default
+/// [`RetryPolicy`].
 ///
 /// # Errors
 ///
 /// * Propagates the nominal-simulation failure unchanged (a design that
 ///   fails at its nominal corner is a bug, not a statistical event).
-/// * Returns the last error after 100 consecutive failed draws.
+/// * Returns the *last* draw error after the retry budget is exhausted.
 pub fn run_monte_carlo<T: Testbench + ?Sized, R: Rng>(
     tb: &T,
     stage: Stage,
     n: usize,
     rng: &mut R,
 ) -> Result<StageData> {
+    run_monte_carlo_with_policy(tb, stage, n, rng, &RetryPolicy::default())
+}
+
+/// [`run_monte_carlo`] with an explicit [`RetryPolicy`].
+///
+/// # Errors
+///
+/// As [`run_monte_carlo`], plus [`CircuitError::InvalidValue`] for an
+/// invalid policy.
+pub fn run_monte_carlo_with_policy<T: Testbench + ?Sized, R: Rng>(
+    tb: &T,
+    stage: Stage,
+    n: usize,
+    rng: &mut R,
+    policy: &RetryPolicy,
+) -> Result<StageData> {
+    policy.validate()?;
     let nominal = tb.nominal(stage)?;
     let d = tb.dim();
     let mut samples = Matrix::zeros(n, d);
     for i in 0..n {
-        let v = sample_with_retries(tb, stage, rng)?;
+        let v = sample_with_retries(tb, stage, rng, policy)?;
         samples.row_mut(i).copy_from_slice(v.as_slice());
     }
     Ok(StageData {
@@ -169,15 +242,18 @@ pub fn run_monte_carlo<T: Testbench + ?Sized, R: Rng>(
     })
 }
 
-/// Draws one sample, redrawing up to [`MAX_RETRIES`] times on simulation
-/// failure (the retry policy shared by the serial and seeded runners).
+/// Draws one sample, redrawing up to `policy.max_attempts` times on
+/// simulation failure (the retry loop shared by the serial and seeded
+/// runners). On exhaustion the returned error is the **last** simulator
+/// error — the freshest diagnosis of why the bench keeps failing.
 fn sample_with_retries<T: Testbench + ?Sized>(
     tb: &T,
     stage: Stage,
     rng: &mut dyn rand::RngCore,
+    policy: &RetryPolicy,
 ) -> Result<Vector> {
     let mut last_err: Option<CircuitError> = None;
-    for _ in 0..MAX_RETRIES {
+    for _ in 0..policy.max_attempts {
         match tb.sample(stage, rng) {
             Ok(v) => return Ok(v),
             Err(e) => last_err = Some(e),
@@ -207,8 +283,8 @@ fn stage_stream(stage: Stage) -> u64 {
 /// # Errors
 ///
 /// * Propagates the nominal-simulation failure unchanged.
-/// * Returns the last error of any sample whose draws failed 100
-///   consecutive times (`MAX_RETRIES`).
+/// * Returns the last error of any sample whose draws exhausted the
+///   default [`RetryPolicy`] budget.
 /// * Returns [`CircuitError::Worker`] when a worker thread panics.
 pub fn run_monte_carlo_seeded<T: Testbench + ?Sized>(
     tb: &T,
@@ -217,6 +293,28 @@ pub fn run_monte_carlo_seeded<T: Testbench + ?Sized>(
     seed: u64,
     threads: usize,
 ) -> Result<StageData> {
+    run_monte_carlo_seeded_with_policy(tb, stage, n, seed, threads, &RetryPolicy::default())
+}
+
+/// [`run_monte_carlo_seeded`] with an explicit [`RetryPolicy`].
+///
+/// Each sample's retries draw from that sample's private `derive_seed`
+/// stream, so the retry budget does not shift any other sample: two runs
+/// with different budgets are bit-identical wherever neither exhausts.
+///
+/// # Errors
+///
+/// As [`run_monte_carlo_seeded`], plus [`CircuitError::InvalidValue`] for
+/// an invalid policy.
+pub fn run_monte_carlo_seeded_with_policy<T: Testbench + ?Sized>(
+    tb: &T,
+    stage: Stage,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    policy: &RetryPolicy,
+) -> Result<StageData> {
+    policy.validate()?;
     let nominal = tb.nominal(stage)?;
     let d = tb.dim();
     let stream = stage_stream(stage);
@@ -224,7 +322,7 @@ pub fn run_monte_carlo_seeded<T: Testbench + ?Sized>(
         let mut rng = rand::rngs::StdRng::seed_from_u64(bmf_stats::parallel::derive_seed(
             seed, stream, i as u64,
         ));
-        sample_with_retries(tb, stage, &mut rng)
+        sample_with_retries(tb, stage, &mut rng, policy)
     })
     .map_err(|p| CircuitError::Worker {
         reason: p.to_string(),
@@ -444,6 +542,98 @@ mod tests {
         for i in 0..50 {
             assert!(reference.samples[(i, 0)] >= 0.4);
         }
+    }
+
+    /// A bench that always fails, numbering its attempts, so exhaustion
+    /// tests can check *which* error the retry loop surfaces.
+    struct AlwaysFailing {
+        attempts: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Testbench for AlwaysFailing {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn metric_names(&self) -> Vec<&'static str> {
+            vec!["x"]
+        }
+        fn nominal(&self, _stage: Stage) -> crate::Result<bmf_linalg::Vector> {
+            Ok(bmf_linalg::Vector::from_slice(&[0.0]))
+        }
+        fn sample(
+            &self,
+            _stage: Stage,
+            _rng: &mut dyn rand::RngCore,
+        ) -> crate::Result<bmf_linalg::Vector> {
+            let attempt = self
+                .attempts
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+                + 1;
+            Err(CircuitError::BiasFailure {
+                reason: format!("attempt {attempt} failed"),
+            })
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_the_last_simulator_error() {
+        let tb = AlwaysFailing {
+            attempts: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let policy = RetryPolicy { max_attempts: 7 };
+        let mut r = rng();
+        let err =
+            run_monte_carlo_with_policy(&tb, Stage::Schematic, 1, &mut r, &policy).unwrap_err();
+        // The surfaced error is the LAST attempt's, not the first's.
+        assert_eq!(
+            err.to_string(),
+            "bias failure: attempt 7 failed",
+            "expected the final attempt's error, got: {err}"
+        );
+        assert_eq!(tb.attempts.load(std::sync::atomic::Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn retry_policy_validates() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert_eq!(RetryPolicy::default().max_attempts, 100);
+        let err = RetryPolicy { max_attempts: 0 }.validate().unwrap_err();
+        assert!(err.to_string().contains("max_attempts"));
+        // Invalid policies are rejected by both runners before any work.
+        let tb = OpAmpTestbench::default_45nm();
+        let mut r = rng();
+        assert!(run_monte_carlo_with_policy(
+            &tb,
+            Stage::Schematic,
+            1,
+            &mut r,
+            &RetryPolicy { max_attempts: 0 }
+        )
+        .is_err());
+        assert!(run_monte_carlo_seeded_with_policy(
+            &tb,
+            Stage::Schematic,
+            1,
+            1,
+            1,
+            &RetryPolicy { max_attempts: 0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn retry_budget_does_not_shift_the_sample_streams() {
+        // Satellite: the seeded runner consumes the same per-sample
+        // stream regardless of the retry budget — a looser or tighter
+        // budget changes nothing unless a sample actually exhausts it.
+        let tb = FlakyTestbench;
+        let tight = RetryPolicy { max_attempts: 20 };
+        let loose = RetryPolicy { max_attempts: 100 };
+        let a =
+            run_monte_carlo_seeded_with_policy(&tb, Stage::Schematic, 40, 11, 1, &tight).unwrap();
+        let b =
+            run_monte_carlo_seeded_with_policy(&tb, Stage::Schematic, 40, 11, 3, &loose).unwrap();
+        assert_eq!(a.samples, b.samples);
     }
 
     #[test]

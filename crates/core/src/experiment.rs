@@ -119,9 +119,14 @@ pub fn prepare(data: &TwoStageData) -> Result<PreparedStudy> {
     let early_sd = descriptive::column_stddevs(&data.early_samples)?;
     for (j, &s) in early_sd.iter().enumerate() {
         if !(s > 0.0) {
-            return Err(BmfError::InvalidSamples {
+            // A constant metric is a study-configuration problem (the
+            // metric does not vary, so it cannot be fused), not a bad
+            // sample — surface it as InvalidConfig naming the metric
+            // rather than letting ShiftScale emit a bare scale error.
+            return Err(BmfError::InvalidConfig {
                 reason: format!(
-                    "metric '{}' has zero early-stage spread; scaling is undefined",
+                    "metric '{}' (column {j}) has zero early-stage spread; \
+                     §4.1 scaling is undefined — drop the metric or fix the testbench",
                     data.metric_names[j]
                 ),
             });
@@ -531,7 +536,51 @@ mod tests {
         for i in 0..data.early_samples.nrows() {
             data.early_samples[(i, 0)] = 1.0;
         }
-        assert!(prepare(&data).is_err());
+        let err = prepare(&data).unwrap_err();
+        // The driver must classify this as a configuration problem and
+        // name the offending metric — not surface a bare scale error.
+        assert!(
+            matches!(err, BmfError::InvalidConfig { .. }),
+            "expected InvalidConfig, got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("'m0'"), "missing metric name: {msg}");
+        assert!(msg.contains("zero early-stage spread"), "{msg}");
+    }
+
+    #[test]
+    fn constant_metric_surfaces_through_full_pipeline() {
+        // Satellite: drive the complete experiment path (prepare → sweep)
+        // with a constant early-stage metric and check the typed error
+        // naming the metric is what callers actually see.
+        let mut data = synthetic_data(0.0, 200, 14);
+        data.metric_names[1] = "stuck_gain_db".into();
+        for i in 0..data.early_samples.nrows() {
+            data.early_samples[(i, 1)] = 42.0;
+        }
+        let err = match prepare(&data) {
+            Err(e) => e,
+            Ok(study) => {
+                // Should be unreachable; if prepare ever stops catching
+                // it, the sweep must still fail loudly rather than fuse a
+                // degenerate metric.
+                run_error_sweep(
+                    &study,
+                    &SweepConfig {
+                        sample_sizes: vec![8],
+                        repetitions: 2,
+                        cv: CrossValidation::default(),
+                        seed: 1,
+                    },
+                )
+                .unwrap_err()
+            }
+        };
+        assert!(matches!(err, BmfError::InvalidConfig { .. }), "{err:?}");
+        assert!(
+            err.to_string().contains("stuck_gain_db"),
+            "error must name the metric: {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Data-quality screening for sample matrices (the pipeline's intake
+//! guard).
+//!
+//! Real late-stage data — tester exports, partially-failed measurement
+//! populations, simulator logs — arrives dirty: rows with NaN/Inf cells
+//! from failed measurements, constant columns from stuck instruments,
+//! duplicate rows from re-run entries, and gross outliers from mis-probed
+//! dies. Feeding any of those into MLE/MAP either hard-errors deep in the
+//! estimator (with no indication of *which* row was bad) or silently
+//! skews the moments.
+//!
+//! [`screen`] inspects an `n × d` sample matrix **before** estimation and
+//! produces a cleaned matrix plus a [`DataQualityReport`] listing exactly
+//! what was found and what was removed, so the decision trail survives
+//! into the caller's [`crate::pipeline::FusionReport`].
+
+use crate::{BmfError, Result};
+use bmf_linalg::Matrix;
+use std::collections::HashMap;
+
+/// Consistency factor making the median absolute deviation comparable to
+/// a Gaussian standard deviation (`1/Φ⁻¹(3/4)`).
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Screening policy: what to detect, what to drop, and how much loss is
+/// tolerable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardPolicy {
+    /// Drop rows containing NaN/Inf cells (`true`) or report them as an
+    /// error (`false`). Default `true`.
+    pub drop_nonfinite_rows: bool,
+    /// Robust-z threshold above which a cell marks its row as an outlier
+    /// (MAD-based, per column). Default `8.0` — conservative: the guard
+    /// must not clip genuine heavy process tails.
+    pub mad_threshold: f64,
+    /// Drop flagged outlier rows (`true`) or only record them (`false`).
+    /// Default `false`: outliers are physical until proven otherwise.
+    pub drop_outliers: bool,
+    /// Maximum fraction of rows the guard may drop before the matrix is
+    /// declared unusable. Default `0.5`.
+    pub max_drop_fraction: f64,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            drop_nonfinite_rows: true,
+            mad_threshold: 8.0,
+            drop_outliers: false,
+            max_drop_fraction: 0.5,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidConfig`] for a non-positive MAD
+    /// threshold or an out-of-range drop fraction.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.mad_threshold > 0.0) || !self.mad_threshold.is_finite() {
+            return Err(BmfError::InvalidConfig {
+                reason: format!(
+                    "guard mad_threshold = {} must be positive and finite",
+                    self.mad_threshold
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.max_drop_fraction) || !self.max_drop_fraction.is_finite() {
+            return Err(BmfError::InvalidConfig {
+                reason: format!(
+                    "guard max_drop_fraction = {} must lie in [0, 1]",
+                    self.max_drop_fraction
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Everything the guard found, with original (pre-drop) row/column
+/// indices so findings can be traced back to the source data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataQualityReport {
+    /// Rows in the input matrix.
+    pub rows_in: usize,
+    /// Rows surviving the screen.
+    pub rows_out: usize,
+    /// `(row, column)` positions of NaN/Inf cells.
+    pub nonfinite_cells: Vec<(usize, usize)>,
+    /// Original indices of rows removed by the screen (non-finite and,
+    /// under [`GuardPolicy::drop_outliers`], outlier rows).
+    pub dropped_rows: Vec<usize>,
+    /// Columns whose finite entries are all identical (stuck-instrument
+    /// signature; downstream scaling will reject these).
+    pub constant_columns: Vec<usize>,
+    /// `(kept, duplicate)` pairs of bitwise-identical rows.
+    pub duplicate_rows: Vec<(usize, usize)>,
+    /// Original indices of rows flagged by the MAD outlier rule.
+    pub outlier_rows: Vec<usize>,
+}
+
+impl DataQualityReport {
+    /// `true` when the screen found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.nonfinite_cells.is_empty()
+            && self.dropped_rows.is_empty()
+            && self.constant_columns.is_empty()
+            && self.duplicate_rows.is_empty()
+            && self.outlier_rows.is_empty()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} -> {} rows ({} non-finite cells, {} dropped, {} constant col(s), {} duplicate(s), {} outlier(s))",
+            self.rows_in,
+            self.rows_out,
+            self.nonfinite_cells.len(),
+            self.dropped_rows.len(),
+            self.constant_columns.len(),
+            self.duplicate_rows.len(),
+            self.outlier_rows.len()
+        )
+    }
+}
+
+/// Median of a non-empty slice (averaging the middle pair for even
+/// lengths). The slice is copied; NaNs must be screened beforehand.
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let m = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[m]
+    } else {
+        0.5 * (v[m - 1] + v[m])
+    }
+}
+
+/// Screens an `n × d` sample matrix against `policy`.
+///
+/// Detection steps, in order:
+///
+/// 1. **Non-finite cells** — every NaN/Inf cell is recorded with its
+///    `(row, column)`; affected rows are dropped (or, with
+///    `drop_nonfinite_rows = false`, reported as a typed error).
+/// 2. **Constant columns** — columns whose surviving entries are all
+///    identical (recorded; the caller decides whether that is fatal).
+/// 3. **Duplicate rows** — bitwise-identical surviving rows (recorded).
+/// 4. **MAD outliers** — a surviving row is flagged when any cell's
+///    robust z-score `|x − median| / (1.4826·MAD)` exceeds
+///    [`GuardPolicy::mad_threshold`]; flagged rows are dropped only under
+///    [`GuardPolicy::drop_outliers`].
+///
+/// Returns the cleaned matrix (row order preserved) and the report.
+///
+/// # Errors
+///
+/// * [`BmfError::InvalidConfig`] for an invalid policy.
+/// * [`BmfError::InvalidSamples`] for an empty matrix, for non-finite
+///   data when dropping is disabled (the error names the first offending
+///   row/column), or when more than `max_drop_fraction` of rows would be
+///   dropped.
+pub fn screen(samples: &Matrix, policy: &GuardPolicy) -> Result<(Matrix, DataQualityReport)> {
+    policy.validate()?;
+    let (n, d) = samples.shape();
+    if n == 0 || d == 0 {
+        return Err(BmfError::InvalidSamples {
+            reason: format!("guard needs a non-empty sample matrix, got {n}x{d}"),
+        });
+    }
+
+    let mut report = DataQualityReport {
+        rows_in: n,
+        ..DataQualityReport::default()
+    };
+
+    // Step 1: non-finite screening.
+    let mut keep: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row_ok = true;
+        for j in 0..d {
+            if !samples[(i, j)].is_finite() {
+                report.nonfinite_cells.push((i, j));
+                row_ok = false;
+            }
+        }
+        if row_ok {
+            keep.push(i);
+        } else if policy.drop_nonfinite_rows {
+            report.dropped_rows.push(i);
+        } else {
+            let &(r, c) = report.nonfinite_cells.first().expect("just pushed");
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "non-finite value at row {r}, column {c} (strict guard; \
+                     enable drop_nonfinite_rows to screen such rows)"
+                ),
+            });
+        }
+    }
+
+    // Step 2: constant columns among survivors.
+    if !keep.is_empty() {
+        for j in 0..d {
+            let first = samples[(keep[0], j)];
+            if keep.iter().all(|&i| samples[(i, j)] == first) {
+                report.constant_columns.push(j);
+            }
+        }
+    }
+
+    // Step 3: duplicate rows (bitwise, hash-indexed so large early-stage
+    // pools stay O(n·d)).
+    let mut seen: HashMap<Vec<u64>, usize> = HashMap::with_capacity(keep.len());
+    for &i in &keep {
+        let key: Vec<u64> = (0..d).map(|j| samples[(i, j)].to_bits()).collect();
+        match seen.get(&key) {
+            Some(&first) => report.duplicate_rows.push((first, i)),
+            None => {
+                seen.insert(key, i);
+            }
+        }
+    }
+
+    // Step 4: MAD outlier flagging on the survivors.
+    if keep.len() >= 3 {
+        // Column medians and MADs over surviving rows.
+        let mut flagged: Vec<usize> = Vec::new();
+        let mut col_med = vec![0.0; d];
+        let mut col_mad = vec![0.0; d];
+        let mut buf = Vec::with_capacity(keep.len());
+        for j in 0..d {
+            buf.clear();
+            buf.extend(keep.iter().map(|&i| samples[(i, j)]));
+            col_med[j] = median(&buf);
+            let dev: Vec<f64> = buf.iter().map(|&x| (x - col_med[j]).abs()).collect();
+            col_mad[j] = median(&dev);
+        }
+        for &i in &keep {
+            let is_outlier = (0..d).any(|j| {
+                let sigma = MAD_TO_SIGMA * col_mad[j];
+                // A zero MAD (half the column identical) gives no robust
+                // scale; skip the column rather than flagging everything.
+                sigma > 0.0 && (samples[(i, j)] - col_med[j]).abs() > policy.mad_threshold * sigma
+            });
+            if is_outlier {
+                flagged.push(i);
+            }
+        }
+        report.outlier_rows = flagged;
+        if policy.drop_outliers && !report.outlier_rows.is_empty() {
+            let outliers: std::collections::HashSet<usize> =
+                report.outlier_rows.iter().copied().collect();
+            keep.retain(|i| {
+                let drop = outliers.contains(i);
+                if drop {
+                    report.dropped_rows.push(*i);
+                }
+                !drop
+            });
+        }
+    }
+
+    report.dropped_rows.sort_unstable();
+    report.rows_out = keep.len();
+
+    let dropped_fraction = report.dropped_rows.len() as f64 / n as f64;
+    if dropped_fraction > policy.max_drop_fraction {
+        return Err(BmfError::InvalidSamples {
+            reason: format!(
+                "guard dropped {} of {n} rows ({:.0}% > {:.0}% allowed): {}",
+                report.dropped_rows.len(),
+                dropped_fraction * 100.0,
+                policy.max_drop_fraction * 100.0,
+                report.summary()
+            ),
+        });
+    }
+    if keep.is_empty() {
+        return Err(BmfError::InvalidSamples {
+            reason: format!("guard removed every row: {}", report.summary()),
+        });
+    }
+
+    let cleaned = Matrix::from_fn(keep.len(), d, |i, j| samples[(keep[i], j)]);
+    Ok((cleaned, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_matrix() -> Matrix {
+        Matrix::from_fn(20, 3, |i, j| {
+            ((i * 7 + j * 13) % 11) as f64 * 0.37 + j as f64 - 0.01 * i as f64
+        })
+    }
+
+    #[test]
+    fn clean_data_passes_untouched() {
+        let m = clean_matrix();
+        let (out, report) = screen(&m, &GuardPolicy::default()).unwrap();
+        assert_eq!(out, m);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(report.rows_in, 20);
+        assert_eq!(report.rows_out, 20);
+    }
+
+    #[test]
+    fn nonfinite_rows_are_dropped_with_indices() {
+        let mut m = clean_matrix();
+        m[(3, 1)] = f64::NAN;
+        m[(7, 0)] = f64::INFINITY;
+        m[(7, 2)] = f64::NEG_INFINITY;
+        let (out, report) = screen(&m, &GuardPolicy::default()).unwrap();
+        assert_eq!(out.nrows(), 18);
+        assert_eq!(report.dropped_rows, vec![3, 7]);
+        assert_eq!(report.nonfinite_cells, vec![(3, 1), (7, 0), (7, 2)]);
+        // Remaining rows keep their relative order.
+        assert_eq!(out.row(0), m.row(0));
+        assert_eq!(out.row(3), m.row(4));
+    }
+
+    #[test]
+    fn strict_nonfinite_mode_errors_with_location() {
+        let mut m = clean_matrix();
+        m[(5, 2)] = f64::NAN;
+        let policy = GuardPolicy {
+            drop_nonfinite_rows: false,
+            ..GuardPolicy::default()
+        };
+        let err = screen(&m, &policy).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row 5") && msg.contains("column 2"), "{msg}");
+    }
+
+    #[test]
+    fn constant_columns_are_detected() {
+        let mut m = clean_matrix();
+        for i in 0..m.nrows() {
+            m[(i, 1)] = 42.0;
+        }
+        let (_, report) = screen(&m, &GuardPolicy::default()).unwrap();
+        assert_eq!(report.constant_columns, vec![1]);
+    }
+
+    #[test]
+    fn duplicate_rows_are_recorded_not_dropped() {
+        let mut m = clean_matrix();
+        for j in 0..3 {
+            m[(9, j)] = m[(2, j)];
+            m[(15, j)] = m[(2, j)];
+        }
+        let (out, report) = screen(&m, &GuardPolicy::default()).unwrap();
+        assert_eq!(out.nrows(), 20); // duplicates are informational
+        assert_eq!(report.duplicate_rows, vec![(2, 9), (2, 15)]);
+    }
+
+    #[test]
+    fn mad_outliers_are_flagged_and_optionally_dropped() {
+        let mut m = clean_matrix();
+        m[(4, 0)] = 1e6; // gross outlier
+        let (out, report) = screen(&m, &GuardPolicy::default()).unwrap();
+        assert_eq!(report.outlier_rows, vec![4]);
+        assert_eq!(out.nrows(), 20); // flag-only by default
+
+        let policy = GuardPolicy {
+            drop_outliers: true,
+            ..GuardPolicy::default()
+        };
+        let (out, report) = screen(&m, &policy).unwrap();
+        assert_eq!(out.nrows(), 19);
+        assert_eq!(report.dropped_rows, vec![4]);
+    }
+
+    #[test]
+    fn normal_spread_is_not_flagged() {
+        // Conservative threshold: ordinary variation must never trip it.
+        let m = clean_matrix();
+        let (_, report) = screen(&m, &GuardPolicy::default()).unwrap();
+        assert!(report.outlier_rows.is_empty());
+    }
+
+    #[test]
+    fn excessive_loss_is_an_error() {
+        let mut m = clean_matrix();
+        for i in 0..15 {
+            m[(i, 0)] = f64::NAN;
+        }
+        let err = screen(&m, &GuardPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("dropped 15 of 20"), "{err}");
+    }
+
+    #[test]
+    fn all_rows_bad_is_an_error() {
+        let mut m = Matrix::zeros(3, 2);
+        for i in 0..3 {
+            m[(i, 0)] = f64::NAN;
+        }
+        let policy = GuardPolicy {
+            max_drop_fraction: 1.0,
+            ..GuardPolicy::default()
+        };
+        assert!(screen(&m, &policy).is_err());
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(GuardPolicy::default().validate().is_ok());
+        let bad = GuardPolicy {
+            mad_threshold: 0.0,
+            ..GuardPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = GuardPolicy {
+            max_drop_fraction: 1.5,
+            ..GuardPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(screen(&clean_matrix(), &bad).is_err());
+        assert!(screen(&Matrix::zeros(0, 3), &GuardPolicy::default()).is_err());
+    }
+
+    #[test]
+    fn zero_mad_columns_do_not_flag_everything() {
+        // Column 1 is 60% one value: MAD = 0 → no robust scale → skip.
+        let mut m = clean_matrix();
+        for i in 0..13 {
+            m[(i, 1)] = 5.0;
+        }
+        let (_, report) = screen(&m, &GuardPolicy::default()).unwrap();
+        assert!(report.outlier_rows.is_empty(), "{:?}", report.outlier_rows);
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+}

@@ -58,14 +58,21 @@ pub fn read_samples_csv<R: Read>(reader: &mut R) -> Result<LabelledSamples> {
             })
         }
     };
-    let names: Vec<String> = header
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect();
-    if names.is_empty() {
+    // Empty header fields must be a hard error, not silently skipped:
+    // `a,,b` parsed as 2 columns would misalign every data row of the
+    // file against its own header.
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.iter().all(String::is_empty) {
         return Err(BmfError::InvalidSamples {
             reason: "CSV header has no column names".to_string(),
+        });
+    }
+    if let Some(pos) = names.iter().position(String::is_empty) {
+        return Err(BmfError::InvalidSamples {
+            reason: format!(
+                "CSV header field {} (1-based) is empty; every column needs a name",
+                pos + 1
+            ),
         });
     }
     let d = names.len();
@@ -90,10 +97,23 @@ pub fn read_samples_csv<R: Read>(reader: &mut R) -> Result<LabelledSamples> {
                 ),
             });
         }
-        for f in fields {
+        for (col, f) in fields.into_iter().enumerate() {
             let v: f64 = f.parse().map_err(|_| BmfError::InvalidSamples {
                 reason: format!("line {}: cannot parse '{f}' as a number", lineno + 2),
             })?;
+            // Rust's f64 parser accepts "NaN"/"inf" tokens; letting them
+            // through would only fail much later, deep in MLE, with no
+            // location. Reject at parse time, naming row and column.
+            if !v.is_finite() {
+                return Err(BmfError::InvalidSamples {
+                    reason: format!(
+                        "line {}, column '{}' (row {}, col {col}): non-finite value '{f}'",
+                        lineno + 2,
+                        names[col],
+                        rows
+                    ),
+                });
+            }
             data.push(v);
         }
         rows += 1;
@@ -292,6 +312,32 @@ mod tests {
         assert!(read_samples_csv(&mut "a,b\n1.0\n".as_bytes()).is_err()); // ragged
         assert!(read_samples_csv(&mut "a,b\n1.0,zzz\n".as_bytes()).is_err()); // non-numeric
         assert!(read_samples_csv(&mut ",\n1,2\n".as_bytes()).is_err()); // empty names
+    }
+
+    #[test]
+    fn read_rejects_empty_header_fields_with_position() {
+        // `a,,b` must NOT silently become 2 columns.
+        let err = read_samples_csv(&mut "a,,b\n1,2,3\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("field 2"), "missing position: {msg}");
+        assert!(msg.contains("empty"), "unclear error: {msg}");
+        // Trailing comma is an empty final field, same rule.
+        assert!(read_samples_csv(&mut "a,b,\n1,2,3\n".as_bytes()).is_err());
+        // Leading empty field too.
+        assert!(read_samples_csv(&mut ",a\n1,2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_nonfinite_tokens_with_location() {
+        for token in ["NaN", "nan", "inf", "-inf", "infinity"] {
+            let csv = format!("a,b\n1.0,2.0\n3.0,{token}\n");
+            let err = read_samples_csv(&mut csv.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("non-finite"), "{token}: {msg}");
+            assert!(msg.contains("line 3"), "{token} missing line: {msg}");
+            assert!(msg.contains("'b'"), "{token} missing column name: {msg}");
+            assert!(msg.contains("col 1"), "{token} missing column: {msg}");
+        }
     }
 
     #[test]

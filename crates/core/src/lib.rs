@@ -80,10 +80,12 @@ pub mod diagnostics;
 mod error;
 pub mod error_metrics;
 pub mod experiment;
+pub mod guard;
 pub mod io;
 pub mod map;
 pub mod mle;
 pub mod parallel;
+pub mod pipeline;
 pub mod prior;
 pub mod robustness;
 pub mod sequential;
@@ -150,8 +152,10 @@ pub mod prelude {
     pub use crate::cv::{CrossValidation, HyperParameterSelection};
     pub use crate::error_metrics::{error_cov, error_mean};
     pub use crate::experiment::{SweepConfig, TwoStageData};
+    pub use crate::guard::{DataQualityReport, GuardPolicy};
     pub use crate::map::{BmfEstimate, BmfEstimator};
     pub use crate::mle::MleEstimator;
+    pub use crate::pipeline::{FailureMode, FallbackLevel, FusionReport, RobustPipeline};
     pub use crate::prior::NormalWishartPrior;
     pub use crate::transform::ShiftScale;
     pub use crate::yield_estimation::{SpecLimits, YieldEstimate};

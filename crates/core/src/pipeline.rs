@@ -1,0 +1,694 @@
+//! Self-healing estimation pipeline: guard → repair → MAP→MLE→early
+//! degradation ladder, with every decision recorded in a
+//! [`FusionReport`].
+//!
+//! The BMF regime (tiny `n` close to `d`) is exactly where the naive
+//! pipeline is brittle: the late-stage scatter is near-singular, the
+//! early-stage prior covariance can be ill-conditioned, and a single
+//! corrupted sample sinks the whole study. [`RobustPipeline`] wraps the
+//! existing estimators with an explicit fallback ladder:
+//!
+//! 1. **MAP** — the paper's estimator, prior straight from the early
+//!    moments;
+//! 2. **MAP with repaired prior** — when `Σ_E` is not SPD, the
+//!    [`bmf_linalg::spd`] ladder repairs it first;
+//! 3. **MLE** — when no usable prior can be built or the MAP update
+//!    itself fails, fall back to the late-stage-only estimate;
+//! 4. **early-only** — when even MLE is impossible (e.g. every late row
+//!    was dropped by the guard), return the early-stage moments.
+//!
+//! Two failure modes select between *fail loudly* and *degrade loudly*:
+//! [`FailureMode::Strict`] turns any repair, dropped row or fallback into
+//! a typed error; [`FailureMode::Degrade`] walks the ladder and reports
+//! what it did. In both modes the caller can see *why* an estimate is
+//! what it is — nothing is silently patched.
+
+use crate::cv::CrossValidation;
+use crate::guard::{self, DataQualityReport, GuardPolicy};
+use crate::map::BmfEstimator;
+use crate::mle::MleEstimator;
+use crate::prior::NormalWishartPrior;
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::{Cholesky, Matrix, SpdRepair};
+
+/// How the pipeline responds to anomalies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Any dropped row, non-finite cell, constant column, prior repair or
+    /// estimator fallback is a typed error. For callers who must know
+    /// their data was pristine.
+    Strict,
+    /// Walk the degradation ladder, recording every intervention in the
+    /// [`FusionReport`]. For callers who need *an* answer plus the audit
+    /// trail.
+    Degrade,
+}
+
+/// Which rung of the degradation ladder produced the estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackLevel {
+    /// Full MAP estimation with the unmodified early-stage prior.
+    Map,
+    /// MAP estimation, but the prior covariance needed SPD repair.
+    MapRepairedPrior,
+    /// Late-stage-only MLE (no usable prior or MAP failure).
+    Mle,
+    /// Early-stage moments returned unchanged (no usable late data).
+    EarlyOnly,
+}
+
+impl FallbackLevel {
+    /// Machine-readable label (report/JSON field value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FallbackLevel::Map => "map",
+            FallbackLevel::MapRepairedPrior => "map_repaired_prior",
+            FallbackLevel::Mle => "mle",
+            FallbackLevel::EarlyOnly => "early_only",
+        }
+    }
+}
+
+impl std::fmt::Display for FallbackLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The audit trail of one robust estimation: what the guard found, how
+/// the prior was conditioned, which hyper-parameters were selected, and
+/// which ladder rung produced the estimate.
+#[derive(Debug, Clone)]
+pub struct FusionReport {
+    /// Data-quality findings on the late-stage samples.
+    pub data_quality: DataQualityReport,
+    /// 2-norm condition number of the early-stage covariance as given
+    /// (`f64::INFINITY` when singular/indefinite).
+    pub prior_condition: f64,
+    /// Which SPD repair (if any) the prior covariance needed.
+    pub prior_repair: SpdRepair,
+    /// CV-selected `(κ₀, ν₀)` when cross-validation ran successfully.
+    pub selection: Option<(f64, f64)>,
+    /// The ladder rung that produced the returned estimate.
+    pub fallback: FallbackLevel,
+    /// Why the pipeline degraded below [`FallbackLevel::Map`] (absent on
+    /// the happy path).
+    pub fallback_reason: Option<String>,
+    /// Additional non-fatal observations (e.g. a CV failure that was
+    /// absorbed by default hyper-parameters).
+    pub notes: Vec<String>,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Infinity/NaN literals; encode as strings.
+        format!("\"{v}\"")
+    }
+}
+
+fn json_index_pairs(pairs: &[(usize, usize)]) -> String {
+    let items: Vec<String> = pairs.iter().map(|(a, b)| format!("[{a},{b}]")).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_indices(idx: &[usize]) -> String {
+    let items: Vec<String> = idx.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl FusionReport {
+    /// Serializes the report as a self-contained JSON object (hand-rolled
+    /// — the workspace's serde is a marker facade; see `vendor/README.md`).
+    pub fn to_json(&self) -> String {
+        let dq = &self.data_quality;
+        let selection = match self.selection {
+            Some((kappa0, nu0)) => format!(
+                "{{\"kappa0\":{},\"nu0\":{}}}",
+                json_f64(kappa0),
+                json_f64(nu0)
+            ),
+            None => "null".to_string(),
+        };
+        let reason = match &self.fallback_reason {
+            Some(r) => format!("\"{}\"", json_escape(r)),
+            None => "null".to_string(),
+        };
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"fallback\":\"{}\",\"fallback_reason\":{},",
+                "\"prior_condition\":{},\"prior_repair\":\"{}\",",
+                "\"prior_repair_detail\":\"{}\",\"selection\":{},",
+                "\"data_quality\":{{\"rows_in\":{},\"rows_out\":{},",
+                "\"nonfinite_cells\":{},\"dropped_rows\":{},",
+                "\"constant_columns\":{},\"duplicate_rows\":{},",
+                "\"outlier_rows\":{}}},\"notes\":[{}]}}"
+            ),
+            self.fallback.label(),
+            reason,
+            json_f64(self.prior_condition),
+            self.prior_repair.label(),
+            json_escape(&self.prior_repair.to_string()),
+            selection,
+            dq.rows_in,
+            dq.rows_out,
+            json_index_pairs(&dq.nonfinite_cells),
+            json_indices(&dq.dropped_rows),
+            json_indices(&dq.constant_columns),
+            json_index_pairs(&dq.duplicate_rows),
+            json_indices(&dq.outlier_rows),
+            notes.join(",")
+        )
+    }
+
+    /// Multi-line human-readable rendering (CLI `--report -` output).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fusion level: {}\n", self.fallback));
+        if let Some(r) = &self.fallback_reason {
+            out.push_str(&format!("degraded because: {r}\n"));
+        }
+        out.push_str(&format!("data quality: {}\n", self.data_quality.summary()));
+        out.push_str(&format!(
+            "prior condition: {:.3e}, repair: {}\n",
+            self.prior_condition, self.prior_repair
+        ));
+        if let Some((k, n)) = self.selection {
+            out.push_str(&format!("cv selection: kappa0 = {k:.3}, nu0 = {n:.2}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// The robust estimation pipeline. Construct with [`RobustPipeline::new`],
+/// configure with the builder methods, run with
+/// [`RobustPipeline::estimate`].
+///
+/// # Example
+///
+/// ```
+/// use bmf_core::pipeline::{FailureMode, FallbackLevel, RobustPipeline};
+/// use bmf_core::MomentEstimate;
+/// use bmf_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), bmf_core::BmfError> {
+/// let early = MomentEstimate {
+///     mean: Vector::zeros(2),
+///     cov: Matrix::identity(2),
+/// };
+/// // Two late samples, one corrupted by a failed measurement.
+/// let late = Matrix::from_rows(&[
+///     &[0.1, -0.2],
+///     &[f64::NAN, 0.3],
+///     &[-0.2, 0.1],
+/// ]).unwrap();
+/// let (estimate, report) = RobustPipeline::new().estimate(&early, &late)?;
+/// assert_eq!(estimate.dim(), 2);
+/// assert_eq!(report.data_quality.dropped_rows, vec![1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RobustPipeline {
+    cv: CrossValidation,
+    guard: GuardPolicy,
+    mode: FailureMode,
+    seed: u64,
+    threads: usize,
+}
+
+impl Default for RobustPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RobustPipeline {
+    /// Degrade-mode pipeline with the default CV grid and guard policy,
+    /// seed 2015, one thread.
+    pub fn new() -> Self {
+        RobustPipeline {
+            cv: CrossValidation::default(),
+            guard: GuardPolicy::default(),
+            mode: FailureMode::Degrade,
+            seed: 2015,
+            threads: 1,
+        }
+    }
+
+    /// Replaces the cross-validation strategy.
+    pub fn with_cv(mut self, cv: CrossValidation) -> Self {
+        self.cv = cv;
+        self
+    }
+
+    /// Replaces the guard policy.
+    pub fn with_guard(mut self, guard: GuardPolicy) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets the failure mode.
+    pub fn with_mode(mut self, mode: FailureMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the root seed for CV fold shuffles.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (results are thread-count invariant).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the full guarded, self-healing estimation.
+    ///
+    /// Returns the moment estimate and the [`FusionReport`] explaining
+    /// how it was produced. In [`FailureMode::Strict`], any anomaly
+    /// (dropped rows, non-finite cells, constant columns, prior repair,
+    /// estimator fallback) is a typed error instead.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::InvalidConfig`] for an invalid guard policy or
+    ///   thread count.
+    /// * [`BmfError::InvalidMoments`] when the early moments are
+    ///   structurally unusable (nothing to degrade to).
+    /// * [`BmfError::InvalidSamples`] in strict mode on any anomaly, or
+    ///   in degrade mode when even the early-only rung is unreachable.
+    pub fn estimate(
+        &self,
+        early: &MomentEstimate,
+        late_samples: &Matrix,
+    ) -> Result<(MomentEstimate, FusionReport)> {
+        if self.threads == 0 {
+            return Err(BmfError::InvalidConfig {
+                reason: "robust pipeline needs at least one worker thread".to_string(),
+            });
+        }
+        self.guard.validate()?;
+        // The early moments are the last rung of the ladder; if they are
+        // structurally broken there is nothing to return at any rung.
+        early.validate()?;
+        if late_samples.ncols() != early.dim() {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "late samples have {} columns but early moments are {}-dimensional",
+                    late_samples.ncols(),
+                    early.dim()
+                ),
+            });
+        }
+
+        let mut notes: Vec<String> = Vec::new();
+
+        // ── Stage 1: data-quality guard on the late samples. ──────────
+        let screened = guard::screen(late_samples, &self.guard);
+        let (cleaned, dq) = match screened {
+            Ok(ok) => ok,
+            Err(e) => {
+                if self.mode == FailureMode::Strict {
+                    return Err(e);
+                }
+                // No usable late data at all → early-only rung.
+                let report = FusionReport {
+                    data_quality: DataQualityReport {
+                        rows_in: late_samples.nrows(),
+                        rows_out: 0,
+                        ..DataQualityReport::default()
+                    },
+                    prior_condition: bmf_linalg::condition_number(&early.cov)?,
+                    prior_repair: SpdRepair::None,
+                    selection: None,
+                    fallback: FallbackLevel::EarlyOnly,
+                    fallback_reason: Some(format!("late-stage data unusable: {e}")),
+                    notes,
+                };
+                return Ok((early.clone(), report));
+            }
+        };
+        if self.mode == FailureMode::Strict {
+            if !dq.dropped_rows.is_empty() || !dq.nonfinite_cells.is_empty() {
+                return Err(BmfError::InvalidSamples {
+                    reason: format!("strict mode: late-stage data is dirty ({})", dq.summary()),
+                });
+            }
+            if !dq.constant_columns.is_empty() {
+                return Err(BmfError::InvalidSamples {
+                    reason: format!(
+                        "strict mode: constant late-stage column(s) {:?}",
+                        dq.constant_columns
+                    ),
+                });
+            }
+        }
+
+        // ── Stage 2: prior conditioning. ──────────────────────────────
+        let prior_condition = bmf_linalg::condition_number(&early.cov)?;
+        let repaired = Cholesky::new_with_repair(&early.cov)?;
+        let prior_repair = repaired.repair;
+        if self.mode == FailureMode::Strict && prior_repair.is_repaired() {
+            return Err(BmfError::InvalidMoments {
+                reason: format!(
+                    "strict mode: early-stage covariance needed repair ({prior_repair}), \
+                     condition = {prior_condition:.3e}"
+                ),
+            });
+        }
+        let effective_early = if prior_repair.is_repaired() {
+            MomentEstimate {
+                mean: early.mean.clone(),
+                cov: repaired.matrix,
+            }
+        } else {
+            early.clone()
+        };
+
+        // ── Stage 3: hyper-parameter selection (absorb CV failure). ───
+        let d = early.dim() as f64;
+        let selection =
+            match self
+                .cv
+                .select_seeded(&effective_early, &cleaned, self.seed, self.threads)
+            {
+                Ok(sel) => Some((sel.kappa0, sel.nu0)),
+                Err(e) => {
+                    if self.mode == FailureMode::Strict {
+                        return Err(e);
+                    }
+                    notes.push(format!(
+                        "cross-validation failed ({e}); using default hyper-parameters \
+                     kappa0 = 1, nu0 = d + 2"
+                    ));
+                    None
+                }
+            };
+        let (kappa0, nu0) = selection.unwrap_or((1.0, d + 2.0));
+
+        // ── Stage 4: the ladder. MAP → MLE → early-only. ─────────────
+        let map_attempt = NormalWishartPrior::from_early_moments(&effective_early, kappa0, nu0)
+            .and_then(|prior| BmfEstimator::new(prior)?.estimate(&cleaned));
+        match map_attempt {
+            Ok(est) => {
+                let fallback = if prior_repair.is_repaired() {
+                    FallbackLevel::MapRepairedPrior
+                } else {
+                    FallbackLevel::Map
+                };
+                let report = FusionReport {
+                    data_quality: dq,
+                    prior_condition,
+                    prior_repair,
+                    selection,
+                    fallback,
+                    fallback_reason: if prior_repair.is_repaired() {
+                        Some(format!("prior covariance repaired: {prior_repair}"))
+                    } else {
+                        None
+                    },
+                    notes,
+                };
+                Ok((est.map, report))
+            }
+            Err(map_err) => {
+                if self.mode == FailureMode::Strict {
+                    return Err(map_err);
+                }
+                match MleEstimator::new().estimate(&cleaned) {
+                    Ok(mle) => {
+                        let report = FusionReport {
+                            data_quality: dq,
+                            prior_condition,
+                            prior_repair,
+                            selection,
+                            fallback: FallbackLevel::Mle,
+                            fallback_reason: Some(format!("MAP estimation failed: {map_err}")),
+                            notes,
+                        };
+                        Ok((mle, report))
+                    }
+                    Err(mle_err) => {
+                        let report = FusionReport {
+                            data_quality: dq,
+                            prior_condition,
+                            prior_repair,
+                            selection,
+                            fallback: FallbackLevel::EarlyOnly,
+                            fallback_reason: Some(format!(
+                                "MAP failed ({map_err}); MLE failed ({mle_err})"
+                            )),
+                            notes,
+                        };
+                        Ok((early.clone(), report))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_linalg::Vector;
+    use bmf_stats::MultivariateNormal;
+    use rand::SeedableRng;
+
+    fn early() -> MomentEstimate {
+        MomentEstimate {
+            mean: Vector::from_slice(&[0.2, -0.1]),
+            cov: Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 0.8]]).unwrap(),
+        }
+    }
+
+    fn clean_late(n: usize, seed: u64) -> Matrix {
+        let truth = MultivariateNormal::new(
+            Vector::from_slice(&[0.3, -0.2]),
+            Matrix::from_rows(&[&[1.1, 0.25], &[0.25, 0.9]]).unwrap(),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        truth.sample_matrix(&mut rng, n)
+    }
+
+    fn small_cv() -> CrossValidation {
+        CrossValidation::new(vec![1.0, 10.0], vec![10.0, 100.0], 2).unwrap()
+    }
+
+    #[test]
+    fn happy_path_is_map_with_clean_report() {
+        let late = clean_late(16, 1);
+        let (est, report) = RobustPipeline::new()
+            .with_cv(small_cv())
+            .estimate(&early(), &late)
+            .unwrap();
+        assert_eq!(report.fallback, FallbackLevel::Map);
+        assert!(report.fallback_reason.is_none());
+        assert!(report.data_quality.is_clean());
+        assert!(report.selection.is_some());
+        assert!(report.prior_condition.is_finite());
+        assert!(est.validate().is_ok());
+        assert!(Cholesky::new(&est.cov).is_ok());
+    }
+
+    #[test]
+    fn corrupted_rows_are_screened_and_reported() {
+        let mut late = clean_late(16, 2);
+        late[(3, 0)] = f64::NAN;
+        late[(9, 1)] = f64::INFINITY;
+        let (est, report) = RobustPipeline::new()
+            .with_cv(small_cv())
+            .estimate(&early(), &late)
+            .unwrap();
+        assert_eq!(report.fallback, FallbackLevel::Map);
+        assert_eq!(report.data_quality.dropped_rows, vec![3, 9]);
+        assert_eq!(report.data_quality.rows_out, 14);
+        assert!(est.validate().is_ok());
+    }
+
+    #[test]
+    fn singular_prior_degrades_to_repaired_map() {
+        let singular = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::outer(&Vector::from_slice(&[1.0, 1.0])), // rank 1
+        };
+        let late = clean_late(16, 3);
+        let (est, report) = RobustPipeline::new()
+            .with_cv(small_cv())
+            .estimate(&singular, &late)
+            .unwrap();
+        assert_eq!(report.fallback, FallbackLevel::MapRepairedPrior);
+        assert!(report.prior_repair.is_repaired());
+        assert!(report.prior_condition.is_infinite());
+        assert!(report.fallback_reason.is_some());
+        assert!(est.validate().is_ok());
+        assert!(Cholesky::new(&est.cov).is_ok());
+    }
+
+    #[test]
+    fn unusable_late_data_degrades_to_early_only() {
+        // Every row non-finite → guard errors → early-only rung.
+        let mut late = clean_late(6, 4);
+        for i in 0..6 {
+            late[(i, 0)] = f64::NAN;
+        }
+        let (est, report) = RobustPipeline::new().estimate(&early(), &late).unwrap();
+        assert_eq!(report.fallback, FallbackLevel::EarlyOnly);
+        assert!(report
+            .fallback_reason
+            .as_deref()
+            .unwrap()
+            .contains("unusable"));
+        assert_eq!(est, early());
+    }
+
+    #[test]
+    fn single_sample_falls_back_gracefully() {
+        // One late sample: CV is impossible (needs >= 2); the degrade
+        // ladder absorbs the CV failure with default hyper-parameters and
+        // MAP still works (the prior keeps Eq. 32 SPD).
+        let late = clean_late(1, 5);
+        let (est, report) = RobustPipeline::new().estimate(&early(), &late).unwrap();
+        assert_eq!(report.fallback, FallbackLevel::Map);
+        assert!(report.selection.is_none());
+        assert!(!report.notes.is_empty());
+        assert!(est.validate().is_ok());
+    }
+
+    #[test]
+    fn strict_mode_rejects_dirty_data() {
+        let mut late = clean_late(16, 6);
+        late[(0, 0)] = f64::NAN;
+        let err = RobustPipeline::new()
+            .with_mode(FailureMode::Strict)
+            .with_cv(small_cv())
+            .estimate(&early(), &late)
+            .unwrap_err();
+        assert!(err.to_string().contains("strict mode"), "{err}");
+    }
+
+    #[test]
+    fn strict_mode_rejects_repaired_prior() {
+        let singular = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::outer(&Vector::from_slice(&[1.0, 1.0])),
+        };
+        let late = clean_late(16, 7);
+        let err = RobustPipeline::new()
+            .with_mode(FailureMode::Strict)
+            .with_cv(small_cv())
+            .estimate(&singular, &late)
+            .unwrap_err();
+        assert!(err.to_string().contains("repair"), "{err}");
+    }
+
+    #[test]
+    fn strict_mode_passes_clean_data() {
+        let late = clean_late(16, 8);
+        let (est, report) = RobustPipeline::new()
+            .with_mode(FailureMode::Strict)
+            .with_cv(small_cv())
+            .estimate(&early(), &late)
+            .unwrap();
+        assert_eq!(report.fallback, FallbackLevel::Map);
+        assert!(est.validate().is_ok());
+    }
+
+    #[test]
+    fn structurally_broken_early_moments_are_a_typed_error() {
+        let broken = MomentEstimate {
+            mean: Vector::zeros(3),
+            cov: Matrix::identity(2),
+        };
+        let late = clean_late(8, 9);
+        assert!(matches!(
+            RobustPipeline::new().estimate(&broken, &late),
+            Err(BmfError::InvalidMoments { .. })
+        ));
+        // Dimension mismatch between early and late is typed too.
+        let late3 = Matrix::zeros(4, 3);
+        assert!(matches!(
+            RobustPipeline::new().estimate(&early(), &late3),
+            Err(BmfError::InvalidSamples { .. })
+        ));
+        assert!(RobustPipeline::new()
+            .with_threads(0)
+            .estimate(&early(), &clean_late(8, 10))
+            .is_err());
+    }
+
+    #[test]
+    fn result_is_thread_count_invariant() {
+        let late = clean_late(24, 11);
+        let a = RobustPipeline::new()
+            .with_cv(small_cv())
+            .with_threads(1)
+            .estimate(&early(), &late)
+            .unwrap();
+        let b = RobustPipeline::new()
+            .with_cv(small_cv())
+            .with_threads(7)
+            .estimate(&early(), &late)
+            .unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.selection, b.1.selection);
+    }
+
+    #[test]
+    fn report_serializes_to_json_and_summary() {
+        let mut late = clean_late(16, 12);
+        late[(2, 1)] = f64::NAN;
+        let (_, report) = RobustPipeline::new()
+            .with_cv(small_cv())
+            .estimate(&early(), &late)
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"fallback\":\"map\""));
+        assert!(json.contains("\"dropped_rows\":[2]"));
+        assert!(json.contains("\"nonfinite_cells\":[[2,1]]"));
+        assert!(json.contains("\"prior_repair\":\"none\""));
+        let summary = report.summary();
+        assert!(summary.contains("fusion level: map"));
+        assert!(summary.contains("data quality"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

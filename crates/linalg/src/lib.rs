@@ -15,6 +15,8 @@
 //! * [`Lu`]: partial-pivoted LU for general square systems.
 //! * [`SymmetricEigen`]: cyclic Jacobi eigen-decomposition of symmetric
 //!   matrices (used for PSD diagnostics and nearest-SPD projection).
+//! * [`spd`]: condition-number estimation and the SPD repair ladder
+//!   ([`Cholesky::new_with_repair`]) for near-singular covariances.
 //! * [`Qr`]: Householder QR with least-squares solve.
 //! * [`Complex64`], [`CVector`], [`CMatrix`], [`CLu`]: complex arithmetic
 //!   and a complex LU solver for AC circuit analysis.
@@ -47,6 +49,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+pub mod spd;
 mod vector;
 
 pub use cholesky::{nearest_spd, Cholesky};
@@ -56,6 +59,7 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use spd::{condition_number, RepairedCholesky, SpdRepair};
 pub use vector::Vector;
 
 /// Convenience result alias for fallible linear-algebra operations.

@@ -22,7 +22,10 @@
 //! ```
 
 use bmf_ams::circuits::adc::AdcTestbench;
-use bmf_ams::circuits::monte_carlo::{run_monte_carlo_seeded, Stage, Testbench};
+use bmf_ams::circuits::fault::{FaultConfig, FaultInjector};
+use bmf_ams::circuits::monte_carlo::{
+    run_monte_carlo_seeded_with_policy, RetryPolicy, Stage, Testbench,
+};
 use bmf_ams::circuits::opamp::OpAmpTestbench;
 use bmf_ams::core::io::{
     read_moments_csv, read_samples_csv, write_moments_csv, write_samples_csv, LabelledSamples,
@@ -65,18 +68,31 @@ fn print_usage() {
     println!();
     println!("subcommands:");
     println!("  estimate --early <csv> --late <csv> [--out <csv>] [--seed <u64>] [--threads <n>]");
+    println!("           [--strict | --degrade] [--report <json-path|->]");
     println!("  generate --circuit opamp|adc --stage schematic|postlayout");
     println!("           --samples <n> [--seed <u64>] [--threads <n>] [--out <csv>]");
+    println!("           [--fault-rate <r>] [--retry-attempts <n>]");
     println!("  yield    --moments <csv> --spec \"<metric><=|>=<value>\" ... [--draws <n>]");
     println!("  diagnose --samples <csv>");
     println!();
     println!("--threads defaults to the machine's available parallelism; results are");
     println!("bit-identical for every thread count (per-task seed derivation).");
+    println!();
+    println!("robustness: --degrade routes estimation through the self-healing pipeline");
+    println!("(data-quality guard, SPD prior repair, MAP -> MLE -> early-only fallback");
+    println!("ladder); --strict runs the same pipeline but turns any anomaly into an");
+    println!("error. --report writes the FusionReport as JSON ('-' prints a summary).");
+    println!("generate --fault-rate r injects failed sims at rate r and gross outliers");
+    println!("at r/5 (deterministic, seed-derived) to exercise the robustness path.");
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-/// Parses `--key value` pairs; repeated keys accumulate.
+/// Flags that take no value (presence is the whole message).
+const BOOL_FLAGS: &[&str] = &["strict", "degrade"];
+
+/// Parses `--key value` pairs; repeated keys accumulate. Flags listed in
+/// [`BOOL_FLAGS`] are valueless switches.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, String> {
     let mut map: HashMap<String, Vec<String>> = HashMap::new();
     let mut i = 0;
@@ -85,12 +101,16 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, String> 
         if !key.starts_with("--") {
             return Err(format!("expected a --flag, got '{key}'"));
         }
+        let name = key[2..].to_string();
+        if BOOL_FLAGS.contains(&name.as_str()) {
+            map.entry(name).or_default().push("true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("flag {key} needs a value"))?;
-        map.entry(key[2..].to_string())
-            .or_default()
-            .push(value.clone());
+        map.entry(name).or_default().push(value.clone());
         i += 2;
     }
     Ok(map)
@@ -168,16 +188,61 @@ fn cmd_estimate(args: &[String]) -> CliResult {
 
     let threads = threads_flag(&flags)?;
     let cv_seed = rand::rngs::StdRng::seed_from_u64(seed).next_u64();
-    let sel =
-        CrossValidation::default().select_seeded(&early_moments, &late_norm, cv_seed, threads)?;
-    eprintln!(
-        "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4}, {threads} thread(s))",
-        sel.kappa0, sel.nu0, sel.score
-    );
 
-    let prior = NormalWishartPrior::from_early_moments(&early_moments, sel.kappa0, sel.nu0)?;
-    let est = BmfEstimator::new(prior)?.estimate(&late_norm)?;
-    let physical = late_t.invert_moments(&est.map)?;
+    let strict = flags.contains_key("strict");
+    let degrade = flags.contains_key("degrade");
+    if strict && degrade {
+        return Err("--strict and --degrade are mutually exclusive".into());
+    }
+    let report_path = optional(&flags, "report");
+
+    let physical = if strict || degrade || report_path.is_some() {
+        // Robust path: guard -> prior repair -> MAP→MLE→early ladder,
+        // with the audit trail in a FusionReport.
+        let mode = if strict {
+            FailureMode::Strict
+        } else {
+            FailureMode::Degrade
+        };
+        let pipeline = RobustPipeline::new()
+            .with_mode(mode)
+            .with_seed(cv_seed)
+            .with_threads(threads);
+        let (est, report) = pipeline.estimate(&early_moments, &late_norm)?;
+        eprintln!("robust pipeline: fusion level = {}", report.fallback);
+        if let Some(reason) = &report.fallback_reason {
+            eprintln!("robust pipeline: {reason}");
+        }
+        if let Some((kappa0, nu0)) = report.selection {
+            eprintln!(
+                "cross-validation selected kappa0 = {kappa0:.3}, nu0 = {nu0:.2} ({threads} thread(s))"
+            );
+        }
+        match report_path {
+            Some("-") => eprint!("{}", report.summary()),
+            Some(path) => {
+                std::fs::write(path, report.to_json())?;
+                eprintln!("fusion report written to {path}");
+            }
+            None => {}
+        }
+        late_t.invert_moments(&est)?
+    } else {
+        let sel = CrossValidation::default().select_seeded(
+            &early_moments,
+            &late_norm,
+            cv_seed,
+            threads,
+        )?;
+        eprintln!(
+            "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4}, {threads} thread(s))",
+            sel.kappa0, sel.nu0, sel.score
+        );
+
+        let prior = NormalWishartPrior::from_early_moments(&early_moments, sel.kappa0, sel.nu0)?;
+        let est = BmfEstimator::new(prior)?.estimate(&late_norm)?;
+        late_t.invert_moments(&est.map)?
+    };
 
     match optional(&flags, "out") {
         Some(path) => {
@@ -201,16 +266,45 @@ fn cmd_generate(args: &[String]) -> CliResult {
     };
     let n: usize = single(&flags, "samples")?.parse()?;
     let seed: u64 = optional(&flags, "seed").unwrap_or("1").parse()?;
+    let fault_rate: f64 = optional(&flags, "fault-rate").unwrap_or("0").parse()?;
+    let retry_attempts: usize = optional(&flags, "retry-attempts")
+        .unwrap_or("100")
+        .parse()?;
 
     let tb: Box<dyn Testbench> = match circuit {
         "opamp" => Box::new(OpAmpTestbench::default_45nm()),
         "adc" => Box::new(AdcTestbench::default_180nm()),
         other => return Err(format!("unknown circuit '{other}' (use opamp|adc)").into()),
     };
+    // Fault injection keeps the emitted CSV finite: failed sims are
+    // retried away and outliers survive as (finite) corrupted rows, but
+    // NaN corruption is off — the CSV reader rejects non-finite tokens by
+    // design, so a generated file must always be readable back.
+    let tb: Box<dyn Testbench> = if fault_rate > 0.0 {
+        Box::new(FaultInjector::new(
+            tb,
+            FaultConfig {
+                sim_failure_rate: fault_rate,
+                outlier_rate: fault_rate / 5.0,
+                ..FaultConfig::default()
+            },
+        )?)
+    } else {
+        tb
+    };
 
     let threads = threads_flag(&flags)?;
-    let data = run_monte_carlo_seeded(tb.as_ref(), stage, n, seed, threads)?;
-    eprintln!("generated {n} samples on {threads} thread(s)");
+    let policy = RetryPolicy {
+        max_attempts: retry_attempts,
+    };
+    let data = run_monte_carlo_seeded_with_policy(tb.as_ref(), stage, n, seed, threads, &policy)?;
+    if fault_rate > 0.0 {
+        eprintln!(
+            "generated {n} samples on {threads} thread(s) (fault rate {fault_rate}, retry budget {retry_attempts})"
+        );
+    } else {
+        eprintln!("generated {n} samples on {threads} thread(s)");
+    }
 
     // First row is the nominal run, as `bmf estimate` expects.
     let d = data.samples.ncols();
