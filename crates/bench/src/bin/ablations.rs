@@ -8,7 +8,7 @@
 //!    the corresponding confidence parameter (validating the §3.3
 //!    interpretation of `κ₀`/`ν₀`).
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick] [--threads <n>] [--fault-rate <r>]`
+//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>]`
 //!
 //! `--threads` defaults to the machine's available parallelism; every
 //! ablation is bit-identical for every thread count. With
@@ -288,7 +288,14 @@ fn ablation_dimensionality(n: usize, reps: usize, seed: u64, threads: usize) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let mut obs = match bmf_obs::ObsOptions::extract(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let threads = bmf_core::parallel::resolve_threads(
         args.iter()
@@ -302,6 +309,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0);
+    obs.set_threads(threads);
     let (pool, reps) = if quick { (600, 10) } else { (3000, 40) };
     let n = 32;
 
@@ -338,4 +346,8 @@ fn main() {
     ablation_fixed_vs_cv(&prepared, n, reps, 102, threads);
     ablation_prior_corruption(&prepared, n, reps, 103, threads);
     ablation_dimensionality(16, reps, 104, threads);
+    if let Err(e) = obs.finish() {
+        eprintln!("failed to write observability output: {e}");
+        std::process::exit(1);
+    }
 }

@@ -177,11 +177,16 @@ fn main() {
     }
 
     let thread_list: Vec<String> = thread_counts.iter().map(usize::to_string).collect();
+    // Hardware context in the same shape the bmf_obs exporters embed, so
+    // committed benchmark numbers stay interpretable across machines.
+    let hardware = bmf_obs::HardwareContext::detect(*thread_counts.iter().max().unwrap_or(&1));
     let json = format!(
-        "{{\n  \"available_parallelism\": {avail},\n  \"quick\": {quick},\n  \
+        "{{\n  \"available_parallelism\": {avail},\n  \"hardware\": {{{}}},\n  \
+         \"quick\": {quick},\n  \
          \"thread_counts\": [{}],\n  \"stages\": {{\n{},\n{},\n{}\n  }},\n  \
          \"note\": \"all stages asserted bit-identical across thread counts; \
          speedup_vs_1 saturates at available_parallelism\"\n}}\n",
+        hardware.json_fields(),
         thread_list.join(", "),
         json_stage("cv_select_default_grid", &cv_cells),
         json_stage("monte_carlo_opamp", &mc_cells),

@@ -3,7 +3,7 @@
 //! samples, MLE vs BMF, plus the in-text cost-reduction factors and the
 //! CV-selected hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>]`
 //!
 //! With `--svg results/fig4` the two panels are also written as
 //! `results/fig4_mean.svg` and `results/fig4_cov.svg`.
@@ -24,7 +24,14 @@ use bmf_circuits::opamp::OpAmpTestbench;
 use bmf_core::experiment::SweepConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let mut obs = match bmf_obs::ObsOptions::extract(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let svg_prefix = args
         .iter()
@@ -42,6 +49,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0);
+    obs.set_threads(threads);
     let (pool, reps) = if quick { (800, 15) } else { (5000, 100) };
 
     let tb = OpAmpTestbench::default_45nm();
@@ -99,4 +107,8 @@ fn main() {
         }
     }
     eprintln!("elapsed: {:.1?}", t0.elapsed());
+    if let Err(e) = obs.finish() {
+        eprintln!("failed to write observability output: {e}");
+        std::process::exit(1);
+    }
 }

@@ -3,7 +3,7 @@
 //! vs BMF, plus the in-text >10× cost reduction and the CV-selected
 //! hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>]`
 //!
 //! The default matches the paper: 1000 MC samples per stage, 100
 //! repetitions, n ∈ {8..256}. `--threads` defaults to the machine's
@@ -20,7 +20,14 @@ use bmf_circuits::adc::AdcTestbench;
 use bmf_core::experiment::SweepConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let mut obs = match bmf_obs::ObsOptions::extract(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let svg_prefix = args
         .iter()
@@ -38,6 +45,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0);
+    obs.set_threads(threads);
     let (pool, reps) = if quick { (400, 15) } else { (1000, 100) };
 
     let tb = AdcTestbench::default_180nm();
@@ -94,4 +102,8 @@ fn main() {
         }
     }
     eprintln!("elapsed: {:.1?}", t0.elapsed());
+    if let Err(e) = obs.finish() {
+        eprintln!("failed to write observability output: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,110 @@
+//! CI gate for the disabled-path cost of the `bmf_obs` instrumentation.
+//!
+//! The observability layer promises that when no `--trace-out` /
+//! `--profile` / `--metrics-out` flag is given, every span and counter
+//! call collapses to a relaxed atomic load plus a branch. This bin
+//! measures that cost and fails (exit 1) when the estimated overhead on
+//! the CV-selection micro-benchmark exceeds the budget.
+//!
+//! Method — the disabled branches are compiled in, so the overhead
+//! cannot be measured by diffing two binaries at runtime; instead it is
+//! bounded from measurements in one process:
+//!
+//! 1. calibrate the per-call cost of a disabled span + counter pair with
+//!    a tight loop;
+//! 2. run one CV selection with recording *enabled* to count how many
+//!    instrumentation hits (span events + counter increments) the
+//!    workload performs;
+//! 3. time the same CV selection with recording *disabled* (the shipped
+//!    configuration) and report `hits x per_call_cost / workload_time`.
+//!
+//! Usage: `cargo run --release -p bmf-bench --bin obs_overhead
+//!         [--budget-percent <f>]` (default budget: 2%).
+
+use bmf_core::cv::CrossValidation;
+use bmf_core::MomentEstimate;
+use bmf_linalg::{Matrix, Vector};
+use bmf_stats::MultivariateNormal;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const CALIBRATION_ITERS: u64 = 20_000_000;
+
+fn synthetic(d: usize, n: usize) -> (MomentEstimate, Matrix) {
+    let b = Matrix::from_fn(d, d, |i, j| ((i + 2 * j) % 7) as f64 / 7.0);
+    let mut cov = b.mat_mul(&b.transpose()).expect("square");
+    for i in 0..d {
+        cov[(i, i)] += 1.0;
+    }
+    let early = MomentEstimate {
+        mean: Vector::zeros(d),
+        cov: cov.clone(),
+    };
+    let truth = MultivariateNormal::new(Vector::zeros(d), cov).expect("spd");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    (early, truth.sample_matrix(&mut rng, n))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget_percent: f64 = args
+        .iter()
+        .position(|a| a == "--budget-percent")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    // 1. Per-call cost of the disabled fast path (span + counter pair).
+    bmf_obs::reset();
+    assert!(!bmf_obs::is_enabled(), "recording must start disabled");
+    let t0 = Instant::now();
+    for i in 0..CALIBRATION_ITERS {
+        let _span = bmf_obs::span("obs_overhead.calibration");
+        bmf_obs::counters::CV_FOLD_EVALS.incr();
+        black_box(i);
+    }
+    let per_call = t0.elapsed().as_secs_f64() / CALIBRATION_ITERS as f64;
+    eprintln!(
+        "disabled span+counter pair: {:.2} ns/call ({CALIBRATION_ITERS} iterations)",
+        per_call * 1e9
+    );
+
+    // 2. Count the workload's instrumentation hits with recording on.
+    let (early, late) = synthetic(5, 48);
+    let cv = CrossValidation::default();
+    bmf_obs::reset();
+    bmf_obs::enable();
+    cv.select_seeded(&early, &late, 6, 1).expect("cv select");
+    let events = bmf_obs::take_events().len() as u64;
+    let increments: u64 = bmf_obs::metrics::snapshot()
+        .counters
+        .iter()
+        .map(|(_, v)| v)
+        .sum();
+    bmf_obs::reset();
+    let hits = events + increments;
+    eprintln!("CV workload: {events} span events + {increments} counter increments = {hits} hits");
+
+    // 3. Time the workload in the shipped (disabled) configuration.
+    cv.select_seeded(&early, &late, 6, 1).expect("warm-up");
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        cv.select_seeded(&early, &late, 6, 1).expect("cv select");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let overhead = hits as f64 * per_call / best;
+    println!(
+        "obs_overhead: {hits} hits x {:.2} ns = {:.1} us over a {:.1} ms CV select -> {:.4}% (budget {budget_percent}%)",
+        per_call * 1e9,
+        hits as f64 * per_call * 1e6,
+        best * 1e3,
+        overhead * 100.0
+    );
+    if overhead * 100.0 > budget_percent {
+        eprintln!("FAIL: disabled-recorder overhead exceeds the {budget_percent}% budget");
+        std::process::exit(1);
+    }
+    println!("OK: disabled-recorder overhead within budget");
+}

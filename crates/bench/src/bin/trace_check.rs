@@ -1,0 +1,126 @@
+//! Validates observability artifacts produced by the figure bins — the
+//! CI smoke check behind `fig4_opamp --trace-out ... --metrics-out ...`.
+//!
+//! * `--trace <path>` — the file must parse as JSON, contain a non-empty
+//!   `traceEvents` array whose complete (`ph == "X"`) events all carry
+//!   `name`/`ts`/`dur`/`pid`/`tid`, and embed the hardware context in
+//!   `otherData`. This is the shape Perfetto / `chrome://tracing` loads.
+//! * `--metrics <path>` — the file must parse as JSON and the named
+//!   `--expect-counter <name>` entries (repeatable) must be present and
+//!   nonzero.
+//!
+//! Exits 0 when every requested check passes, 1 otherwise.
+
+use bmf_obs::json::Value;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    bmf_obs::json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn check_trace(doc: &Value) -> Result<(usize, usize), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} has no ph"))?;
+        for key in ["name", "pid", "tid"] {
+            if ev.get(key).is_none() {
+                return Err(format!("event {i} (ph {ph}) has no {key}"));
+            }
+        }
+        if ph == "X" {
+            complete += 1;
+            let ts = ev.get("ts").and_then(Value::as_f64);
+            let dur = ev.get("dur").and_then(Value::as_f64);
+            match (ts, dur) {
+                (Some(ts), Some(dur)) if ts >= 0.0 && dur >= 0.0 => {}
+                _ => return Err(format!("complete event {i} has bad ts/dur")),
+            }
+        }
+    }
+    if complete == 0 {
+        return Err("no complete (ph == X) span events".to_string());
+    }
+    let other = doc.get("otherData").ok_or("missing otherData")?;
+    for key in ["detected_cores", "threads_used"] {
+        if other.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("otherData has no numeric {key}"));
+        }
+    }
+    Ok((events.len(), complete))
+}
+
+fn check_metrics(doc: &Value, expect: &[String]) -> Result<(), String> {
+    let counters = doc.get("counters").ok_or("missing counters object")?;
+    for name in expect {
+        match counters.get(name).and_then(Value::as_f64) {
+            Some(v) if v > 0.0 => {}
+            Some(_) => return Err(format!("counter {name} is zero")),
+            None => return Err(format!("counter {name} is missing")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let trace = grab("--trace");
+    let metrics = grab("--metrics");
+    let expect: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--expect-counter")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    if trace.is_none() && metrics.is_none() {
+        eprintln!(
+            "usage: trace_check [--trace <json>] [--metrics <json>] [--expect-counter <name>]..."
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = trace {
+        let doc = match load(&path) {
+            Ok(doc) => doc,
+            Err(e) => return fail(&e),
+        };
+        match check_trace(&doc) {
+            Ok((total, complete)) => println!(
+                "trace_check: {path}: {total} events ({complete} complete spans), hardware context present"
+            ),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    if let Some(path) = metrics {
+        let doc = match load(&path) {
+            Ok(doc) => doc,
+            Err(e) => return fail(&e),
+        };
+        match check_metrics(&doc, &expect) {
+            Ok(()) => println!(
+                "trace_check: {path}: {} expected counter(s) present and nonzero",
+                expect.len()
+            ),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    println!("trace_check: OK");
+    ExitCode::SUCCESS
+}

@@ -167,6 +167,7 @@ impl<T: Testbench> Testbench for FaultInjector<T> {
         // consumed its process-variation sample, and each retry re-rolls.
         let u_fail: f64 = rng.gen();
         if u_fail < self.config.sim_failure_rate {
+            bmf_obs::counters::FAULT_INJECTIONS.incr();
             return Err(CircuitError::InjectedFault {
                 kind: "simulation failure",
             });
@@ -179,12 +180,14 @@ impl<T: Testbench> Testbench for FaultInjector<T> {
         let out_col = rng.gen_range(0..d.max(1));
         let out_sign: bool = rng.gen();
         if u_out < self.config.outlier_rate && d > 0 {
+            bmf_obs::counters::FAULT_INJECTIONS.incr();
             let shift = self.config.outlier_magnitude * (1.0 + v[out_col].abs());
             v[out_col] += if out_sign { shift } else { -shift };
         }
         // NaN after outlier so a doubly-unlucky draw ends up NaN — the
         // harder case for the downstream guard.
         if u_nan < self.config.nan_rate && d > 0 {
+            bmf_obs::counters::FAULT_INJECTIONS.incr();
             v[nan_col] = f64::NAN;
         }
         Ok(v)

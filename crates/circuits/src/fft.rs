@@ -33,6 +33,7 @@ use bmf_linalg::Complex64;
 /// # }
 /// ```
 pub fn fft_in_place(buf: &mut [Complex64]) -> Result<()> {
+    bmf_obs::counters::FFT_CALLS.incr();
     let n = buf.len();
     if n == 0 || !n.is_power_of_two() {
         return Err(CircuitError::InvalidSignal {

@@ -228,6 +228,7 @@ pub fn run_monte_carlo_with_policy<T: Testbench + ?Sized, R: Rng>(
     policy: &RetryPolicy,
 ) -> Result<StageData> {
     policy.validate()?;
+    let _span = bmf_obs::span(stage_span_name(stage));
     let nominal = tb.nominal(stage)?;
     let d = tb.dim();
     let mut samples = Matrix::zeros(n, d);
@@ -255,11 +256,26 @@ fn sample_with_retries<T: Testbench + ?Sized>(
     let mut last_err: Option<CircuitError> = None;
     for _ in 0..policy.max_attempts {
         match tb.sample(stage, rng) {
-            Ok(v) => return Ok(v),
-            Err(e) => last_err = Some(e),
+            Ok(v) => {
+                bmf_obs::counters::MONTE_CARLO_SIMS.incr();
+                return Ok(v);
+            }
+            Err(e) => {
+                bmf_obs::counters::MONTE_CARLO_RETRIES.incr();
+                last_err = Some(e);
+            }
         }
     }
     Err(last_err.expect("retry loop ran at least once"))
+}
+
+/// Trace-span name of a Monte Carlo run at `stage` (span names must be
+/// `'static`, so the two stages get fixed labels).
+fn stage_span_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Schematic => "mc.schematic",
+        Stage::PostLayout => "mc.postlayout",
+    }
 }
 
 /// Per-stage seed-derivation stream for [`run_monte_carlo_seeded`]: the
@@ -315,6 +331,7 @@ pub fn run_monte_carlo_seeded_with_policy<T: Testbench + ?Sized>(
     policy: &RetryPolicy,
 ) -> Result<StageData> {
     policy.validate()?;
+    let _span = bmf_obs::span(stage_span_name(stage));
     let nominal = tb.nominal(stage)?;
     let d = tb.dim();
     let stream = stage_stream(stage);

@@ -57,6 +57,9 @@ pub struct SpectralMetrics {
 /// # }
 /// ```
 pub fn analyze(signal: &[f64], signal_bin: usize) -> Result<SpectralMetrics> {
+    bmf_obs::counters::SPECTRUM_ANALYSES.incr();
+    let _timer = bmf_obs::histograms::SPECTRUM_NS.timer();
+    let _span = bmf_obs::span("spectrum.analyze");
     let n = signal.len();
     if n < 8 || !n.is_power_of_two() {
         return Err(CircuitError::InvalidSignal {

@@ -220,6 +220,7 @@ impl CrossValidation {
         seed: u64,
         threads: usize,
     ) -> Result<HyperParameterSelection> {
+        let _span = bmf_obs::span("cv.select");
         early.validate()?;
         let d = early.dim();
         let n = late_samples.nrows();
@@ -278,7 +279,9 @@ impl CrossValidation {
 
         // Score candidates in parallel; this is the hot loop (one BMF fit
         // per candidate × repeat × fold).
+        bmf_obs::counters::CV_CANDIDATES.add(candidates.len() as u64);
         let scores = parallel::map_slice(&candidates, threads, |_, &(kappa0, nu0)| {
+            let _span = bmf_obs::span("cv.candidate");
             let mut score = 0.0_f64;
             for (training, folds) in &fold_sets {
                 score += self.score_combination(early, kappa0, nu0, training, folds)
@@ -461,6 +464,7 @@ impl CrossValidation {
             if test.nrows() == 0 || train.nrows() == 0 {
                 continue;
             }
+            bmf_obs::counters::CV_FOLD_EVALS.incr();
             let est = match estimator.estimate(train) {
                 Ok(e) => e,
                 Err(_) => return f64::NEG_INFINITY,

@@ -305,6 +305,7 @@ fn run_repetition(
     n: usize,
     rep: usize,
 ) -> Result<RepetitionOutcome> {
+    let _span = bmf_obs::span("sweep.repetition");
     let mut rng = rand::rngs::StdRng::seed_from_u64(repetition_seed(config.seed, n, rep));
     let samples = subsample(&study.late_pool, n, &mut rng);
 
@@ -387,6 +388,7 @@ pub fn run_error_sweep_parallel(
     config.validate(study.late_pool.nrows())?;
     let mut rows = Vec::with_capacity(config.sample_sizes.len());
     for &n in &config.sample_sizes {
+        let _span = bmf_obs::span("sweep.sample_size");
         let outcomes = parallel::map_range(config.repetitions, threads, |rep| {
             run_repetition(study, config, n, rep)
         })?;

@@ -286,6 +286,12 @@ pub fn screen(samples: &Matrix, policy: &GuardPolicy) -> Result<(Matrix, DataQua
         });
     }
 
+    let flags = report.nonfinite_cells.len()
+        + report.constant_columns.len()
+        + report.duplicate_rows.len()
+        + report.outlier_rows.len();
+    bmf_obs::counters::GUARD_FLAGS.add(flags as u64);
+
     let cleaned = Matrix::from_fn(keep.len(), d, |i, j| samples[(keep[i], j)]);
     Ok((cleaned, report))
 }

@@ -97,33 +97,37 @@ pub struct FusionReport {
     /// Additional non-fatal observations (e.g. a CV failure that was
     /// absorbed by default hyper-parameters).
     pub notes: Vec<String>,
+    /// Wall-clock per pipeline stage. Always measured (a handful of
+    /// monotonic clock reads per estimate — the values are never fed
+    /// back into the computation, so estimates stay bit-identical).
+    pub timings: StageTimings,
+    /// Deltas of the process-wide observability counters across this
+    /// estimate (e.g. `cholesky.calls`, `cv.fold_evals`). Empty unless
+    /// recording was enabled via `bmf_obs::enable` — counter values are
+    /// process-wide, so deltas from concurrent estimates overlap.
+    pub counters: Vec<(&'static str, u64)>,
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+/// Wall-clock spent in each stage of one [`RobustPipeline::estimate`]
+/// call, in nanoseconds. Stages an early degradation skipped report 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Data-quality screening of the late samples.
+    pub guard_ns: u64,
+    /// Prior condition estimate + SPD repair.
+    pub prior_ns: u64,
+    /// Cross-validated hyper-parameter selection.
+    pub cv_ns: u64,
+    /// The estimation ladder (MAP → MLE → early-only).
+    pub ladder_ns: u64,
+    /// Whole `estimate` call, end to end.
+    pub total_ns: u64,
 }
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        // JSON has no Infinity/NaN literals; encode as strings.
-        format!("\"{v}\"")
-    }
-}
+// JSON string escaping and float formatting are shared with the
+// exporters (and heavily tested) in `bmf_obs::json`; the report's wire
+// format must never drift from theirs.
+use bmf_obs::json::{escape as json_escape, number as json_f64};
 
 fn json_index_pairs(pairs: &[(usize, usize)]) -> String {
     let items: Vec<String> = pairs.iter().map(|(a, b)| format!("[{a},{b}]")).collect();
@@ -157,6 +161,12 @@ impl FusionReport {
             .iter()
             .map(|n| format!("\"{}\"", json_escape(n)))
             .collect();
+        let t = &self.timings;
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(name, v)| format!("\"{}\":{v}", json_escape(name)))
+            .collect();
         format!(
             concat!(
                 "{{\"fallback\":\"{}\",\"fallback_reason\":{},",
@@ -165,7 +175,9 @@ impl FusionReport {
                 "\"data_quality\":{{\"rows_in\":{},\"rows_out\":{},",
                 "\"nonfinite_cells\":{},\"dropped_rows\":{},",
                 "\"constant_columns\":{},\"duplicate_rows\":{},",
-                "\"outlier_rows\":{}}},\"notes\":[{}]}}"
+                "\"outlier_rows\":{}}},\"notes\":[{}],",
+                "\"timings_ns\":{{\"guard\":{},\"prior\":{},\"cv\":{},",
+                "\"ladder\":{},\"total\":{}}},\"counters\":{{{}}}}}"
             ),
             self.fallback.label(),
             reason,
@@ -180,8 +192,23 @@ impl FusionReport {
             json_indices(&dq.constant_columns),
             json_index_pairs(&dq.duplicate_rows),
             json_indices(&dq.outlier_rows),
-            notes.join(",")
+            notes.join(","),
+            t.guard_ns,
+            t.prior_ns,
+            t.cv_ns,
+            t.ladder_ns,
+            t.total_ns,
+            counters.join(",")
         )
+    }
+
+    /// Value of the named observability counter delta recorded for this
+    /// estimate, or 0 when absent (recording off, or no hits).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
     }
 
     /// Multi-line human-readable rendering (CLI `--report -` output).
@@ -199,6 +226,15 @@ impl FusionReport {
         if let Some((k, n)) = self.selection {
             out.push_str(&format!("cv selection: kappa0 = {k:.3}, nu0 = {n:.2}\n"));
         }
+        let t = &self.timings;
+        out.push_str(&format!(
+            "stage times: guard {:.1}ms, prior {:.1}ms, cv {:.1}ms, ladder {:.1}ms (total {:.1}ms)\n",
+            t.guard_ns as f64 / 1e6,
+            t.prior_ns as f64 / 1e6,
+            t.cv_ns as f64 / 1e6,
+            t.ladder_ns as f64 / 1e6,
+            t.total_ns as f64 / 1e6,
+        ));
         for n in &self.notes {
             out.push_str(&format!("note: {n}\n"));
         }
@@ -312,6 +348,32 @@ impl RobustPipeline {
         early: &MomentEstimate,
         late_samples: &Matrix,
     ) -> Result<(MomentEstimate, FusionReport)> {
+        let _span = bmf_obs::span("pipeline.estimate");
+        let started = std::time::Instant::now();
+        let before = bmf_obs::is_enabled().then(bmf_obs::metrics::snapshot);
+        let mut timings = StageTimings::default();
+        let mut result = self.estimate_inner(early, late_samples, &mut timings);
+        if let Ok((_, report)) = result.as_mut() {
+            timings.total_ns = started.elapsed().as_nanos() as u64;
+            report.timings = timings;
+            if let Some(before) = before {
+                report.counters = bmf_obs::metrics::snapshot()
+                    .counters
+                    .iter()
+                    .map(|&(name, v)| (name, v.saturating_sub(before.counter(name))))
+                    .filter(|&(_, delta)| delta > 0)
+                    .collect();
+            }
+        }
+        result
+    }
+
+    fn estimate_inner(
+        &self,
+        early: &MomentEstimate,
+        late_samples: &Matrix,
+        timings: &mut StageTimings,
+    ) -> Result<(MomentEstimate, FusionReport)> {
         if self.threads == 0 {
             return Err(BmfError::InvalidConfig {
                 reason: "robust pipeline needs at least one worker thread".to_string(),
@@ -334,7 +396,11 @@ impl RobustPipeline {
         let mut notes: Vec<String> = Vec::new();
 
         // ── Stage 1: data-quality guard on the late samples. ──────────
+        let guard_span = bmf_obs::span("pipeline.guard");
+        let stage_start = std::time::Instant::now();
         let screened = guard::screen(late_samples, &self.guard);
+        timings.guard_ns = stage_start.elapsed().as_nanos() as u64;
+        drop(guard_span);
         let (cleaned, dq) = match screened {
             Ok(ok) => ok,
             Err(e) => {
@@ -342,6 +408,7 @@ impl RobustPipeline {
                     return Err(e);
                 }
                 // No usable late data at all → early-only rung.
+                bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
                 let report = FusionReport {
                     data_quality: DataQualityReport {
                         rows_in: late_samples.nrows(),
@@ -354,6 +421,8 @@ impl RobustPipeline {
                     fallback: FallbackLevel::EarlyOnly,
                     fallback_reason: Some(format!("late-stage data unusable: {e}")),
                     notes,
+                    timings: StageTimings::default(),
+                    counters: Vec::new(),
                 };
                 return Ok((early.clone(), report));
             }
@@ -375,8 +444,12 @@ impl RobustPipeline {
         }
 
         // ── Stage 2: prior conditioning. ──────────────────────────────
+        let prior_span = bmf_obs::span("pipeline.prior");
+        let stage_start = std::time::Instant::now();
         let prior_condition = bmf_linalg::condition_number(&early.cov)?;
         let repaired = Cholesky::new_with_repair(&early.cov)?;
+        timings.prior_ns = stage_start.elapsed().as_nanos() as u64;
+        drop(prior_span);
         let prior_repair = repaired.repair;
         if self.mode == FailureMode::Strict && prior_repair.is_repaired() {
             return Err(BmfError::InvalidMoments {
@@ -397,31 +470,36 @@ impl RobustPipeline {
 
         // ── Stage 3: hyper-parameter selection (absorb CV failure). ───
         let d = early.dim() as f64;
-        let selection =
-            match self
-                .cv
-                .select_seeded(&effective_early, &cleaned, self.seed, self.threads)
-            {
-                Ok(sel) => Some((sel.kappa0, sel.nu0)),
-                Err(e) => {
-                    if self.mode == FailureMode::Strict {
-                        return Err(e);
-                    }
-                    notes.push(format!(
-                        "cross-validation failed ({e}); using default hyper-parameters \
-                     kappa0 = 1, nu0 = d + 2"
-                    ));
-                    None
+        let stage_start = std::time::Instant::now();
+        let selected = self
+            .cv
+            .select_seeded(&effective_early, &cleaned, self.seed, self.threads);
+        timings.cv_ns = stage_start.elapsed().as_nanos() as u64;
+        let selection = match selected {
+            Ok(sel) => Some((sel.kappa0, sel.nu0)),
+            Err(e) => {
+                if self.mode == FailureMode::Strict {
+                    return Err(e);
                 }
-            };
+                notes.push(format!(
+                    "cross-validation failed ({e}); using default hyper-parameters \
+                     kappa0 = 1, nu0 = d + 2"
+                ));
+                None
+            }
+        };
         let (kappa0, nu0) = selection.unwrap_or((1.0, d + 2.0));
 
         // ── Stage 4: the ladder. MAP → MLE → early-only. ─────────────
+        let stage_start = std::time::Instant::now();
+        let map_span = bmf_obs::span("ladder.map");
         let map_attempt = NormalWishartPrior::from_early_moments(&effective_early, kappa0, nu0)
             .and_then(|prior| BmfEstimator::new(prior)?.estimate(&cleaned));
-        match map_attempt {
+        drop(map_span);
+        let result = match map_attempt {
             Ok(est) => {
                 let fallback = if prior_repair.is_repaired() {
+                    bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
                     FallbackLevel::MapRepairedPrior
                 } else {
                     FallbackLevel::Map
@@ -438,6 +516,8 @@ impl RobustPipeline {
                         None
                     },
                     notes,
+                    timings: StageTimings::default(),
+                    counters: Vec::new(),
                 };
                 Ok((est.map, report))
             }
@@ -445,7 +525,11 @@ impl RobustPipeline {
                 if self.mode == FailureMode::Strict {
                     return Err(map_err);
                 }
-                match MleEstimator::new().estimate(&cleaned) {
+                bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                let mle_span = bmf_obs::span("ladder.mle");
+                let mle_attempt = MleEstimator::new().estimate(&cleaned);
+                drop(mle_span);
+                match mle_attempt {
                     Ok(mle) => {
                         let report = FusionReport {
                             data_quality: dq,
@@ -455,10 +539,13 @@ impl RobustPipeline {
                             fallback: FallbackLevel::Mle,
                             fallback_reason: Some(format!("MAP estimation failed: {map_err}")),
                             notes,
+                            timings: StageTimings::default(),
+                            counters: Vec::new(),
                         };
                         Ok((mle, report))
                     }
                     Err(mle_err) => {
+                        bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
                         let report = FusionReport {
                             data_quality: dq,
                             prior_condition,
@@ -469,12 +556,16 @@ impl RobustPipeline {
                                 "MAP failed ({map_err}); MLE failed ({mle_err})"
                             )),
                             notes,
+                            timings: StageTimings::default(),
+                            counters: Vec::new(),
                         };
                         Ok((early.clone(), report))
                     }
                 }
             }
-        }
+        };
+        timings.ladder_ns = stage_start.elapsed().as_nanos() as u64;
+        result
     }
 }
 
@@ -690,5 +781,30 @@ mod tests {
         assert_eq!(json_escape("\u{1}"), "\\u0001");
         assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
         assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn report_json_with_hostile_notes_parses_back() {
+        // Notes carry free-form error text: quotes, backslashes, control
+        // characters and non-ASCII must all survive into valid JSON.
+        let hostile = "path \"C:\\sim\\run\"\tκ₀→∞\u{1}";
+        let early = early();
+        let late = clean_late(24, 3);
+        let pipeline = RobustPipeline::new().with_seed(5).with_threads(1);
+        let (_, mut report) = pipeline.estimate(&early, &late).unwrap();
+        report.notes.push(hostile.to_string());
+
+        let doc = bmf_obs::json::parse(&report.to_json()).expect("report JSON must parse");
+        let notes = doc
+            .get("notes")
+            .and_then(bmf_obs::json::Value::as_array)
+            .expect("notes array");
+        let recovered = notes
+            .last()
+            .and_then(bmf_obs::json::Value::as_str)
+            .expect("hostile note");
+        assert_eq!(recovered, hostile);
+        assert!(doc.get("timings_ns").is_some());
+        assert!(doc.get("counters").is_some());
     }
 }

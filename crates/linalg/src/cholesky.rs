@@ -42,6 +42,8 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
     ///   positive (the matrix is indefinite or singular).
     pub fn new(a: &Matrix) -> Result<Self> {
+        bmf_obs::counters::CHOLESKY_CALLS.incr();
+        let _timer = bmf_obs::histograms::CHOLESKY_NS.timer();
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }

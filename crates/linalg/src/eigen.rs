@@ -48,6 +48,8 @@ impl SymmetricEigen {
     /// * [`LinalgError::NoConvergence`] if Jacobi sweeps fail to reduce the
     ///   off-diagonal mass (practically unreachable for finite input).
     pub fn new(a: &Matrix) -> Result<Self> {
+        bmf_obs::counters::EIGEN_CALLS.incr();
+        let _timer = bmf_obs::histograms::EIGEN_NS.timer();
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
@@ -127,6 +129,8 @@ impl SymmetricEigen {
                 }
             }
         }
+
+        bmf_obs::counters::EIGEN_SWEEPS.add(sweeps as u64);
 
         // Sort descending by eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();

@@ -198,6 +198,7 @@ impl Cholesky {
         sym.symmetrize()?;
         if asymmetry > 0.0 {
             if let Ok(chol) = Cholesky::new(&sym) {
+                bmf_obs::counters::CHOLESKY_REPAIRS.incr();
                 return Ok(RepairedCholesky {
                     cholesky: chol,
                     matrix: sym,
@@ -219,6 +220,7 @@ impl Cholesky {
                     ridged[(i, i)] += jitter;
                 }
                 if let Ok(chol) = Cholesky::new(&ridged) {
+                    bmf_obs::counters::CHOLESKY_REPAIRS.incr();
                     return Ok(RepairedCholesky {
                         cholesky: chol,
                         matrix: ridged,
@@ -247,6 +249,7 @@ impl Cholesky {
         let mut clipped = eig.reconstruct_with(&clipped_vals)?;
         clipped.symmetrize()?;
         let chol = Cholesky::new(&clipped)?;
+        bmf_obs::counters::CHOLESKY_REPAIRS.incr();
         Ok(RepairedCholesky {
             cholesky: chol,
             matrix: clipped,

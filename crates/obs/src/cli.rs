@@ -1,0 +1,196 @@
+//! Shared handling of the observability CLI flags.
+//!
+//! Every binary in the workspace accepts the same three flags:
+//!
+//! * `--trace-out <path>` — write a Chrome trace-event JSON file
+//!   (loadable in Perfetto / `chrome://tracing`)
+//! * `--profile` — print the aggregated per-span profile table to stdout
+//! * `--metrics-out <path>` — write a metrics snapshot JSON file
+//!
+//! [`ObsOptions::extract`] strips the flags out of an argv vector
+//! *before* the binary's own parsing runs, so the existing positional /
+//! flag parsers in `bmf` and the figure bins never see them. If any
+//! flag is present, recording is enabled for the whole run;
+//! [`ObsOptions::finish`] then drains the recorded data and writes the
+//! requested artifacts.
+
+use crate::export::HardwareContext;
+use std::io;
+
+/// Parsed observability flags for one process run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Destination for the Chrome trace JSON, if requested.
+    pub trace_out: Option<String>,
+    /// Whether to print the aggregated profile table at exit.
+    pub profile: bool,
+    /// Destination for the metrics snapshot JSON, if requested.
+    pub metrics_out: Option<String>,
+    /// Worker thread count recorded in exports; bins set this after
+    /// their own `--threads` parsing via [`ObsOptions::set_threads`].
+    pub threads_used: usize,
+}
+
+/// Error raised when an observability flag is missing its value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsFlagError {
+    pub flag: &'static str,
+}
+
+impl std::fmt::Display for ObsFlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flag {} requires a value (path)", self.flag)
+    }
+}
+
+impl std::error::Error for ObsFlagError {}
+
+impl ObsOptions {
+    /// Removes `--trace-out <path>`, `--profile` and
+    /// `--metrics-out <path>` (also the `--flag=value` spellings) from
+    /// `args`, returning the parsed options. If any flag was present,
+    /// recording is enabled process-wide before returning, so spans and
+    /// counters hit from the very first pipeline call are captured.
+    pub fn extract(args: &mut Vec<String>) -> Result<ObsOptions, ObsFlagError> {
+        let mut options = ObsOptions {
+            threads_used: 1,
+            ..ObsOptions::default()
+        };
+        let mut kept = Vec::with_capacity(args.len());
+        let mut iter = args.drain(..);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--profile" => options.profile = true,
+                "--trace-out" => match iter.next() {
+                    Some(path) => options.trace_out = Some(path),
+                    None => {
+                        drop(iter);
+                        *args = kept;
+                        return Err(ObsFlagError {
+                            flag: "--trace-out",
+                        });
+                    }
+                },
+                "--metrics-out" => match iter.next() {
+                    Some(path) => options.metrics_out = Some(path),
+                    None => {
+                        drop(iter);
+                        *args = kept;
+                        return Err(ObsFlagError {
+                            flag: "--metrics-out",
+                        });
+                    }
+                },
+                _ => {
+                    if let Some(path) = arg.strip_prefix("--trace-out=") {
+                        options.trace_out = Some(path.to_string());
+                    } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
+                        options.metrics_out = Some(path.to_string());
+                    } else {
+                        kept.push(arg);
+                    }
+                }
+            }
+        }
+        drop(iter);
+        *args = kept;
+        if options.any() {
+            crate::enable();
+        }
+        Ok(options)
+    }
+
+    /// Whether any observability output was requested.
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some() || self.profile || self.metrics_out.is_some()
+    }
+
+    /// Records the worker thread count for export hardware context.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads_used = threads.max(1);
+    }
+
+    /// Drains recorded spans/metrics and writes every requested
+    /// artifact. Call once, at the end of `main`. A no-op when no flag
+    /// was given.
+    pub fn finish(&self) -> io::Result<()> {
+        if !self.any() {
+            return Ok(());
+        }
+        crate::disable();
+        let events = crate::span::take_events();
+        let hardware = HardwareContext::detect(self.threads_used);
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, crate::export::chrome_trace_json(&events, &hardware))?;
+            eprintln!("wrote trace ({} events) to {path}", events.len());
+        }
+        if let Some(path) = &self.metrics_out {
+            let snapshot = crate::metrics::snapshot();
+            std::fs::write(path, crate::export::metrics_json(&snapshot, &hardware))?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+        if self.profile {
+            print!("{}", crate::export::profile_table(&events, &hardware));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_lock;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn extract_strips_flags_and_keeps_the_rest() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&[
+            "fig4_opamp",
+            "--trace-out",
+            "trace.json",
+            "--quick",
+            "--profile",
+            "--metrics-out=metrics.json",
+            "--threads",
+            "2",
+        ]);
+        let options = ObsOptions::extract(&mut args).unwrap();
+        assert_eq!(args, argv(&["fig4_opamp", "--quick", "--threads", "2"]));
+        assert_eq!(options.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(options.metrics_out.as_deref(), Some("metrics.json"));
+        assert!(options.profile);
+        assert!(options.any());
+        // Presence of any flag switches recording on.
+        assert!(crate::is_enabled());
+        crate::reset();
+    }
+
+    #[test]
+    fn extract_without_flags_is_inert() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&["bmf", "estimate", "--threads", "4"]);
+        let options = ObsOptions::extract(&mut args).unwrap();
+        assert_eq!(args, argv(&["bmf", "estimate", "--threads", "4"]));
+        assert!(!options.any());
+        assert!(!crate::is_enabled());
+        assert!(options.finish().is_ok());
+        crate::reset();
+    }
+
+    #[test]
+    fn extract_rejects_missing_path_value() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&["bmf", "--trace-out"]);
+        let err = ObsOptions::extract(&mut args).unwrap_err();
+        assert_eq!(err.flag, "--trace-out");
+        assert!(!crate::is_enabled());
+        crate::reset();
+    }
+}

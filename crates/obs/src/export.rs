@@ -1,0 +1,379 @@
+//! Exporters: Chrome trace-event JSON, aggregated span profile, and
+//! metrics snapshot JSON.
+//!
+//! All three embed a [`HardwareContext`] so committed artifacts say what
+//! machine produced them — the PR 1 bench numbers came from a 1-core CI
+//! container and were misread as a scaling regression precisely because
+//! the file did not say so.
+
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+
+/// The hardware/configuration context embedded in every export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardwareContext {
+    /// Core count reported by `std::thread::available_parallelism`
+    /// (0 if the query failed).
+    pub detected_cores: usize,
+    /// Worker thread count the run was configured with.
+    pub threads_used: usize,
+}
+
+impl HardwareContext {
+    /// Detects the core count and records the configured thread count.
+    pub fn detect(threads_used: usize) -> Self {
+        HardwareContext {
+            detected_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+            threads_used,
+        }
+    }
+
+    /// The context as JSON object *fields* (no surrounding braces), so
+    /// callers can splice it into their own objects.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"detected_cores\":{},\"threads_used\":{}",
+            self.detected_cores, self.threads_used
+        )
+    }
+}
+
+fn ns_to_us(ns: u64) -> String {
+    // Chrome trace timestamps are microseconds as doubles; keep the
+    // nanosecond fraction so short spans stay distinguishable.
+    json::number(ns as f64 / 1000.0)
+}
+
+/// Renders events in the Chrome trace-event "JSON object format"
+/// (loadable in Perfetto and `chrome://tracing`): complete events
+/// (`"ph":"X"`) with microsecond timestamps, plus thread-name metadata
+/// and the hardware context under `otherData`.
+pub fn chrome_trace_json(events: &[SpanEvent], hardware: &HardwareContext) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json::string(&format!("bmf worker {tid}"))
+        );
+    }
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"bmf\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"depth\":{},\"self_us\":{}}}}}",
+            json::string(e.name),
+            ns_to_us(e.start_ns),
+            ns_to_us(e.dur_ns),
+            e.tid,
+            e.depth,
+            ns_to_us(e.self_ns),
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{{}}}}}",
+        hardware.json_fields()
+    );
+    out
+}
+
+/// One row of the aggregated per-span profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Aggregates events by span name: call count, total and self wall
+/// time, min/max single-call duration. Sorted by self time descending —
+/// the top row is the hottest span.
+pub fn aggregate(events: &[SpanEvent]) -> Vec<ProfileRow> {
+    let mut rows: Vec<ProfileRow> = Vec::new();
+    for e in events {
+        match rows.iter_mut().find(|r| r.name == e.name) {
+            Some(row) => {
+                row.count += 1;
+                row.total_ns += e.dur_ns;
+                row.self_ns += e.self_ns;
+                row.min_ns = row.min_ns.min(e.dur_ns);
+                row.max_ns = row.max_ns.max(e.dur_ns);
+            }
+            None => rows.push(ProfileRow {
+                name: e.name,
+                count: 1,
+                total_ns: e.dur_ns,
+                self_ns: e.self_ns,
+                min_ns: e.dur_ns,
+                max_ns: e.dur_ns,
+            }),
+        }
+    }
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+    rows
+}
+
+/// The aggregated profile as a JSON document.
+pub fn profile_json(events: &[SpanEvent], hardware: &HardwareContext) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"hardware\":{{{}}},\"spans\":[",
+        hardware.json_fields()
+    );
+    for (i, row) in aggregate(events).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"count\":{},\"total_ns\":{},\"self_ns\":{},\
+             \"min_ns\":{},\"max_ns\":{}}}",
+            json::string(row.name),
+            row.count,
+            row.total_ns,
+            row.self_ns,
+            row.min_ns,
+            row.max_ns,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The aggregated profile as a human-readable table (for `--profile`).
+pub fn profile_table(events: &[SpanEvent], hardware: &HardwareContext) -> String {
+    let rows = aggregate(events);
+    let name_width = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = format!(
+        "profile ({} spans, {} cores detected, {} threads used)\n",
+        rows.iter().map(|r| r.count).sum::<u64>(),
+        hardware.detected_cores,
+        hardware.threads_used,
+    );
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "span", "calls", "total", "self", "min", "max"
+    );
+    for row in &rows {
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+            row.name,
+            row.count,
+            fmt_ns(row.total_ns),
+            fmt_ns(row.self_ns),
+            fmt_ns(row.min_ns),
+            fmt_ns(row.max_ns),
+        );
+    }
+    out
+}
+
+/// The metrics snapshot (counters + histograms) as a JSON document.
+pub fn metrics_json(snapshot: &MetricsSnapshot, hardware: &HardwareContext) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"hardware\":{{{}}},\"counters\":{{",
+        hardware.json_fields()
+    );
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json::string(name), value);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, h) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum_ns as f64 / h.count as f64
+        };
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"log2_buckets\":[{}]}}",
+            json::string(h.name),
+            h.count,
+            h.sum_ns,
+            json::number(mean),
+            h.min_ns,
+            h.max_ns,
+            h.buckets
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "outer",
+                tid: 1,
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 10_000,
+                self_ns: 4_000,
+            },
+            SpanEvent {
+                name: "inner",
+                tid: 1,
+                depth: 1,
+                start_ns: 2_000,
+                dur_ns: 6_000,
+                self_ns: 6_000,
+            },
+            SpanEvent {
+                name: "inner",
+                tid: 2,
+                depth: 0,
+                start_ns: 1_000,
+                dur_ns: 2_000,
+                self_ns: 2_000,
+            },
+        ]
+    }
+
+    fn hw() -> HardwareContext {
+        HardwareContext {
+            detected_cores: 8,
+            threads_used: 2,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let doc = chrome_trace_json(&sample_events(), &hw());
+        let v = parse(&doc).expect("trace must be valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        // 2 thread_name metadata events + 3 span events.
+        assert_eq!(events.len(), 5);
+        let complete: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 3);
+        for e in &complete {
+            assert!(e.get("ts").and_then(Value::as_f64).is_some());
+            assert!(e.get("dur").and_then(Value::as_f64).is_some());
+            assert!(e.get("tid").and_then(Value::as_f64).is_some());
+        }
+        // µs conversion: 10_000 ns span -> 10 µs.
+        assert_eq!(complete[0].get("dur").and_then(Value::as_f64), Some(10.0));
+        let other = v.get("otherData").unwrap();
+        assert_eq!(
+            other.get("detected_cores").and_then(Value::as_f64),
+            Some(8.0)
+        );
+        assert_eq!(other.get("threads_used").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn aggregate_merges_by_name_and_sorts_by_self_time() {
+        let rows = aggregate(&sample_events());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "inner"); // 8_000 ns self > 4_000 ns self
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_ns, 8_000);
+        assert_eq!(rows[0].min_ns, 2_000);
+        assert_eq!(rows[0].max_ns, 6_000);
+        assert_eq!(rows[1].name, "outer");
+        assert_eq!(rows[1].self_ns, 4_000);
+    }
+
+    #[test]
+    fn profile_json_and_table_render() {
+        let doc = profile_json(&sample_events(), &hw());
+        let v = parse(&doc).expect("profile must be valid JSON");
+        let spans = v.get("spans").and_then(Value::as_array).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("inner"));
+
+        let table = profile_table(&sample_events(), &hw());
+        assert!(table.contains("span"));
+        assert!(table.contains("inner"));
+        assert!(table.contains("8 cores detected"));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_carries_counters() {
+        use crate::metrics::{HistogramStats, HISTOGRAM_BUCKETS};
+        let snapshot = MetricsSnapshot {
+            counters: vec![("monte_carlo.sims", 42), ("cholesky.calls", 7)],
+            histograms: vec![HistogramStats {
+                name: "cholesky.ns",
+                count: 7,
+                sum_ns: 700,
+                min_ns: 50,
+                max_ns: 200,
+                buckets: [0; HISTOGRAM_BUCKETS],
+            }],
+        };
+        let doc = metrics_json(&snapshot, &hw());
+        let v = parse(&doc).expect("metrics must be valid JSON");
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("monte_carlo.sims").and_then(Value::as_f64),
+            Some(42.0)
+        );
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("cholesky.ns"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(hist.get("mean_ns").and_then(Value::as_f64), Some(100.0));
+    }
+}

@@ -1,0 +1,377 @@
+//! Process-wide registry of named counters and histograms.
+//!
+//! Counters are relaxed [`AtomicU64`]s: every worker thread increments
+//! the same cell, so "merging" across the scoped workers of
+//! `bmf_stats::parallel` is free and totals are thread-count invariant.
+//! Histograms bucket nanosecond durations into power-of-two bins so a
+//! hot operation (a Cholesky factorization runs millions of times per
+//! sweep) can be characterised without emitting one trace event per call.
+//!
+//! Every metric is a `static` declared in [`counters`] / [`histograms`]
+//! and listed in the corresponding `all()` registry; [`snapshot`] walks
+//! the registries, so adding a metric is a two-line change.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A named monotonic counter. All operations are relaxed atomics; when
+/// recording is disabled, [`Counter::add`] is a single load-and-branch.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Const constructor so counters can live in `static`s.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry name, e.g. `"cholesky.calls"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` if recording is enabled; no-op otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 if recording is enabled; no-op otherwise.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two duration buckets: bucket `i` holds values `v`
+/// with `floor(log2(v)) == i` (bucket 0 also holds 0), so the range
+/// covers 1 ns up to ~2.3 s per call with the last bucket catching
+/// everything longer.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A named histogram of nanosecond durations with power-of-two buckets
+/// plus exact count/sum/min/max. Lock-free; merging across threads is
+/// inherent because all threads record into the same atomics.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Const constructor so histograms can live in `static`s.
+    pub const fn new(name: &'static str) -> Self {
+        // An inline-const repeat operand: each bucket gets its own
+        // freshly created atomic (no shared interior-mutable const).
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry name, e.g. `"cholesky.ns"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((63 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration (in nanoseconds) if recording is enabled.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        if !crate::is_enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Starts an RAII timer that records into this histogram on drop.
+    /// When recording is disabled, no clock is queried at either end.
+    #[inline]
+    pub fn timer(&'static self) -> HistogramTimer {
+        HistogramTimer {
+            start: crate::is_enabled().then(Instant::now),
+            histogram: self,
+        }
+    }
+
+    /// Immutable view of the current values.
+    pub fn stats(&self) -> HistogramStats {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramStats {
+            name: self.name,
+            count,
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            min_ns: if count == 0 { 0 } else { min },
+            max_ns: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII timer handed out by [`Histogram::timer`]. `start` is `None`
+/// when recording was disabled at creation, making drop a no-op.
+pub struct HistogramTimer {
+    start: Option<Instant>,
+    histogram: &'static Histogram,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStats {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+/// The process-wide counters. Names are stable identifiers used in the
+/// metrics snapshot JSON and in `FusionReport`.
+pub mod counters {
+    use super::Counter;
+
+    /// Successful simulator evaluations (Monte Carlo samples produced).
+    pub static MONTE_CARLO_SIMS: Counter = Counter::new("monte_carlo.sims");
+    /// Simulator retries after an injected/real failure.
+    pub static MONTE_CARLO_RETRIES: Counter = Counter::new("monte_carlo.retries");
+    /// Cholesky factorization attempts (`Cholesky::new`).
+    pub static CHOLESKY_CALLS: Counter = Counter::new("cholesky.calls");
+    /// Factorizations that needed the SPD repair ladder.
+    pub static CHOLESKY_REPAIRS: Counter = Counter::new("cholesky.repairs");
+    /// Symmetric eigendecompositions (`SymmetricEigen::new`).
+    pub static EIGEN_CALLS: Counter = Counter::new("eigen.calls");
+    /// Total Jacobi sweeps across all eigendecompositions.
+    pub static EIGEN_SWEEPS: Counter = Counter::new("eigen.sweeps");
+    /// Hyper-parameter candidates scored by the CV grid search.
+    pub static CV_CANDIDATES: Counter = Counter::new("cv.candidates");
+    /// Individual (training set, held-out fold) evaluations.
+    pub static CV_FOLD_EVALS: Counter = Counter::new("cv.fold_evals");
+    /// Faults fired by `FaultInjector` (failures, NaNs, outliers).
+    pub static FAULT_INJECTIONS: Counter = Counter::new("fault.injections");
+    /// Cells/rows/columns flagged by the data-quality guard.
+    pub static GUARD_FLAGS: Counter = Counter::new("guard.flags");
+    /// Downgrade steps taken by the `RobustPipeline` ladder.
+    pub static LADDER_RUNG_TRANSITIONS: Counter = Counter::new("ladder.rung_transitions");
+    /// FFT invocations (`fft_real` and friends).
+    pub static FFT_CALLS: Counter = Counter::new("fft.calls");
+    /// Spectrum analyses (`spectrum::analyze`).
+    pub static SPECTRUM_ANALYSES: Counter = Counter::new("spectrum.analyses");
+
+    static ALL: [&Counter; 13] = [
+        &MONTE_CARLO_SIMS,
+        &MONTE_CARLO_RETRIES,
+        &CHOLESKY_CALLS,
+        &CHOLESKY_REPAIRS,
+        &EIGEN_CALLS,
+        &EIGEN_SWEEPS,
+        &CV_CANDIDATES,
+        &CV_FOLD_EVALS,
+        &FAULT_INJECTIONS,
+        &GUARD_FLAGS,
+        &LADDER_RUNG_TRANSITIONS,
+        &FFT_CALLS,
+        &SPECTRUM_ANALYSES,
+    ];
+
+    /// Every registered counter, in snapshot order.
+    pub fn all() -> &'static [&'static Counter] {
+        &ALL
+    }
+}
+
+/// The process-wide duration histograms.
+pub mod histograms {
+    use super::Histogram;
+
+    /// Wall time of each Cholesky factorization.
+    pub static CHOLESKY_NS: Histogram = Histogram::new("cholesky.ns");
+    /// Wall time of each symmetric eigendecomposition.
+    pub static EIGEN_NS: Histogram = Histogram::new("eigen.ns");
+    /// Wall time of each spectrum analysis (FFT + metric extraction).
+    pub static SPECTRUM_NS: Histogram = Histogram::new("spectrum.ns");
+
+    static ALL: [&Histogram; 3] = [&CHOLESKY_NS, &EIGEN_NS, &SPECTRUM_NS];
+
+    /// Every registered histogram, in snapshot order.
+    pub fn all() -> &'static [&'static Histogram] {
+        &ALL
+    }
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, in registry order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Per-histogram stats, in registry order.
+    pub histograms: Vec<HistogramStats>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter named `name`, or 0 if unknown.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+/// Captures the current value of every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: counters::all()
+            .iter()
+            .map(|c| (c.name(), c.get()))
+            .collect(),
+        histograms: histograms::all().iter().map(|h| h.stats()).collect(),
+    }
+}
+
+/// Zeroes every registered metric.
+pub fn reset_all() {
+    for c in counters::all() {
+        c.reset();
+    }
+    for h in histograms::all() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_lock;
+
+    #[test]
+    fn counters_are_noop_when_disabled() {
+        let _g = test_lock();
+        crate::reset();
+        counters::MONTE_CARLO_SIMS.incr();
+        counters::MONTE_CARLO_SIMS.add(41);
+        assert_eq!(counters::MONTE_CARLO_SIMS.get(), 0);
+        crate::reset();
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        counters::CV_FOLD_EVALS.incr();
+                    }
+                });
+            }
+        });
+        crate::disable();
+        assert_eq!(counters::CV_FOLD_EVALS.get(), 4000);
+        assert_eq!(snapshot().counter("cv.fold_evals"), 4000);
+        crate::reset();
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_ns_range() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_stats_and_resets() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        histograms::CHOLESKY_NS.record(10);
+        histograms::CHOLESKY_NS.record(1000);
+        histograms::CHOLESKY_NS.record(5);
+        let stats = histograms::CHOLESKY_NS.stats();
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.sum_ns, 1015);
+        assert_eq!(stats.min_ns, 5);
+        assert_eq!(stats.max_ns, 1000);
+        assert_eq!(stats.buckets.iter().sum::<u64>(), 3);
+        crate::reset();
+        let stats = histograms::CHOLESKY_NS.stats();
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.min_ns, 0);
+        crate::reset();
+    }
+
+    #[test]
+    fn timer_is_inert_when_disabled() {
+        let _g = test_lock();
+        crate::reset();
+        {
+            let _t = histograms::EIGEN_NS.timer();
+        }
+        assert_eq!(histograms::EIGEN_NS.stats().count, 0);
+        crate::enable();
+        {
+            let _t = histograms::EIGEN_NS.timer();
+        }
+        assert_eq!(histograms::EIGEN_NS.stats().count, 1);
+        crate::reset();
+    }
+}

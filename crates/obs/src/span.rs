@@ -1,0 +1,284 @@
+//! Hierarchical span timing with thread-local buffers.
+//!
+//! A [`Span`] is an RAII guard: creating it pushes a frame onto the
+//! current thread's stack, dropping it records a [`SpanEvent`] with the
+//! span's wall time, its *self* time (wall time minus the wall time of
+//! direct children) and its depth. Events accumulate in a thread-local
+//! buffer; the buffer drains into the process-wide sink whenever the
+//! thread's *outermost* span closes — which for the scoped workers of
+//! `bmf_stats::parallel` happens inside the worker closure, strictly
+//! before the scoped-thread join — and again at thread exit as a
+//! backstop for leaked guards. Nested spans (the hot path) therefore
+//! never take a lock; only the once-per-task outermost close does.
+//!
+//! The outermost-close flush matters for correctness, not just latency:
+//! `std::thread::scope` unblocks once every worker *closure* has
+//! returned, but thread-local destructors run later, during OS-thread
+//! teardown. Relying on the TLS destructor alone would let a caller
+//! drain the sink after the join but before a worker's flush landed.
+//!
+//! Timestamps are nanoseconds since the process-wide epoch (anchored the
+//! first time anything asks for the clock), from a monotonic
+//! [`Instant`]; they are never fed back into any computation, so
+//! recording cannot perturb a numeric result.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One closed span occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"cv.select"`).
+    pub name: &'static str,
+    /// Recording thread id (1-based, assigned in thread-creation order).
+    pub tid: u64,
+    /// Nesting depth at open time (0 = top level on its thread).
+    pub depth: u32,
+    /// Open time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Wall time from open to close, nanoseconds.
+    pub dur_ns: u64,
+    /// Wall time not covered by direct child spans, nanoseconds.
+    pub self_ns: u64,
+}
+
+/// The process-wide trace epoch: all event timestamps are relative to
+/// this instant. Anchored on first use (normally by [`crate::enable`]).
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Closed events that have already left their recording thread (either
+/// because it exited or because the sink was explicitly drained).
+static SINK: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+struct Frame {
+    name: &'static str,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+/// Per-thread recording state. Events merge into [`SINK`] when the
+/// thread's outermost span closes; the `Drop` impl (thread exit) is a
+/// backstop for events left behind by leaked or unbalanced guards.
+struct ThreadBuffer {
+    tid: u64,
+    stack: Vec<Frame>,
+    events: Vec<SpanEvent>,
+}
+
+impl ThreadBuffer {
+    fn new() -> Self {
+        ThreadBuffer {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            stack: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Drop for ThreadBuffer {
+    fn drop(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        if let Ok(mut sink) = SINK.lock() {
+            sink.append(&mut self.events);
+        }
+    }
+}
+
+thread_local! {
+    static BUFFER: RefCell<ThreadBuffer> = RefCell::new(ThreadBuffer::new());
+}
+
+/// RAII span guard returned by [`span`]. `armed == false` is the no-op
+/// fast path (recording disabled at open time).
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    armed: bool,
+}
+
+/// Opens a span named `name` on the current thread.
+///
+/// When recording is disabled this is one relaxed atomic load and
+/// returns an inert guard — no clock query, no thread-local access.
+/// When enabled, the matching [`SpanEvent`] is recorded at guard drop
+/// even if recording is switched off in between (stacks stay balanced).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::is_enabled() {
+        return Span { armed: false };
+    }
+    let start_ns = now_ns();
+    BUFFER.with(|b| {
+        b.borrow_mut().stack.push(Frame {
+            name,
+            start_ns,
+            child_ns: 0,
+        });
+    });
+    Span { armed: true }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end_ns = now_ns();
+        let flushed = BUFFER.with(|b| {
+            let mut buf = b.borrow_mut();
+            let Some(frame) = buf.stack.pop() else {
+                return Vec::new(); // unbalanced close; drop silently rather than panic
+            };
+            let dur_ns = end_ns.saturating_sub(frame.start_ns);
+            let self_ns = dur_ns.saturating_sub(frame.child_ns);
+            let depth = buf.stack.len() as u32;
+            if let Some(parent) = buf.stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            let tid = buf.tid;
+            buf.events.push(SpanEvent {
+                name: frame.name,
+                tid,
+                depth,
+                start_ns: frame.start_ns,
+                dur_ns,
+                self_ns,
+            });
+            if buf.stack.is_empty() {
+                // Outermost close: hand the batch to the sink so it is
+                // visible to other threads before any join completes.
+                std::mem::take(&mut buf.events)
+            } else {
+                Vec::new()
+            }
+        });
+        if !flushed.is_empty() {
+            if let Ok(mut sink) = SINK.lock() {
+                sink.extend(flushed);
+            }
+        }
+    }
+}
+
+/// Drains every recorded event: the global sink plus the calling
+/// thread's own buffer. Events on still-running *other* threads stay
+/// in their thread-local buffers until their outermost span closes (or
+/// the thread exits).
+///
+/// Events are returned sorted by `(start_ns, tid)` so exports are
+/// stable regardless of which thread flushed first.
+pub fn take_events() -> Vec<SpanEvent> {
+    let mut events: Vec<SpanEvent> = SINK
+        .lock()
+        .map(|mut sink| std::mem::take(&mut *sink))
+        .unwrap_or_default();
+    BUFFER.with(|b| {
+        events.append(&mut b.borrow_mut().events);
+    });
+    events.sort_by_key(|e| (e.start_ns, e.tid, std::cmp::Reverse(e.dur_ns)));
+    events
+}
+
+/// Discards all recorded events (sink + current thread buffer).
+pub(crate) fn clear() {
+    if let Ok(mut sink) = SINK.lock() {
+        sink.clear();
+    }
+    BUFFER.with(|b| b.borrow_mut().events.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_lock;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = test_lock();
+        crate::reset();
+        {
+            let _s = span("quiet");
+        }
+        assert!(take_events().is_empty());
+        crate::reset();
+    }
+
+    #[test]
+    fn nested_spans_compute_depth_and_self_time() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        crate::disable();
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        // Outer self time excludes the inner child entirely.
+        assert!(outer.self_ns <= outer.dur_ns - inner.dur_ns);
+        assert_eq!(inner.self_ns, inner.dur_ns);
+        crate::reset();
+    }
+
+    #[test]
+    fn worker_thread_buffers_merge_at_join() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _s = span("worker");
+                });
+            }
+        });
+        // Each worker flushed to the sink when its outermost span
+        // closed, inside the worker closure — so the scope join
+        // guarantees all three events are visible here. (The TLS
+        // destructor alone would race: scope unblocks before OS-thread
+        // teardown runs destructors.)
+        crate::disable();
+        let events = take_events();
+        assert_eq!(events.iter().filter(|e| e.name == "worker").count(), 3);
+        // Distinct worker threads got distinct tids.
+        let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3);
+        crate::reset();
+    }
+
+    #[test]
+    fn disable_mid_span_still_closes_the_frame() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        let s = span("straddler");
+        crate::disable();
+        drop(s);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "straddler");
+        crate::reset();
+    }
+}

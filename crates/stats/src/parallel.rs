@@ -118,6 +118,9 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|worker| {
                 scope.spawn(move || {
+                    // Worker span closes before the thread exits, so its
+                    // event rides the TLS-buffer merge at scope join.
+                    let _span = bmf_obs::span("parallel.worker");
                     (worker..len)
                         .step_by(threads)
                         .map(|i| (i, f(i)))

@@ -41,10 +41,18 @@ use std::fs::File;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut obs = match bmf_ams::obs::ObsOptions::extract(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run 'bmf --help' for usage");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("estimate") => cmd_estimate(&args[1..]),
-        Some("generate") => cmd_generate(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..], &mut obs),
+        Some("generate") => cmd_generate(&args[1..], &mut obs),
         Some("yield") => cmd_yield(&args[1..]),
         Some("diagnose") => cmd_diagnose(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -53,6 +61,7 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown subcommand '{other}'").into()),
     };
+    let result = result.and_then(|()| obs.finish().map_err(Into::into));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -74,6 +83,11 @@ fn print_usage() {
     println!("           [--fault-rate <r>] [--retry-attempts <n>]");
     println!("  yield    --moments <csv> --spec \"<metric><=|>=<value>\" ... [--draws <n>]");
     println!("  diagnose --samples <csv>");
+    println!();
+    println!("observability (any subcommand): --trace-out <json> writes a Chrome");
+    println!("trace-event file (load in Perfetto / chrome://tracing), --profile prints");
+    println!("an aggregated per-span profile, --metrics-out <json> writes a counter/");
+    println!("histogram snapshot. Recording never alters numeric results.");
     println!();
     println!("--threads defaults to the machine's available parallelism; results are");
     println!("bit-identical for every thread count (per-task seed derivation).");
@@ -144,7 +158,7 @@ fn threads_flag(flags: &HashMap<String, Vec<String>>) -> Result<usize, String> {
     }
 }
 
-fn cmd_estimate(args: &[String]) -> CliResult {
+fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResult {
     let flags = parse_flags(args)?;
     let early_path = single(&flags, "early")?;
     let late_path = single(&flags, "late")?;
@@ -187,6 +201,7 @@ fn cmd_estimate(args: &[String]) -> CliResult {
     };
 
     let threads = threads_flag(&flags)?;
+    obs.set_threads(threads);
     let cv_seed = rand::rngs::StdRng::seed_from_u64(seed).next_u64();
 
     let strict = flags.contains_key("strict");
@@ -256,7 +271,7 @@ fn cmd_estimate(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_generate(args: &[String]) -> CliResult {
+fn cmd_generate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResult {
     let flags = parse_flags(args)?;
     let circuit = single(&flags, "circuit")?;
     let stage = match single(&flags, "stage")? {
@@ -294,6 +309,7 @@ fn cmd_generate(args: &[String]) -> CliResult {
     };
 
     let threads = threads_flag(&flags)?;
+    obs.set_threads(threads);
     let policy = RetryPolicy {
         max_attempts: retry_attempts,
     };

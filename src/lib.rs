@@ -14,6 +14,9 @@
 //! * [`core`] — the paper's contribution: normal-Wishart prior, MAP moment
 //!   estimation, two-dimensional cross-validation, shift & scale,
 //!   experiment harness, yield estimation ([`bmf_core`]).
+//! * [`obs`] — zero-dependency tracing, metrics and profiling layer
+//!   ([`bmf_obs`]): every binary accepts `--trace-out`, `--profile` and
+//!   `--metrics-out`.
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
 //! system inventory and per-experiment index.
@@ -39,4 +42,5 @@
 pub use bmf_circuits as circuits;
 pub use bmf_core as core;
 pub use bmf_linalg as linalg;
+pub use bmf_obs as obs;
 pub use bmf_stats as stats;

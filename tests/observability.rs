@@ -1,0 +1,215 @@
+//! The observability layer's contract: recording spans and counters must
+//! never change a numeric result, at any thread count — tracing is a
+//! side-channel, not a participant. These tests run the same workloads
+//! with recording off and on, at 1, 2 and 7 threads, and demand exact
+//! bit equality; they also check that counters recorded from scoped
+//! worker threads merge into consistent totals.
+//!
+//! The recorder state is process-global, so every test serialises on one
+//! mutex and resets the state on entry.
+
+use bmf_ams::circuits::adc::AdcTestbench;
+use bmf_ams::circuits::monte_carlo::{run_monte_carlo_seeded, Stage};
+use bmf_ams::core::cv::CrossValidation;
+use bmf_ams::core::pipeline::RobustPipeline;
+use bmf_ams::core::MomentEstimate;
+use bmf_ams::linalg::{Matrix, Vector};
+use bmf_ams::obs::json::Value;
+use bmf_ams::stats::MultivariateNormal;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Serialises tests touching the process-global recorder.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    bmf_ams::obs::reset();
+    guard
+}
+
+fn synthetic(d: usize, n: usize, seed: u64) -> (MomentEstimate, Matrix) {
+    let b = Matrix::from_fn(d, d, |i, j| ((i + 2 * j) % 5) as f64 / 5.0);
+    let mut cov = b.mat_mul(&b.transpose()).expect("square");
+    for i in 0..d {
+        cov[(i, i)] += 1.0;
+    }
+    let early = MomentEstimate {
+        mean: Vector::zeros(d),
+        cov: cov.clone(),
+    };
+    let truth = MultivariateNormal::new(Vector::zeros(d), cov).expect("spd");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let samples = truth.sample_matrix(&mut rng, n);
+    (early, samples)
+}
+
+fn assert_moments_bits_eq(a: &MomentEstimate, b: &MomentEstimate, what: &str) {
+    assert_eq!(a.dim(), b.dim(), "{what}: dimension");
+    for i in 0..a.dim() {
+        assert_eq!(
+            a.mean[i].to_bits(),
+            b.mean[i].to_bits(),
+            "{what}: mean[{i}]"
+        );
+        for j in 0..a.dim() {
+            assert_eq!(
+                a.cov[(i, j)].to_bits(),
+                b.cov[(i, j)].to_bits(),
+                "{what}: cov[({i},{j})]"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_estimates_bit_identical_with_tracing_on_and_off() {
+    let _g = obs_lock();
+    let (early, late) = synthetic(3, 24, 77);
+
+    // Reference: recording off, one thread.
+    let reference = RobustPipeline::new()
+        .with_seed(11)
+        .with_threads(1)
+        .estimate(&early, &late)
+        .expect("estimate")
+        .0;
+
+    for &threads in &THREAD_COUNTS {
+        for enabled in [false, true] {
+            bmf_ams::obs::reset();
+            if enabled {
+                bmf_ams::obs::enable();
+            }
+            let (est, report) = RobustPipeline::new()
+                .with_seed(11)
+                .with_threads(threads)
+                .estimate(&early, &late)
+                .expect("estimate");
+            assert_moments_bits_eq(
+                &est,
+                &reference,
+                &format!("threads={threads} enabled={enabled}"),
+            );
+            if enabled {
+                // The audit trail picks up the counter deltas when
+                // recording is on; the estimate above must not.
+                assert!(
+                    report.counter("cholesky.calls") > 0,
+                    "enabled run should report cholesky.calls"
+                );
+            } else {
+                assert!(report.counters.is_empty());
+            }
+        }
+    }
+    bmf_ams::obs::reset();
+}
+
+#[test]
+fn monte_carlo_bit_identical_with_tracing_on_and_off() {
+    let _g = obs_lock();
+    let tb = AdcTestbench::default_180nm();
+    let reference = run_monte_carlo_seeded(&tb, Stage::PostLayout, 13, 5, 1).expect("mc");
+
+    for &threads in &THREAD_COUNTS {
+        for enabled in [false, true] {
+            bmf_ams::obs::reset();
+            if enabled {
+                bmf_ams::obs::enable();
+            }
+            let data = run_monte_carlo_seeded(&tb, Stage::PostLayout, 13, 5, threads).expect("mc");
+            assert_eq!(
+                data.samples, reference.samples,
+                "threads={threads} enabled={enabled}"
+            );
+            assert_eq!(data.nominal, reference.nominal);
+        }
+    }
+    bmf_ams::obs::reset();
+}
+
+#[test]
+fn counters_sum_consistently_across_worker_merges() {
+    let _g = obs_lock();
+    bmf_ams::obs::enable();
+
+    // 37 simulations spread over 7 scoped workers must add up to exactly
+    // 37, however the increments were interleaved.
+    let tb = AdcTestbench::default_180nm();
+    let before = bmf_ams::obs::metrics::snapshot().counter("monte_carlo.sims");
+    run_monte_carlo_seeded(&tb, Stage::Schematic, 37, 3, 7).expect("mc");
+    let after = bmf_ams::obs::metrics::snapshot().counter("monte_carlo.sims");
+    assert_eq!(after - before, 37);
+
+    // Worker spans land in the shared sink at scope join: one stage span
+    // plus at most 7 worker spans, each from a distinct thread.
+    let events = bmf_ams::obs::take_events();
+    let stage_spans = events.iter().filter(|e| e.name == "mc.schematic").count();
+    assert_eq!(stage_spans, 1);
+    let worker_tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.name == "parallel.worker")
+        .map(|e| e.tid)
+        .collect();
+    let workers = events
+        .iter()
+        .filter(|e| e.name == "parallel.worker")
+        .count();
+    assert!((1..=7).contains(&workers), "got {workers} worker spans");
+    assert_eq!(worker_tids.len(), workers, "worker tids must be distinct");
+    bmf_ams::obs::reset();
+}
+
+#[test]
+fn fold_eval_counts_are_thread_count_invariant() {
+    let _g = obs_lock();
+    let (early, late) = synthetic(2, 16, 9);
+    let cv = CrossValidation::with_repeats(vec![1.0, 10.0], vec![4.0, 40.0], 3, 2).expect("cv");
+
+    let mut counts = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        bmf_ams::obs::reset();
+        bmf_ams::obs::enable();
+        cv.select_seeded(&early, &late, 4, threads).expect("select");
+        counts.push(bmf_ams::obs::metrics::snapshot().counter("cv.fold_evals"));
+    }
+    assert!(counts[0] > 0, "CV must evaluate folds");
+    assert!(
+        counts.iter().all(|&c| c == counts[0]),
+        "fold evaluations differ across thread counts: {counts:?}"
+    );
+    bmf_ams::obs::reset();
+}
+
+#[test]
+fn fusion_report_json_includes_timings_and_counters_and_parses() {
+    let _g = obs_lock();
+    bmf_ams::obs::enable();
+    let (early, late) = synthetic(3, 20, 123);
+    let (_, report) = RobustPipeline::new()
+        .with_seed(2)
+        .with_threads(2)
+        .estimate(&early, &late)
+        .expect("estimate");
+    bmf_ams::obs::reset();
+
+    let doc = bmf_ams::obs::json::parse(&report.to_json()).expect("report JSON must parse");
+    let timings = doc.get("timings_ns").expect("timings_ns section");
+    for key in ["guard", "prior", "cv", "ladder", "total"] {
+        let v = timings
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("timings_ns.{key} missing"));
+        assert!(v >= 0.0);
+    }
+    let total = timings.get("total").and_then(Value::as_f64).unwrap();
+    assert!(total > 0.0, "total stage time must be positive");
+    let counters = doc.get("counters").expect("counters section");
+    let chol = counters
+        .get("cholesky.calls")
+        .and_then(Value::as_f64)
+        .expect("cholesky.calls in report");
+    assert!(chol > 0.0);
+}
