@@ -8,7 +8,7 @@
 //!    the corresponding confidence parameter (validating the §3.3
 //!    interpretation of `κ₀`/`ν₀`).
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>]`
+//! Usage: `cargo run --release -p bmf-bench --bin ablations [--quick] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>] [--dashboard-out <html>]`
 //!
 //! `--threads` defaults to the machine's available parallelism; every
 //! ablation is bit-identical for every thread count. With
@@ -17,7 +17,7 @@
 //! run (the guard summary is printed), demonstrating that the analyses
 //! survive dirty data.
 
-use bmf_bench::{faulted_study_data, study_to_data};
+use bmf_bench::{dashboard_snapshot, faulted_study_data, study_to_data};
 use bmf_circuits::monte_carlo::two_stage_study_seeded;
 use bmf_circuits::opamp::OpAmpTestbench;
 use bmf_core::cv::CrossValidation;
@@ -346,6 +346,18 @@ fn main() {
     ablation_fixed_vs_cv(&prepared, n, reps, 102, threads);
     ablation_prior_corruption(&prepared, n, reps, 103, threads);
     ablation_dimensionality(16, reps, 104, threads);
+    if obs.dashboard_out.is_some() {
+        // Separate explicitly-seeded snapshot study: attaching health +
+        // drift to the dashboard must not perturb the ablations' RNG
+        // streams (bit-identity with the dashboard off).
+        match dashboard_snapshot(&OpAmpTestbench::default_45nm(), 7, threads) {
+            Ok((health, drift)) => {
+                obs.attach_health(health);
+                obs.attach_drift(drift);
+            }
+            Err(e) => eprintln!("dashboard snapshot failed: {e}"),
+        }
+    }
     if let Err(e) = obs.finish() {
         eprintln!("failed to write observability output: {e}");
         std::process::exit(1);

@@ -1,0 +1,272 @@
+//! Continuous benchmark tracking: appends one timestamped,
+//! hardware-tagged timing entry per run to `BENCH_history.json` and
+//! gates on noisy regressions.
+//!
+//! Each run times the three tracked stages from [`bmf_bench::stages`]
+//! (the same workloads `bench_parallel` scales across thread counts) at
+//! one thread count, then appends an entry:
+//!
+//! ```json
+//! {
+//!   "timestamp": 1754424000,
+//!   "timestamp_iso": "2026-08-05T20:00:00Z",
+//!   "quick": true,
+//!   "hardware": {"detected_cores": 8, "threads_used": 2},
+//!   "stages": {"cv_select_default_grid": 0.41, ...}
+//! }
+//! ```
+//!
+//! **Regression check** (noise-aware): the latest entry fails if any
+//! tracked stage is more than 25% slower than the *median* of the last
+//! up-to-3 earlier entries on *comparable hardware* (same
+//! `detected_cores`, `threads_used` and `quick` flag). The median of
+//! best-of-N timings absorbs scheduler noise; entries from different
+//! machines never gate each other — with no comparable baseline the
+//! check warns and passes, so a 1-core CI runner cannot fail against a
+//! 16-core workstation baseline.
+//!
+//! Usage: `cargo run --release -p bmf-bench --bin bench_history
+//!         [--quick] [--file <path>] [--threads <n>] [--check-only] [--no-check]`
+//!
+//! * `--quick` — CI-sized workloads (entries are only compared against
+//!   other `--quick` entries).
+//! * `--file` — history path (default `BENCH_history.json`, the file the
+//!   dashboard's bench section reads).
+//! * `--check-only` — run the regression check on the existing history
+//!   without timing or appending anything.
+//! * `--no-check` — append a timing entry but skip the gate (baseline
+//!   seeding).
+
+use bmf_bench::stages::{Workloads, STAGE_NAMES};
+use bmf_core::parallel::available_threads;
+use bmf_obs::json::{self, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// A stage regresses when it exceeds `REGRESSION_FACTOR` × the baseline
+/// median.
+const REGRESSION_FACTOR: f64 = 1.25;
+/// How many prior comparable entries feed the baseline median.
+const BASELINE_WINDOW: usize = 3;
+
+/// Days-from-civil inverse: converts a unix timestamp (seconds) to an
+/// ISO-8601 UTC string without any date dependency (Howard Hinnant's
+/// civil-from-days algorithm).
+fn iso8601_utc(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let secs_of_day = unix_secs % 86_400;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+        y,
+        m,
+        d,
+        secs_of_day / 3600,
+        (secs_of_day / 60) % 60,
+        secs_of_day % 60
+    )
+}
+
+fn num(v: f64) -> Value {
+    Value::Number(v)
+}
+
+/// Reads the entry list out of an existing history file; an absent file
+/// is an empty history, a malformed one is a hard error (refuse to
+/// clobber data we cannot parse).
+fn load_entries(path: &str) -> Result<Vec<Value>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    let doc = json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path} has no entries array"))?;
+    Ok(entries.to_vec())
+}
+
+fn entry_u64(entry: &Value, path: &[&str]) -> Option<f64> {
+    let mut v = entry;
+    for key in path {
+        v = v.get(key)?;
+    }
+    v.as_f64()
+}
+
+/// Whether two entries were produced by comparable runs: same core
+/// count, same worker-thread count, same workload size.
+fn comparable(a: &Value, b: &Value) -> bool {
+    entry_u64(a, &["hardware", "detected_cores"]) == entry_u64(b, &["hardware", "detected_cores"])
+        && entry_u64(a, &["hardware", "threads_used"])
+            == entry_u64(b, &["hardware", "threads_used"])
+        && a.get("quick") == b.get("quick")
+}
+
+fn median(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(f64::total_cmp);
+    sorted[sorted.len() / 2]
+}
+
+/// Gates the latest entry against the median of the last
+/// [`BASELINE_WINDOW`] comparable predecessors. `Ok(true)` = checked and
+/// passed, `Ok(false)` = no comparable baseline (warn, not a failure).
+fn regression_check(entries: &[Value]) -> Result<bool, String> {
+    let Some((latest, earlier)) = entries.split_last() else {
+        return Err("history is empty; nothing to check".to_string());
+    };
+    let baseline: Vec<&Value> = earlier
+        .iter()
+        .rev()
+        .filter(|e| comparable(e, latest))
+        .take(BASELINE_WINDOW)
+        .collect();
+    if baseline.is_empty() {
+        return Ok(false);
+    }
+    let mut failures = Vec::new();
+    for stage in STAGE_NAMES {
+        let Some(current) = entry_u64(latest, &["stages", stage]) else {
+            return Err(format!("latest entry has no timing for stage {stage}"));
+        };
+        let mut prior: Vec<f64> = baseline
+            .iter()
+            .filter_map(|e| entry_u64(e, &["stages", stage]))
+            .collect();
+        if prior.is_empty() {
+            eprintln!("bench_history: stage {stage} has no baseline timings; skipping");
+            continue;
+        }
+        let med = median(&mut prior);
+        let ratio = current / med;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            failures.push(stage);
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_history: {stage:24} {current:.4}s vs median {med:.4}s \
+             (x{ratio:.3}, limit x{REGRESSION_FACTOR}) {verdict}"
+        );
+    }
+    if failures.is_empty() {
+        Ok(true)
+    } else {
+        Err(format!(
+            "stage(s) regressed beyond {REGRESSION_FACTOR}x the baseline median: {failures:?}"
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_only = args.iter().any(|a| a == "--check-only");
+    let no_check = args.iter().any(|a| a == "--no-check");
+    let grab = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let path = grab("--file").unwrap_or_else(|| bmf_obs::BENCH_HISTORY_FILE.to_string());
+    let threads = grab("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(available_threads);
+
+    let mut entries = match load_entries(&path) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("bench_history: FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !check_only {
+        // Best-of-N is the noise control: the minimum over N runs tracks
+        // the machine's true capability far better than any single run,
+        // and the quick stages are cheap enough to repeat.
+        let runs = 3;
+        eprintln!(
+            "bench_history: timing {} stage(s) at {threads} thread(s), best of {runs} run(s){}",
+            STAGE_NAMES.len(),
+            if quick { " (quick)" } else { "" }
+        );
+        let w = Workloads::prepare(quick, threads);
+        let mut stages = BTreeMap::new();
+        for stage in STAGE_NAMES {
+            let seconds = w.time_stage(stage, threads, runs);
+            eprintln!("  {stage:24} {seconds:.4}s");
+            stages.insert(stage.to_string(), num(seconds));
+        }
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let hardware = bmf_obs::HardwareContext::detect(threads);
+        let mut hw = BTreeMap::new();
+        hw.insert(
+            "detected_cores".to_string(),
+            num(hardware.detected_cores as f64),
+        );
+        hw.insert("threads_used".to_string(), num(threads as f64));
+        let mut entry = BTreeMap::new();
+        entry.insert("timestamp".to_string(), num(unix as f64));
+        entry.insert(
+            "timestamp_iso".to_string(),
+            Value::String(iso8601_utc(unix)),
+        );
+        entry.insert("quick".to_string(), Value::Bool(quick));
+        entry.insert("hardware".to_string(), Value::Object(hw));
+        entry.insert("stages".to_string(), Value::Object(stages));
+        entries.push(Value::Object(entry));
+
+        let mut doc = BTreeMap::new();
+        doc.insert("entries".to_string(), Value::Array(entries.clone()));
+        doc.insert(
+            "note".to_string(),
+            Value::String(
+                "appended by bench_history; stages are best-of-N seconds, \
+                 compared only across identical hardware + quick flag"
+                    .to_string(),
+            ),
+        );
+        if let Err(e) = std::fs::write(&path, Value::Object(doc).to_json() + "\n") {
+            eprintln!("bench_history: FAIL: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_history: appended entry #{} to {path}", entries.len());
+    }
+
+    if no_check {
+        println!("bench_history: check skipped (--no-check)");
+        return ExitCode::SUCCESS;
+    }
+    match regression_check(&entries) {
+        Ok(true) => {
+            println!("bench_history: OK (no regression beyond x{REGRESSION_FACTOR})");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!(
+                "bench_history: WARN: no comparable baseline in {path} \
+                 (different hardware/threads/quick); check passes vacuously"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_history: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

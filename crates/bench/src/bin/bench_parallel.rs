@@ -1,14 +1,15 @@
 //! Wall-clock scaling benchmark for the deterministic parallel execution
 //! layer, emitting machine-readable `BENCH_parallel.json`.
 //!
-//! Three stages are timed at several thread counts:
+//! The three tracked stages (see [`bmf_bench::stages`]) are timed at
+//! several thread counts:
 //!
 //! 1. **cv_select_default_grid** — `CrossValidation::default()` (12×12
-//!    grid, Q = 4, 8 repeats) via [`CrossValidation::select_seeded`].
-//! 2. **monte_carlo_opamp** — [`run_monte_carlo_seeded`] on the 45 nm
-//!    op-amp testbench.
-//! 3. **error_sweep_adc** — [`run_error_sweep_parallel`] over a prepared
-//!    flash-ADC study.
+//!    grid, Q = 4, 8 repeats) via `CrossValidation::select_seeded`.
+//! 2. **monte_carlo_opamp** — seeded Monte Carlo on the 45 nm op-amp
+//!    testbench.
+//! 3. **error_sweep_adc** — repetition-parallel error sweep over a
+//!    prepared flash-ADC study.
 //!
 //! Every stage is bit-identical across thread counts (asserted here), so
 //! the numbers measure pure wall-clock scaling. `speedup_vs_1` saturates
@@ -20,52 +21,17 @@
 //!
 //! The default output path is `BENCH_parallel.json` in the current
 //! directory; `--quick` shrinks the workloads for a CI smoke run.
+//! Single-thread-count history tracking (with the regression gate) lives
+//! in the `bench_history` bin, which times the same stages.
 
-use bmf_bench::study_to_data;
-use bmf_circuits::adc::AdcTestbench;
-use bmf_circuits::monte_carlo::{run_monte_carlo_seeded, two_stage_study_seeded, Stage};
-use bmf_circuits::opamp::OpAmpTestbench;
-use bmf_core::cv::CrossValidation;
-use bmf_core::experiment::{prepare, run_error_sweep_parallel, SweepConfig};
+use bmf_bench::stages::Workloads;
+use bmf_circuits::monte_carlo::{run_monte_carlo_seeded, Stage};
 use bmf_core::parallel::available_threads;
-use bmf_core::MomentEstimate;
-use bmf_linalg::{Matrix, Vector};
-use bmf_stats::MultivariateNormal;
-use rand::SeedableRng;
-use std::time::Instant;
 
 /// One timed (stage, thread-count) cell.
 struct Cell {
     threads: usize,
     seconds: f64,
-}
-
-/// Times `f` as the best of `runs` after one warm-up call.
-fn time_best_of<F: FnMut()>(runs: usize, mut f: F) -> f64 {
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..runs.max(1) {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
-}
-
-fn synthetic_late(d: usize, n: usize) -> (MomentEstimate, Matrix) {
-    let b = Matrix::from_fn(d, d, |i, j| ((i + 2 * j) % 7) as f64 / 7.0);
-    let mut cov = b.mat_mul(&b.transpose()).expect("square");
-    for i in 0..d {
-        cov[(i, i)] += 1.0;
-    }
-    let early = MomentEstimate {
-        mean: Vector::zeros(d),
-        cov: cov.clone(),
-    };
-    let truth = MultivariateNormal::new(Vector::zeros(d), cov).expect("spd");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let samples = truth.sample_matrix(&mut rng, n);
-    (early, samples)
 }
 
 fn json_stage(name: &str, cells: &[Cell]) -> String {
@@ -108,21 +74,22 @@ fn main() {
         if quick { " (quick)" } else { "" }
     );
 
+    let w = Workloads::prepare(quick, avail);
+
     // Stage 1: default-grid CV selection.
-    let cv_n = if quick { 32 } else { 64 };
-    let (early, late) = synthetic_late(5, cv_n);
-    let cv = CrossValidation::default();
-    let reference = cv.select_seeded(&early, &late, 6, 1).expect("cv select");
+    let reference =
+        w.cv.select_seeded(&w.cv_early, &w.cv_late, 6, 1)
+            .expect("cv select");
     let mut cv_cells = Vec::new();
     for &t in &thread_counts {
-        let sel = cv.select_seeded(&early, &late, 6, t).expect("cv select");
+        let sel =
+            w.cv.select_seeded(&w.cv_early, &w.cv_late, 6, t)
+                .expect("cv select");
         assert_eq!(
             sel, reference,
             "CV selection must be bit-identical at {t} threads"
         );
-        let seconds = time_best_of(runs, || {
-            cv.select_seeded(&early, &late, 6, t).expect("cv select");
-        });
+        let seconds = w.time_stage("cv_select_default_grid", t, runs);
         eprintln!("  cv_select_default_grid  threads={t:<2} {seconds:.4}s");
         cv_cells.push(Cell {
             threads: t,
@@ -131,20 +98,17 @@ fn main() {
     }
 
     // Stage 2: seeded Monte Carlo on the op-amp.
-    let mc_n = if quick { 300 } else { 2000 };
-    let tb = OpAmpTestbench::default_45nm();
     let mc_reference =
-        run_monte_carlo_seeded(&tb, Stage::Schematic, mc_n, 45, 1).expect("monte carlo");
+        run_monte_carlo_seeded(&w.opamp, Stage::Schematic, w.mc_n, 45, 1).expect("monte carlo");
     let mut mc_cells = Vec::new();
     for &t in &thread_counts {
-        let data = run_monte_carlo_seeded(&tb, Stage::Schematic, mc_n, 45, t).expect("monte carlo");
+        let data =
+            run_monte_carlo_seeded(&w.opamp, Stage::Schematic, w.mc_n, 45, t).expect("monte carlo");
         assert_eq!(
             data.samples, mc_reference.samples,
             "Monte Carlo must be bit-identical at {t} threads"
         );
-        let seconds = time_best_of(runs, || {
-            run_monte_carlo_seeded(&tb, Stage::Schematic, mc_n, 45, t).expect("monte carlo");
-        });
+        let seconds = w.time_stage("monte_carlo_opamp", t, runs);
         eprintln!("  monte_carlo_opamp       threads={t:<2} {seconds:.4}s");
         mc_cells.push(Cell {
             threads: t,
@@ -153,22 +117,9 @@ fn main() {
     }
 
     // Stage 3: repetition-parallel error sweep on the ADC.
-    let (pool, reps) = if quick { (200, 4) } else { (600, 16) };
-    let adc = AdcTestbench::default_180nm();
-    let study = two_stage_study_seeded(&adc, pool, pool, 180, avail).expect("study");
-    let prepared = prepare(&study_to_data(&study)).expect("prepare");
-    let config = SweepConfig {
-        sample_sizes: vec![8, 16],
-        repetitions: reps,
-        // The full default grid so each repetition carries real work.
-        cv: CrossValidation::default(),
-        seed: 3,
-    };
     let mut sweep_cells = Vec::new();
     for &t in &thread_counts {
-        let seconds = time_best_of(runs, || {
-            run_error_sweep_parallel(&prepared, &config, t).expect("sweep");
-        });
+        let seconds = w.time_stage("error_sweep_adc", t, runs);
         eprintln!("  error_sweep_adc         threads={t:<2} {seconds:.4}s");
         sweep_cells.push(Cell {
             threads: t,

@@ -3,7 +3,7 @@
 //! samples, MLE vs BMF, plus the in-text cost-reduction factors and the
 //! CV-selected hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig4_opamp [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>] [--dashboard-out <html>]`
 //!
 //! With `--svg results/fig4` the two panels are also written as
 //! `results/fig4_mean.svg` and `results/fig4_cov.svg`.
@@ -18,7 +18,8 @@
 
 use bmf_bench::plot::figure_svgs;
 use bmf_bench::{
-    format_cost_reduction, run_circuit_experiment, run_circuit_experiment_with_faults,
+    dashboard_snapshot, format_cost_reduction, run_circuit_experiment,
+    run_circuit_experiment_with_faults,
 };
 use bmf_circuits::opamp::OpAmpTestbench;
 use bmf_core::experiment::SweepConfig;
@@ -107,6 +108,18 @@ fn main() {
         }
     }
     eprintln!("elapsed: {:.1?}", t0.elapsed());
+    if obs.dashboard_out.is_some() {
+        // Separate explicitly-seeded snapshot study: attaching health +
+        // drift to the dashboard must not perturb the figure's RNG
+        // streams (bit-identity with the dashboard off).
+        match dashboard_snapshot(&OpAmpTestbench::default_45nm(), 45, threads) {
+            Ok((health, drift)) => {
+                obs.attach_health(health);
+                obs.attach_drift(drift);
+            }
+            Err(e) => eprintln!("dashboard snapshot failed: {e}"),
+        }
+    }
     if let Err(e) = obs.finish() {
         eprintln!("failed to write observability output: {e}");
         std::process::exit(1);

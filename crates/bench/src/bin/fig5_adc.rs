@@ -3,7 +3,7 @@
 //! vs BMF, plus the in-text >10× cost reduction and the CV-selected
 //! hyper-parameters at n = 32.
 //!
-//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>]`
+//! Usage: `cargo run --release -p bmf-bench --bin fig5_adc [--quick] [--svg <prefix>] [--threads <n>] [--fault-rate <r>] [--trace-out <json>] [--profile] [--metrics-out <json>] [--dashboard-out <html>]`
 //!
 //! The default matches the paper: 1000 MC samples per stage, 100
 //! repetitions, n ∈ {8..256}. `--threads` defaults to the machine's
@@ -14,7 +14,8 @@
 
 use bmf_bench::plot::figure_svgs;
 use bmf_bench::{
-    format_cost_reduction, run_circuit_experiment, run_circuit_experiment_with_faults,
+    dashboard_snapshot, format_cost_reduction, run_circuit_experiment,
+    run_circuit_experiment_with_faults,
 };
 use bmf_circuits::adc::AdcTestbench;
 use bmf_core::experiment::SweepConfig;
@@ -102,6 +103,18 @@ fn main() {
         }
     }
     eprintln!("elapsed: {:.1?}", t0.elapsed());
+    if obs.dashboard_out.is_some() {
+        // Separate explicitly-seeded snapshot study: attaching health +
+        // drift to the dashboard must not perturb the figure's RNG
+        // streams (bit-identity with the dashboard off).
+        match dashboard_snapshot(&AdcTestbench::default_180nm(), 180, threads) {
+            Ok((health, drift)) => {
+                obs.attach_health(health);
+                obs.attach_drift(drift);
+            }
+            Err(e) => eprintln!("dashboard snapshot failed: {e}"),
+        }
+    }
     if let Err(e) = obs.finish() {
         eprintln!("failed to write observability output: {e}");
         std::process::exit(1);

@@ -8,6 +8,14 @@
 //! * `--metrics <path>` — the file must parse as JSON and the named
 //!   `--expect-counter <name>` entries (repeatable) must be present and
 //!   nonzero.
+//! * `--dashboard <path>` — the file must be a self-contained HTML
+//!   document with every dashboard section id present, every `href="#…"`
+//!   pointing at an existing id, and the three embedded JSON blobs
+//!   (`health-data`, `drift-data`, `bench-data`) must re-parse after
+//!   undoing the `</` → `<\/` embedding escape.
+//! * `--expect-health <ok|warn|critical>` — with `--dashboard`, the
+//!   `health-data` blob must be non-null and report exactly that overall
+//!   severity.
 //!
 //! Exits 0 when every requested check passes, 1 otherwise.
 
@@ -74,6 +82,146 @@ fn check_metrics(doc: &Value, expect: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the structural shape of a health JSON object (the
+/// `HealthReport::to_json` wire format).
+fn check_health_object(health: &Value) -> Result<String, String> {
+    let overall = health
+        .get("overall")
+        .and_then(Value::as_str)
+        .ok_or("health has no overall severity string")?;
+    if !matches!(overall, "ok" | "warn" | "critical") {
+        return Err(format!(
+            "health overall severity {overall:?} is not ok/warn/critical"
+        ));
+    }
+    for section in ["conflict", "ess", "spectrum", "data_quality"] {
+        let sec = health
+            .get(section)
+            .ok_or_else(|| format!("health has no {section} section"))?;
+        match sec.get("severity").and_then(Value::as_str) {
+            Some("ok" | "warn" | "critical") => {}
+            _ => return Err(format!("health {section} has no valid severity")),
+        }
+    }
+    Ok(overall.to_string())
+}
+
+/// Validates a drift-timeline JSON object (`DriftTimeline::to_json`).
+fn check_drift_object(drift: &Value) -> Result<usize, String> {
+    let windows = drift
+        .get("windows")
+        .and_then(Value::as_array)
+        .ok_or("drift has no windows array")?;
+    for (i, w) in windows.iter().enumerate() {
+        for key in ["index", "start_sample", "n", "kl", "mean_dist", "cov_frob"] {
+            if w.get(key).is_none() {
+                return Err(format!("drift window {i} has no {key}"));
+            }
+        }
+        match w.get("severity").and_then(Value::as_str) {
+            Some("ok" | "warn" | "critical") => {}
+            _ => return Err(format!("drift window {i} has no valid severity")),
+        }
+    }
+    if drift.get("alerts").and_then(Value::as_array).is_none() {
+        return Err("drift has no alerts array".to_string());
+    }
+    Ok(windows.len())
+}
+
+/// Extracts an embedded `<script type="application/json" id="...">` blob
+/// from the dashboard HTML and parses it (undoing the `</` escape).
+fn embedded_json(html: &str, id: &str) -> Result<Value, String> {
+    let marker = format!("id=\"{id}\">");
+    let start = html
+        .find(&marker)
+        .ok_or_else(|| format!("no embedded JSON blob with id {id}"))?
+        + marker.len();
+    let end = html[start..]
+        .find("</script>")
+        .ok_or_else(|| format!("blob {id} is not terminated by </script>"))?;
+    let raw = html[start..start + end].replace("<\\/", "</");
+    bmf_obs::json::parse(&raw).map_err(|e| format!("blob {id} is not valid JSON: {e}"))
+}
+
+/// The ids the dashboard always renders: the five section anchors plus
+/// the three machine-readable JSON blobs.
+const DASHBOARD_IDS: [&str; 8] = [
+    "profile",
+    "metrics",
+    "health",
+    "drift",
+    "bench",
+    "health-data",
+    "drift-data",
+    "bench-data",
+];
+
+fn check_dashboard(html: &str, expect_health: Option<&str>) -> Result<String, String> {
+    let lower = html.to_ascii_lowercase();
+    if !lower.starts_with("<!doctype html") {
+        return Err("missing <!doctype html> prologue".to_string());
+    }
+    if !lower.contains("</html>") {
+        return Err("missing closing </html> tag".to_string());
+    }
+    for id in DASHBOARD_IDS {
+        if !html.contains(&format!("id=\"{id}\"")) {
+            return Err(format!("required id {id:?} is missing"));
+        }
+    }
+    // Every internal link must point at an id that exists.
+    let mut rest = html;
+    while let Some(pos) = rest.find("href=\"#") {
+        let tail = &rest[pos + 7..];
+        let end = tail.find('"').ok_or("unterminated href attribute")?;
+        let target = &tail[..end];
+        if !html.contains(&format!("id=\"{target}\"")) {
+            return Err(format!("href=\"#{target}\" has no matching id"));
+        }
+        rest = &tail[end..];
+    }
+
+    let health = embedded_json(html, "health-data")?;
+    let health_desc = match &health {
+        Value::Null => {
+            if let Some(expected) = expect_health {
+                return Err(format!(
+                    "health-data is null but --expect-health {expected} was given"
+                ));
+            }
+            "health: absent".to_string()
+        }
+        obj => {
+            let overall = check_health_object(obj)?;
+            if let Some(expected) = expect_health {
+                if overall != expected {
+                    return Err(format!(
+                        "health overall is {overall:?}, expected {expected:?}"
+                    ));
+                }
+            }
+            format!("health: {overall}")
+        }
+    };
+    let drift = embedded_json(html, "drift-data")?;
+    let drift_desc = match &drift {
+        Value::Null => "drift: absent".to_string(),
+        obj => format!("drift: {} window(s)", check_drift_object(obj)?),
+    };
+    let bench = embedded_json(html, "bench-data")?;
+    let bench_desc = match &bench {
+        Value::Null => "bench history: absent".to_string(),
+        obj => format!(
+            "bench history: {} entr(ies)",
+            obj.get("entries")
+                .and_then(Value::as_array)
+                .map_or(0, <[Value]>::len)
+        ),
+    };
+    Ok(format!("{health_desc}, {drift_desc}, {bench_desc}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let grab = |flag: &str| -> Option<String> {
@@ -83,15 +231,25 @@ fn main() -> ExitCode {
     };
     let trace = grab("--trace");
     let metrics = grab("--metrics");
+    let dashboard = grab("--dashboard");
+    let expect_health = grab("--expect-health");
+    if let Some(sev) = expect_health.as_deref() {
+        if !matches!(sev, "ok" | "warn" | "critical") {
+            return fail(&format!(
+                "--expect-health must be ok, warn or critical (got {sev:?})"
+            ));
+        }
+    }
     let expect: Vec<String> = args
         .iter()
         .enumerate()
         .filter(|(_, a)| *a == "--expect-counter")
         .filter_map(|(i, _)| args.get(i + 1).cloned())
         .collect();
-    if trace.is_none() && metrics.is_none() {
+    if trace.is_none() && metrics.is_none() && dashboard.is_none() {
         eprintln!(
-            "usage: trace_check [--trace <json>] [--metrics <json>] [--expect-counter <name>]..."
+            "usage: trace_check [--trace <json>] [--metrics <json>] [--expect-counter <name>]... \
+             [--dashboard <html>] [--expect-health <ok|warn|critical>]"
         );
         return ExitCode::FAILURE;
     }
@@ -117,6 +275,18 @@ fn main() -> ExitCode {
             Ok(()) => println!(
                 "trace_check: {path}: {} expected counter(s) present and nonzero",
                 expect.len()
+            ),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    if let Some(path) = dashboard {
+        let html = match std::fs::read_to_string(&path) {
+            Ok(html) => html,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        match check_dashboard(&html, expect_health.as_deref()) {
+            Ok(desc) => println!(
+                "trace_check: {path}: well-formed dashboard, all ids/links resolve ({desc})"
             ),
             Err(e) => return fail(&format!("{path}: {e}")),
         }

@@ -9,14 +9,18 @@
 //! `benches/` holds the Criterion component benchmarks.
 
 pub mod plot;
+pub mod stages;
 
 use bmf_circuits::fault::{FaultConfig, FaultInjector};
 use bmf_circuits::monte_carlo::{two_stage_study_seeded, Testbench, TwoStageStudy};
+use bmf_core::drift::{DriftConfig, DriftMonitor};
 use bmf_core::experiment::{
     cost_reduction, prepare, run_error_sweep_parallel, ErrorKind, SweepConfig, SweepResult,
     TwoStageData,
 };
 use bmf_core::guard::{self, GuardPolicy};
+use bmf_core::pipeline::RobustPipeline;
+use bmf_linalg::Matrix;
 
 /// Converts the circuit crate's study format into the estimator crate's
 /// experiment input.
@@ -129,6 +133,45 @@ pub fn run_circuit_experiment_with_faults<T: Testbench>(
     let prepared = prepare(&data)?;
     let result = run_error_sweep_parallel(&prepared, config, threads)?;
     Ok((result, summary))
+}
+
+/// Computes the statistical snapshot the figure bins attach to their
+/// HTML dashboard: a robust fusion at n = 32 over a small dedicated
+/// study (yielding the [`bmf_obs::HealthReport`]) and a drift scan of
+/// that study's full late pool against its early-stage model (yielding
+/// the [`bmf_obs::DriftTimeline`]).
+///
+/// The snapshot study is generated from its own explicit `mc_seed`, so
+/// running it never perturbs the main experiment's RNG streams — figure
+/// results stay bit-identical whether or not a dashboard was requested.
+///
+/// # Errors
+///
+/// Returns a boxed error on simulation, estimation, or drift-monitor
+/// failure, and when the pipeline degraded so far that no health report
+/// was produced.
+pub fn dashboard_snapshot<T: Testbench + ?Sized>(
+    tb: &T,
+    mc_seed: u64,
+    threads: usize,
+) -> Result<(bmf_obs::HealthReport, bmf_obs::DriftTimeline), Box<dyn std::error::Error>> {
+    let study = two_stage_study_seeded(tb, 200, 200, mc_seed, threads)?;
+    let prepared = prepare(&study_to_data(&study))?;
+    // Fuse the first 32 late-pool rows — the paper's headline n — for a
+    // representative health report without re-running the whole sweep.
+    let n = 32.min(prepared.late_pool.nrows());
+    let late = Matrix::from_fn(n, prepared.late_pool.ncols(), |i, j| {
+        prepared.late_pool[(i, j)]
+    });
+    let (_, report) = RobustPipeline::new()
+        .with_threads(threads)
+        .estimate(&prepared.early_moments, &late)?;
+    let health = report
+        .health
+        .ok_or("pipeline produced no health report for the snapshot study")?;
+    let mut monitor = DriftMonitor::new(&prepared.early_moments, DriftConfig::default())?;
+    monitor.push_batch(&prepared.late_pool)?;
+    Ok((health, monitor.into_timeline()))
 }
 
 /// Formats the cost-reduction summary the paper reports in-text.

@@ -43,6 +43,59 @@ pub struct HyperParameterSelection {
     pub grid: Vec<CvGridPoint>,
 }
 
+impl HyperParameterSelection {
+    /// Distils the scored grid into the health-report surface summary:
+    /// the argmax, the *spread* (best score minus the median finite
+    /// score — near zero means the surface is flat and the selection
+    /// arbitrary), and whether the argmax sits on the **lower** edge of
+    /// either hyper-parameter axis as actually searched (the feasible
+    /// grid). The upper edge is not flagged: the top of the paper's
+    /// `[1, 1000]` grid already means near-total trust in the prior,
+    /// whereas the bottom edge suggests the optimum may lie below the
+    /// searched range.
+    pub fn surface_summary(&self) -> bmf_obs::health::CvSurface {
+        let mut finite: Vec<f64> = self
+            .grid
+            .iter()
+            .map(|p| p.score)
+            .filter(|s| s.is_finite())
+            .collect();
+        finite.sort_by(f64::total_cmp);
+        let median = if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite[finite.len() / 2]
+        };
+        let spread = self.score - median;
+        let min_kappa = self
+            .grid
+            .iter()
+            .map(|p| p.kappa0)
+            .fold(f64::INFINITY, f64::min);
+        let min_nu = self
+            .grid
+            .iter()
+            .map(|p| p.nu0)
+            .fold(f64::INFINITY, f64::min);
+        // A single-point axis has no interior, so its "edge" is not
+        // informative; only flag axes with at least two distinct values.
+        let kappa_values: std::collections::BTreeSet<u64> =
+            self.grid.iter().map(|p| p.kappa0.to_bits()).collect();
+        let nu_values: std::collections::BTreeSet<u64> =
+            self.grid.iter().map(|p| p.nu0.to_bits()).collect();
+        let boundary_hit = (kappa_values.len() > 1 && self.kappa0 == min_kappa)
+            || (nu_values.len() > 1 && self.nu0 == min_nu);
+        bmf_obs::health::CvSurface {
+            kappa0: self.kappa0,
+            nu0: self.nu0,
+            score: self.score,
+            spread,
+            boundary_hit,
+            severity: bmf_obs::health::classify_cv_surface(spread, boundary_hit),
+        }
+    }
+}
+
 /// Two-dimensional Q-fold cross-validation over a `(κ₀, ν₀)` grid.
 ///
 /// The default reproduces the paper's setup: both axes span `[1, 1000]`

@@ -1,0 +1,419 @@
+//! Streaming drift monitor over windowed late-stage batches.
+//!
+//! The BMF prior assumes the early- and late-stage populations share a
+//! distribution up to the §4.1 shift/scale; when a process drifts (or
+//! the populations decorrelate, as the multiple-population work warns),
+//! that assumption silently decays. [`DriftMonitor`] watches for this:
+//! late-stage samples stream in, every full window of `window` samples
+//! is closed into a [`DriftWindow`] comparing the window's sample
+//! moments against the early-stage reference — Gaussian KL divergence
+//! `KL(N_window ‖ N_early)` plus the mean distance and the relative
+//! Frobenius drift of the covariance — and each window is classified
+//! with the documented thresholds from [`bmf_obs::health`].
+//!
+//! Monitoring is strictly passive: the monitor only *reads* sample
+//! values, never touches an RNG stream, and its outputs feed telemetry
+//! (the `drift.windows` / `drift.alerts` counters and the dashboard),
+//! never an estimator. Estimates are bit-identical with a monitor
+//! attached or not.
+
+use crate::{BmfError, MomentEstimate, Result};
+use bmf_linalg::{Cholesky, Matrix};
+use bmf_obs::health::{classify_drift, DriftTimeline, DriftWindow, Severity};
+use bmf_stats::descriptive;
+
+/// Configuration for [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Samples per window. Must exceed the data dimension `d`, or the
+    /// window covariance is always singular. The default of 32 keeps
+    /// the finite-window KL bias `(d + d(d+1)/2)/(2·window)` well below
+    /// the warn threshold for the dimensionalities in this repo.
+    pub window: usize,
+    /// KL divergence (nats) above which a window warns.
+    pub kl_warn: f64,
+    /// KL divergence (nats) above which a window is critical.
+    pub kl_critical: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 32,
+            kl_warn: bmf_obs::health::DRIFT_KL_WARN,
+            kl_critical: bmf_obs::health::DRIFT_KL_CRITICAL,
+        }
+    }
+}
+
+impl DriftConfig {
+    fn classify(&self, kl: f64) -> Severity {
+        if !kl.is_finite() || kl > self.kl_critical {
+            Severity::Critical
+        } else if kl > self.kl_warn {
+            Severity::Warn
+        } else {
+            Severity::Ok
+        }
+    }
+}
+
+/// Streaming monitor comparing windowed late-stage batches against a
+/// fixed early-stage reference model. See the module docs.
+#[derive(Debug)]
+pub struct DriftMonitor {
+    early: MomentEstimate,
+    chol_early: Cholesky,
+    ln_det_early: f64,
+    early_frob: f64,
+    config: DriftConfig,
+    /// Row-major buffer of the current (not yet closed) window.
+    buffer: Vec<f64>,
+    samples_seen: usize,
+    timeline: DriftTimeline,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor against the early-stage reference `early`.
+    ///
+    /// # Errors
+    ///
+    /// [`BmfError::InvalidConfig`] when the window does not exceed the
+    /// dimension or the thresholds are not ordered finite positives;
+    /// propagates the Cholesky error when the reference covariance is
+    /// not SPD.
+    pub fn new(early: &MomentEstimate, config: DriftConfig) -> Result<Self> {
+        let d = early.dim();
+        if config.window <= d {
+            return Err(BmfError::InvalidConfig {
+                reason: format!(
+                    "drift window = {} must exceed the dimension d = {d} \
+                     (a smaller window has a singular sample covariance)",
+                    config.window
+                ),
+            });
+        }
+        if !(config.kl_warn > 0.0)
+            || !(config.kl_critical > config.kl_warn)
+            || !config.kl_critical.is_finite()
+        {
+            return Err(BmfError::InvalidConfig {
+                reason: format!(
+                    "drift thresholds warn = {}, critical = {} must satisfy \
+                     0 < warn < critical < inf",
+                    config.kl_warn, config.kl_critical
+                ),
+            });
+        }
+        early.validate()?;
+        let chol_early = Cholesky::new(&early.cov)?;
+        let ln_det_early = chol_early.ln_det();
+        let early_frob = early.cov.norm_frobenius();
+        Ok(DriftMonitor {
+            early: early.clone(),
+            chol_early,
+            ln_det_early,
+            early_frob,
+            config,
+            buffer: Vec::with_capacity(config.window * d),
+            samples_seen: 0,
+            timeline: DriftTimeline::default(),
+        })
+    }
+
+    /// The configuration the monitor runs with.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Feeds one sample (length `d`).
+    ///
+    /// # Errors
+    ///
+    /// [`BmfError::InvalidSamples`] when the sample length differs from
+    /// the reference dimension.
+    pub fn push_sample(&mut self, row: &[f64]) -> Result<()> {
+        let d = self.early.dim();
+        if row.len() != d {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "drift sample has {} entries, reference dimension is {d}",
+                    row.len()
+                ),
+            });
+        }
+        self.buffer.extend_from_slice(row);
+        self.samples_seen += 1;
+        if self.buffer.len() == self.config.window * d {
+            self.close_window();
+        }
+        Ok(())
+    }
+
+    /// Feeds every row of `samples` in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`DriftMonitor::push_sample`].
+    pub fn push_batch(&mut self, samples: &Matrix) -> Result<()> {
+        let d = self.early.dim();
+        if samples.ncols() != d {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "drift batch has {} columns, reference dimension is {d}",
+                    samples.ncols()
+                ),
+            });
+        }
+        for i in 0..samples.nrows() {
+            let row: Vec<f64> = (0..d).map(|j| samples[(i, j)]).collect();
+            self.push_sample(&row)?;
+        }
+        Ok(())
+    }
+
+    /// Closed windows and alerts so far. Samples still in the partial
+    /// buffer are not represented (they close with the next full window).
+    pub fn timeline(&self) -> &DriftTimeline {
+        &self.timeline
+    }
+
+    /// Consumes the monitor, returning the timeline.
+    pub fn into_timeline(self) -> DriftTimeline {
+        self.timeline
+    }
+
+    fn close_window(&mut self) {
+        let d = self.early.dim();
+        let n = self.config.window;
+        let index = self.timeline.windows.len();
+        let start_sample = self.samples_seen - n;
+        let window = Matrix::from_fn(n, d, |i, j| self.buffer[i * d + j]);
+        self.buffer.clear();
+
+        let (kl, mean_dist, cov_frob) = self.window_divergence(&window);
+        let severity = self.config.classify(kl);
+        // The documented-threshold classification must agree with the
+        // default-config one when defaults are in use.
+        debug_assert!(self.config != DriftConfig::default() || severity == classify_drift(kl));
+        bmf_obs::counters::DRIFT_WINDOWS.incr();
+        if severity >= Severity::Warn {
+            bmf_obs::counters::DRIFT_ALERTS.incr();
+            self.timeline.alerts.push(format!(
+                "window {index} (samples {start_sample}..{}): KL = {kl:.4} nats > {} threshold {} \
+                 (mean dist {mean_dist:.4}, cov drift {cov_frob:.4})",
+                start_sample + n,
+                severity.label(),
+                if severity == Severity::Critical {
+                    self.config.kl_critical
+                } else {
+                    self.config.kl_warn
+                },
+            ));
+        }
+        self.timeline.windows.push(DriftWindow {
+            index,
+            start_sample,
+            n,
+            kl,
+            mean_dist,
+            cov_frob,
+            severity,
+        });
+    }
+
+    /// `(KL, mean distance, relative Frobenius drift)` of one window
+    /// against the early reference. A window whose sample covariance is
+    /// not SPD reports `KL = +∞` (maximal drift signal) rather than an
+    /// error: a degenerate window *is* an anomaly.
+    fn window_divergence(&self, window: &Matrix) -> (f64, f64, f64) {
+        let d = self.early.dim() as f64;
+        let Ok(mu_w) = descriptive::mean_vector(window) else {
+            return (f64::INFINITY, f64::NAN, f64::NAN);
+        };
+        let Ok(sigma_w) = descriptive::covariance_mle(window) else {
+            return (f64::INFINITY, f64::NAN, f64::NAN);
+        };
+
+        let mut mean_dist_sq = 0.0;
+        for j in 0..self.early.dim() {
+            let delta = mu_w[j] - self.early.mean[j];
+            mean_dist_sq += delta * delta;
+        }
+        let mean_dist = mean_dist_sq.sqrt();
+
+        let mut diff = sigma_w.clone();
+        diff -= &self.early.cov;
+        let cov_frob = if self.early_frob > 0.0 {
+            diff.norm_frobenius() / self.early_frob
+        } else {
+            f64::NAN
+        };
+
+        // KL(N_w ‖ N_E) = ½ [ tr(Σ_E⁻¹ Σ_w) + (μ_E−μ_w)ᵀ Σ_E⁻¹ (μ_E−μ_w)
+        //                     − d + ln det Σ_E − ln det Σ_w ]
+        let trace_term = match self.chol_early.solve_mat(&sigma_w).and_then(|m| m.trace()) {
+            Ok(t) => t,
+            Err(_) => return (f64::INFINITY, mean_dist, cov_frob),
+        };
+        let maha = match self.chol_early.mahalanobis_sq(&mu_w, &self.early.mean) {
+            Ok(m) => m,
+            Err(_) => return (f64::INFINITY, mean_dist, cov_frob),
+        };
+        let ln_det_w = match Cholesky::new(&sigma_w) {
+            Ok(chol) => chol.ln_det(),
+            Err(_) => return (f64::INFINITY, mean_dist, cov_frob),
+        };
+        let kl = 0.5 * (trace_term + maha - d + self.ln_det_early - ln_det_w);
+        // Numerical round-off can nudge a zero-drift KL fractionally
+        // negative; clamp so classification sees a proper divergence.
+        (kl.max(0.0), mean_dist, cov_frob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmf_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn reference(d: usize) -> MomentEstimate {
+        MomentEstimate {
+            mean: Vector::zeros(d),
+            cov: Matrix::from_fn(d, d, |i, j| if i == j { 1.0 } else { 0.2 }),
+        }
+    }
+
+    fn gaussian_ish(d: usize, n: usize, seed: u64, offset: f64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |_, _| {
+            // Sum of uniforms ≈ normal; exact shape is irrelevant, the
+            // windows just need realistic spread around `offset`.
+            let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+            offset + (s - 6.0) * 0.45
+        })
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_setups() {
+        let early = reference(3);
+        assert!(DriftMonitor::new(
+            &early,
+            DriftConfig {
+                window: 3,
+                ..DriftConfig::default()
+            }
+        )
+        .is_err());
+        assert!(DriftMonitor::new(
+            &early,
+            DriftConfig {
+                kl_warn: 5.0,
+                kl_critical: 2.0,
+                ..DriftConfig::default()
+            }
+        )
+        .is_err());
+        assert!(DriftMonitor::new(&early, DriftConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn stationary_stream_stays_ok_and_counts_windows() {
+        let d = 2;
+        let early_samples = gaussian_ish(d, 2000, 11, 0.0);
+        let early = MomentEstimate {
+            mean: descriptive::mean_vector(&early_samples).unwrap(),
+            cov: descriptive::covariance_mle(&early_samples).unwrap(),
+        };
+        let mut monitor = DriftMonitor::new(&early, DriftConfig::default()).unwrap();
+        monitor
+            .push_batch(&gaussian_ish(d, 3 * 32 + 5, 12, 0.0))
+            .unwrap();
+        let timeline = monitor.timeline();
+        assert_eq!(timeline.windows.len(), 3); // 5 samples still buffered
+        assert_eq!(timeline.overall(), Severity::Ok, "{timeline:?}");
+        assert!(timeline.alerts.is_empty());
+        for (i, w) in timeline.windows.iter().enumerate() {
+            assert_eq!(w.index, i);
+            assert_eq!(w.start_sample, i * 32);
+            assert_eq!(w.n, 32);
+            assert!(w.kl.is_finite() && w.kl >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shifted_stream_raises_alerts() {
+        let d = 2;
+        let early_samples = gaussian_ish(d, 2000, 11, 0.0);
+        let early = MomentEstimate {
+            mean: descriptive::mean_vector(&early_samples).unwrap(),
+            cov: descriptive::covariance_mle(&early_samples).unwrap(),
+        };
+        let mut monitor = DriftMonitor::new(&early, DriftConfig::default()).unwrap();
+        // One healthy window, then a hard mean shift.
+        monitor.push_batch(&gaussian_ish(d, 32, 12, 0.0)).unwrap();
+        monitor.push_batch(&gaussian_ish(d, 64, 13, 4.0)).unwrap();
+        let timeline = monitor.timeline();
+        assert_eq!(timeline.windows.len(), 3);
+        assert_eq!(timeline.windows[0].severity, Severity::Ok);
+        assert!(timeline.windows[1].severity >= Severity::Warn);
+        assert!(timeline.windows[1].kl > timeline.windows[0].kl);
+        assert!(timeline.windows[1].mean_dist > 1.0);
+        assert_eq!(timeline.alerts.len(), 2);
+        assert!(timeline.overall() >= Severity::Warn);
+    }
+
+    #[test]
+    fn drift_counters_track_windows_and_alerts() {
+        // Serialized against other obs tests via the shared registry.
+        let early = reference(2);
+        let mut monitor = DriftMonitor::new(&early, DriftConfig::default()).unwrap();
+        bmf_obs::reset();
+        bmf_obs::enable();
+        monitor.push_batch(&gaussian_ish(2, 64, 5, 0.0)).unwrap();
+        monitor.push_batch(&gaussian_ish(2, 32, 6, 8.0)).unwrap();
+        bmf_obs::disable();
+        let snap = bmf_obs::metrics::snapshot();
+        assert_eq!(snap.counter("drift.windows"), 3);
+        assert!(snap.counter("drift.alerts") >= 1);
+        bmf_obs::reset();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let early = reference(3);
+        let mut monitor = DriftMonitor::new(&early, DriftConfig::default()).unwrap();
+        assert!(monitor.push_sample(&[1.0, 2.0]).is_err());
+        assert!(monitor
+            .push_batch(&Matrix::from_fn(4, 2, |_, _| 0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn identical_moments_give_near_zero_kl() {
+        // Feed the exact reference-generating samples: window moments
+        // approximate the reference, so KL stays near the finite-window
+        // bias level.
+        let d = 2;
+        let samples = gaussian_ish(d, 320, 21, 0.0);
+        let early = MomentEstimate {
+            mean: descriptive::mean_vector(&samples).unwrap(),
+            cov: descriptive::covariance_mle(&samples).unwrap(),
+        };
+        let mut monitor = DriftMonitor::new(
+            &early,
+            DriftConfig {
+                window: 320,
+                ..DriftConfig::default()
+            },
+        )
+        .unwrap();
+        monitor.push_batch(&samples).unwrap();
+        let w = &monitor.timeline().windows[0];
+        assert!(w.kl < 0.05, "kl = {}", w.kl);
+        assert!(w.cov_frob < 1e-9);
+        assert!(w.mean_dist < 1e-9);
+    }
+}

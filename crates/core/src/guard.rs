@@ -112,6 +112,15 @@ impl DataQualityReport {
             && self.outlier_rows.is_empty()
     }
 
+    /// Fraction of input rows the screen dropped (0 when no rows came in).
+    pub fn dropped_fraction(&self) -> f64 {
+        if self.rows_in == 0 {
+            0.0
+        } else {
+            self.dropped_rows.len() as f64 / self.rows_in as f64
+        }
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(

@@ -77,10 +77,12 @@
 pub mod bernoulli;
 pub mod cv;
 pub mod diagnostics;
+pub mod drift;
 mod error;
 pub mod error_metrics;
 pub mod experiment;
 pub mod guard;
+pub mod health;
 pub mod io;
 pub mod map;
 pub mod mle;
@@ -150,9 +152,11 @@ impl MomentEstimate {
 /// Common imports for downstream users.
 pub mod prelude {
     pub use crate::cv::{CrossValidation, HyperParameterSelection};
+    pub use crate::drift::{DriftConfig, DriftMonitor};
     pub use crate::error_metrics::{error_cov, error_mean};
     pub use crate::experiment::{SweepConfig, TwoStageData};
     pub use crate::guard::{DataQualityReport, GuardPolicy};
+    pub use crate::health::assess as assess_health;
     pub use crate::map::{BmfEstimate, BmfEstimator};
     pub use crate::mle::MleEstimator;
     pub use crate::pipeline::{FailureMode, FallbackLevel, FusionReport, RobustPipeline};

@@ -106,6 +106,13 @@ pub struct FusionReport {
     /// recording was enabled via `bmf_obs::enable` — counter values are
     /// process-wide, so deltas from concurrent estimates overlap.
     pub counters: Vec<(&'static str, u64)>,
+    /// Statistical health assessment of the returned estimate
+    /// (prior–data conflict, shrinkage, covariance spectrum, CV surface,
+    /// data quality). `None` when the run degraded to early-only — there
+    /// is no fused estimate to assess — or when the assessment itself
+    /// failed (a note records why). Strictly read-only: computing it
+    /// never touches an RNG stream or the estimate.
+    pub health: Option<bmf_obs::health::HealthReport>,
 }
 
 /// Wall-clock spent in each stage of one [`RobustPipeline::estimate`]
@@ -167,11 +174,16 @@ impl FusionReport {
             .iter()
             .map(|(name, v)| format!("\"{}\":{v}", json_escape(name)))
             .collect();
+        let health = match &self.health {
+            Some(h) => h.to_json(),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"fallback\":\"{}\",\"fallback_reason\":{},",
                 "\"prior_condition\":{},\"prior_repair\":\"{}\",",
                 "\"prior_repair_detail\":\"{}\",\"selection\":{},",
+                "\"health\":{},",
                 "\"data_quality\":{{\"rows_in\":{},\"rows_out\":{},",
                 "\"nonfinite_cells\":{},\"dropped_rows\":{},",
                 "\"constant_columns\":{},\"duplicate_rows\":{},",
@@ -185,6 +197,7 @@ impl FusionReport {
             self.prior_repair.label(),
             json_escape(&self.prior_repair.to_string()),
             selection,
+            health,
             dq.rows_in,
             dq.rows_out,
             json_index_pairs(&dq.nonfinite_cells),
@@ -225,6 +238,10 @@ impl FusionReport {
         ));
         if let Some((k, n)) = self.selection {
             out.push_str(&format!("cv selection: kappa0 = {k:.3}, nu0 = {n:.2}\n"));
+        }
+        if let Some(h) = &self.health {
+            out.push_str(&h.summary());
+            out.push('\n');
         }
         let t = &self.timings;
         out.push_str(&format!(
@@ -423,6 +440,7 @@ impl RobustPipeline {
                     notes,
                     timings: StageTimings::default(),
                     counters: Vec::new(),
+                    health: None,
                 };
                 return Ok((early.clone(), report));
             }
@@ -475,8 +493,11 @@ impl RobustPipeline {
             .cv
             .select_seeded(&effective_early, &cleaned, self.seed, self.threads);
         timings.cv_ns = stage_start.elapsed().as_nanos() as u64;
-        let selection = match selected {
-            Ok(sel) => Some((sel.kappa0, sel.nu0)),
+        // Keep the full selection (grid + per-point scores) alive for the
+        // health assessment's CV-surface summary; the report only stores
+        // the chosen (κ₀, ν₀) pair.
+        let selection_full = match selected {
+            Ok(sel) => Some(sel),
             Err(e) => {
                 if self.mode == FailureMode::Strict {
                     return Err(e);
@@ -488,6 +509,7 @@ impl RobustPipeline {
                 None
             }
         };
+        let selection = selection_full.as_ref().map(|sel| (sel.kappa0, sel.nu0));
         let (kappa0, nu0) = selection.unwrap_or((1.0, d + 2.0));
 
         // ── Stage 4: the ladder. MAP → MLE → early-only. ─────────────
@@ -496,6 +518,27 @@ impl RobustPipeline {
         let map_attempt = NormalWishartPrior::from_early_moments(&effective_early, kappa0, nu0)
             .and_then(|prior| BmfEstimator::new(prior)?.estimate(&cleaned));
         drop(map_span);
+        // Health assessment of a fused estimate. Read-only (no RNG, no
+        // feedback into the estimate); a failure degrades to "health
+        // unavailable" with a note rather than sinking the pipeline.
+        let assess_health = |est: &MomentEstimate, notes: &mut Vec<String>| {
+            let _span = bmf_obs::span("pipeline.health");
+            match crate::health::assess(
+                &effective_early,
+                &cleaned,
+                kappa0,
+                nu0,
+                selection_full.as_ref(),
+                &dq,
+                est,
+            ) {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    notes.push(format!("health assessment unavailable: {e}"));
+                    None
+                }
+            }
+        };
         let result = match map_attempt {
             Ok(est) => {
                 let fallback = if prior_repair.is_repaired() {
@@ -504,6 +547,7 @@ impl RobustPipeline {
                 } else {
                     FallbackLevel::Map
                 };
+                let health = assess_health(&est.map, &mut notes);
                 let report = FusionReport {
                     data_quality: dq,
                     prior_condition,
@@ -518,6 +562,7 @@ impl RobustPipeline {
                     notes,
                     timings: StageTimings::default(),
                     counters: Vec::new(),
+                    health,
                 };
                 Ok((est.map, report))
             }
@@ -531,6 +576,7 @@ impl RobustPipeline {
                 drop(mle_span);
                 match mle_attempt {
                     Ok(mle) => {
+                        let health = assess_health(&mle, &mut notes);
                         let report = FusionReport {
                             data_quality: dq,
                             prior_condition,
@@ -541,6 +587,7 @@ impl RobustPipeline {
                             notes,
                             timings: StageTimings::default(),
                             counters: Vec::new(),
+                            health,
                         };
                         Ok((mle, report))
                     }
@@ -558,6 +605,7 @@ impl RobustPipeline {
                             notes,
                             timings: StageTimings::default(),
                             counters: Vec::new(),
+                            health: None,
                         };
                         Ok((early.clone(), report))
                     }
@@ -609,6 +657,10 @@ mod tests {
         assert!(report.data_quality.is_clean());
         assert!(report.selection.is_some());
         assert!(report.prior_condition.is_finite());
+        assert!(report.health.is_some());
+        let health = report.health.as_ref().unwrap();
+        assert!(health.conflict.p_value.is_finite());
+        assert!(health.cv.is_some());
         assert!(est.validate().is_ok());
         assert!(Cholesky::new(&est.cov).is_ok());
     }
@@ -661,6 +713,7 @@ mod tests {
             .as_deref()
             .unwrap()
             .contains("unusable"));
+        assert!(report.health.is_none());
         assert_eq!(est, early());
     }
 
@@ -806,5 +859,68 @@ mod tests {
         assert_eq!(recovered, hostile);
         assert!(doc.get("timings_ns").is_some());
         assert!(doc.get("counters").is_some());
+    }
+
+    #[test]
+    fn report_json_round_trips_empty_and_populated() {
+        use bmf_obs::json;
+
+        let late = clean_late(16, 13);
+        let (_, mut report) = RobustPipeline::new()
+            .with_cv(small_cv())
+            .estimate(&early(), &late)
+            .unwrap();
+
+        // Recording was off → counters are empty; the JSON must still be
+        // a parseable object with an empty counters map.
+        assert!(report.counters.is_empty());
+        let doc = json::parse(&report.to_json()).expect("empty-counter report JSON must parse");
+        assert!(doc.get("counters").is_some());
+        let health = doc.get("health").expect("health key present");
+        let overall = health
+            .get("overall")
+            .and_then(json::Value::as_str)
+            .expect("health overall severity");
+        assert!(matches!(overall, "ok" | "warn" | "critical"));
+        assert!(health
+            .get("conflict")
+            .and_then(|c| c.get("p_value"))
+            .is_some());
+        assert!(health.get("cv").is_some());
+
+        // Populate counters and timings by hand and check values survive
+        // the round trip exactly.
+        report.counters = vec![("cv.fold_evals", 7), ("cholesky.calls", 3)];
+        report.timings = StageTimings {
+            guard_ns: 1,
+            prior_ns: 2,
+            cv_ns: 3,
+            ladder_ns: 4,
+            total_ns: 10,
+        };
+        let doc = json::parse(&report.to_json()).expect("populated report JSON must parse");
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("cv.fold_evals").and_then(json::Value::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            counters.get("cholesky.calls").and_then(json::Value::as_f64),
+            Some(3.0)
+        );
+        let timings = doc.get("timings_ns").unwrap();
+        assert_eq!(
+            timings.get("total").and_then(json::Value::as_f64),
+            Some(10.0)
+        );
+        assert_eq!(
+            timings.get("guard").and_then(json::Value::as_f64),
+            Some(1.0)
+        );
+
+        // The health-less (early-only) report serializes "health":null.
+        report.health = None;
+        let doc = json::parse(&report.to_json()).expect("health-less report JSON must parse");
+        assert!(matches!(doc.get("health"), Some(json::Value::Null)));
     }
 }

@@ -1,24 +1,34 @@
 //! Shared handling of the observability CLI flags.
 //!
-//! Every binary in the workspace accepts the same three flags:
+//! Every binary in the workspace accepts the same flags:
 //!
 //! * `--trace-out <path>` — write a Chrome trace-event JSON file
 //!   (loadable in Perfetto / `chrome://tracing`)
 //! * `--profile` — print the aggregated per-span profile table to stdout
 //! * `--metrics-out <path>` — write a metrics snapshot JSON file
+//! * `--dashboard-out <path>` — write a self-contained HTML dashboard
+//!   (profile, metrics, estimator health, drift timeline, bench history)
 //!
 //! [`ObsOptions::extract`] strips the flags out of an argv vector
 //! *before* the binary's own parsing runs, so the existing positional /
 //! flag parsers in `bmf` and the figure bins never see them. If any
 //! flag is present, recording is enabled for the whole run;
 //! [`ObsOptions::finish`] then drains the recorded data and writes the
-//! requested artifacts.
+//! requested artifacts. Binaries that compute a [`HealthReport`] or a
+//! [`DriftTimeline`] attach them via [`ObsOptions::attach_health`] /
+//! [`ObsOptions::attach_drift`] before calling `finish`.
 
+use crate::dashboard::{self, DashboardData};
 use crate::export::HardwareContext;
+use crate::health::{DriftTimeline, HealthReport};
 use std::io;
 
+/// Filename the dashboard looks for (in the working directory) to
+/// populate its bench-history section.
+pub const BENCH_HISTORY_FILE: &str = "BENCH_history.json";
+
 /// Parsed observability flags for one process run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObsOptions {
     /// Destination for the Chrome trace JSON, if requested.
     pub trace_out: Option<String>,
@@ -26,9 +36,17 @@ pub struct ObsOptions {
     pub profile: bool,
     /// Destination for the metrics snapshot JSON, if requested.
     pub metrics_out: Option<String>,
+    /// Destination for the HTML dashboard, if requested.
+    pub dashboard_out: Option<String>,
     /// Worker thread count recorded in exports; bins set this after
     /// their own `--threads` parsing via [`ObsOptions::set_threads`].
     pub threads_used: usize,
+    /// Dashboard page title; defaults to the binary's argv\[0\] stem.
+    pub title: String,
+    /// Health report attached by the binary, rendered in the dashboard.
+    pub health: Option<HealthReport>,
+    /// Drift timeline attached by the binary, rendered in the dashboard.
+    pub drift: Option<DriftTimeline>,
 }
 
 /// Error raised when an observability flag is missing its value.
@@ -46,39 +64,45 @@ impl std::fmt::Display for ObsFlagError {
 impl std::error::Error for ObsFlagError {}
 
 impl ObsOptions {
-    /// Removes `--trace-out <path>`, `--profile` and
-    /// `--metrics-out <path>` (also the `--flag=value` spellings) from
-    /// `args`, returning the parsed options. If any flag was present,
-    /// recording is enabled process-wide before returning, so spans and
-    /// counters hit from the very first pipeline call are captured.
+    /// Removes `--trace-out <path>`, `--profile`, `--metrics-out <path>`
+    /// and `--dashboard-out <path>` (also the `--flag=value` spellings)
+    /// from `args`, returning the parsed options. If any flag was
+    /// present, recording is enabled process-wide before returning, so
+    /// spans and counters hit from the very first pipeline call are
+    /// captured.
     pub fn extract(args: &mut Vec<String>) -> Result<ObsOptions, ObsFlagError> {
         let mut options = ObsOptions {
             threads_used: 1,
             ..ObsOptions::default()
         };
+        if let Some(bin) = args.first() {
+            options.title = bin.rsplit(['/', '\\']).next().unwrap_or(bin).to_string();
+        }
         let mut kept = Vec::with_capacity(args.len());
         let mut iter = args.drain(..);
+        let mut missing: Option<&'static str> = None;
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--profile" => options.profile = true,
                 "--trace-out" => match iter.next() {
                     Some(path) => options.trace_out = Some(path),
                     None => {
-                        drop(iter);
-                        *args = kept;
-                        return Err(ObsFlagError {
-                            flag: "--trace-out",
-                        });
+                        missing = Some("--trace-out");
+                        break;
                     }
                 },
                 "--metrics-out" => match iter.next() {
                     Some(path) => options.metrics_out = Some(path),
                     None => {
-                        drop(iter);
-                        *args = kept;
-                        return Err(ObsFlagError {
-                            flag: "--metrics-out",
-                        });
+                        missing = Some("--metrics-out");
+                        break;
+                    }
+                },
+                "--dashboard-out" => match iter.next() {
+                    Some(path) => options.dashboard_out = Some(path),
+                    None => {
+                        missing = Some("--dashboard-out");
+                        break;
                     }
                 },
                 _ => {
@@ -86,6 +110,8 @@ impl ObsOptions {
                         options.trace_out = Some(path.to_string());
                     } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
                         options.metrics_out = Some(path.to_string());
+                    } else if let Some(path) = arg.strip_prefix("--dashboard-out=") {
+                        options.dashboard_out = Some(path.to_string());
                     } else {
                         kept.push(arg);
                     }
@@ -94,6 +120,9 @@ impl ObsOptions {
         }
         drop(iter);
         *args = kept;
+        if let Some(flag) = missing {
+            return Err(ObsFlagError { flag });
+        }
         if options.any() {
             crate::enable();
         }
@@ -102,12 +131,30 @@ impl ObsOptions {
 
     /// Whether any observability output was requested.
     pub fn any(&self) -> bool {
-        self.trace_out.is_some() || self.profile || self.metrics_out.is_some()
+        self.trace_out.is_some()
+            || self.profile
+            || self.metrics_out.is_some()
+            || self.dashboard_out.is_some()
     }
 
     /// Records the worker thread count for export hardware context.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads_used = threads.max(1);
+    }
+
+    /// Overrides the dashboard page title.
+    pub fn set_title(&mut self, title: impl Into<String>) {
+        self.title = title.into();
+    }
+
+    /// Attaches the run's health report for dashboard rendering.
+    pub fn attach_health(&mut self, health: HealthReport) {
+        self.health = Some(health);
+    }
+
+    /// Attaches the run's drift timeline for dashboard rendering.
+    pub fn attach_drift(&mut self, drift: DriftTimeline) {
+        self.drift = Some(drift);
     }
 
     /// Drains recorded spans/metrics and writes every requested
@@ -129,8 +176,31 @@ impl ObsOptions {
             std::fs::write(path, crate::export::metrics_json(&snapshot, &hardware))?;
             eprintln!("wrote metrics snapshot to {path}");
         }
+        if let Some(path) = &self.dashboard_out {
+            let snapshot = crate::metrics::snapshot();
+            let bench_history = std::fs::read_to_string(BENCH_HISTORY_FILE).ok();
+            let page = dashboard::render(&DashboardData {
+                title: if self.title.is_empty() {
+                    "bmf dashboard"
+                } else {
+                    &self.title
+                },
+                hardware: &hardware,
+                events: &events,
+                snapshot: &snapshot,
+                health: self.health.as_ref(),
+                drift: self.drift.as_ref(),
+                bench_history_json: bench_history.as_deref(),
+            });
+            std::fs::write(path, page)?;
+            eprintln!("wrote dashboard to {path}");
+        }
         if self.profile {
-            print!("{}", crate::export::profile_table(&events, &hardware));
+            let snapshot = crate::metrics::snapshot();
+            print!(
+                "{}",
+                crate::export::profile_table(&events, &snapshot.histograms, &hardware)
+            );
         }
         Ok(())
     }
@@ -156,6 +226,8 @@ mod tests {
             "--quick",
             "--profile",
             "--metrics-out=metrics.json",
+            "--dashboard-out",
+            "dash.html",
             "--threads",
             "2",
         ]);
@@ -163,6 +235,8 @@ mod tests {
         assert_eq!(args, argv(&["fig4_opamp", "--quick", "--threads", "2"]));
         assert_eq!(options.trace_out.as_deref(), Some("trace.json"));
         assert_eq!(options.metrics_out.as_deref(), Some("metrics.json"));
+        assert_eq!(options.dashboard_out.as_deref(), Some("dash.html"));
+        assert_eq!(options.title, "fig4_opamp");
         assert!(options.profile);
         assert!(options.any());
         // Presence of any flag switches recording on.
@@ -187,10 +261,25 @@ mod tests {
     fn extract_rejects_missing_path_value() {
         let _g = test_lock();
         crate::reset();
-        let mut args = argv(&["bmf", "--trace-out"]);
-        let err = ObsOptions::extract(&mut args).unwrap_err();
-        assert_eq!(err.flag, "--trace-out");
-        assert!(!crate::is_enabled());
+        for flag in ["--trace-out", "--metrics-out", "--dashboard-out"] {
+            let mut args = argv(&["bmf", flag]);
+            let err = ObsOptions::extract(&mut args).unwrap_err();
+            assert_eq!(err.flag, flag);
+            assert!(!crate::is_enabled());
+        }
+        crate::reset();
+    }
+
+    #[test]
+    fn dashboard_equals_spelling_and_title_override() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&["/usr/bin/fig5_adc", "--dashboard-out=out.html"]);
+        let mut options = ObsOptions::extract(&mut args).unwrap();
+        assert_eq!(options.dashboard_out.as_deref(), Some("out.html"));
+        assert_eq!(options.title, "fig5_adc");
+        options.set_title("custom title");
+        assert_eq!(options.title, "custom title");
         crate::reset();
     }
 }

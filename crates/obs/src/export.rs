@@ -161,7 +161,7 @@ pub fn profile_json(events: &[SpanEvent], hardware: &HardwareContext) -> String 
     out
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -174,7 +174,13 @@ fn fmt_ns(ns: u64) -> String {
 }
 
 /// The aggregated profile as a human-readable table (for `--profile`).
-pub fn profile_table(events: &[SpanEvent], hardware: &HardwareContext) -> String {
+/// Recorded histograms (count > 0) are appended as a second table with
+/// interpolated p50/p90/p99 per-call latencies.
+pub fn profile_table(
+    events: &[SpanEvent],
+    histograms: &[crate::metrics::HistogramStats],
+    hardware: &HardwareContext,
+) -> String {
     let rows = aggregate(events);
     let name_width = rows
         .iter()
@@ -204,6 +210,31 @@ pub fn profile_table(events: &[SpanEvent], hardware: &HardwareContext) -> String
             fmt_ns(row.min_ns),
             fmt_ns(row.max_ns),
         );
+    }
+    let recorded: Vec<_> = histograms.iter().filter(|h| h.count > 0).collect();
+    if !recorded.is_empty() {
+        let hist_width = recorded
+            .iter()
+            .map(|h| h.name.len())
+            .chain(std::iter::once("histogram".len()))
+            .max()
+            .unwrap_or(9);
+        let _ = writeln!(
+            out,
+            "\n{:<hist_width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+            "histogram", "count", "p50", "p90", "p99"
+        );
+        for h in &recorded {
+            let _ = writeln!(
+                out,
+                "{:<hist_width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+                h.name,
+                h.count,
+                fmt_ns(h.p50_ns()),
+                fmt_ns(h.p90_ns()),
+                fmt_ns(h.p99_ns()),
+            );
+        }
     }
     out
 }
@@ -235,13 +266,16 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, hardware: &HardwareContext) -> S
         let _ = write!(
             out,
             "{}:{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\
-             \"log2_buckets\":[{}]}}",
+             \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"log2_buckets\":[{}]}}",
             json::string(h.name),
             h.count,
             h.sum_ns,
             json::number(mean),
             h.min_ns,
             h.max_ns,
+            h.p50_ns(),
+            h.p90_ns(),
+            h.p99_ns(),
             h.buckets
                 .iter()
                 .map(|b| b.to_string())
@@ -342,10 +376,28 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("inner"));
 
-        let table = profile_table(&sample_events(), &hw());
+        let table = profile_table(&sample_events(), &[], &hw());
         assert!(table.contains("span"));
         assert!(table.contains("inner"));
         assert!(table.contains("8 cores detected"));
+        // No recorded histograms → no histogram section.
+        assert!(!table.contains("histogram"));
+
+        use crate::metrics::{HistogramStats, HISTOGRAM_BUCKETS};
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        buckets[6] = 4; // [64, 128)
+        let hists = vec![HistogramStats {
+            name: "cholesky.ns",
+            count: 4,
+            sum_ns: 400,
+            min_ns: 70,
+            max_ns: 120,
+            buckets,
+        }];
+        let table = profile_table(&sample_events(), &hists, &hw());
+        assert!(table.contains("histogram"));
+        assert!(table.contains("cholesky.ns"));
+        assert!(table.contains("p99"));
     }
 
     #[test]
@@ -375,5 +427,11 @@ mod tests {
             .unwrap();
         assert_eq!(hist.get("count").and_then(Value::as_f64), Some(7.0));
         assert_eq!(hist.get("mean_ns").and_then(Value::as_f64), Some(100.0));
+        for key in ["p50_ns", "p90_ns", "p99_ns"] {
+            assert!(
+                hist.get(key).and_then(Value::as_f64).is_some(),
+                "missing {key}"
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! to be able to say where its own wall-clock goes. This crate is the
 //! shared observability substrate every other crate instruments against:
 //!
-//! * **[`span`] timing** — hierarchical RAII spans recorded into
+//! * **[`span()`] timing** — hierarchical RAII spans recorded into
 //!   thread-local buffers. The hot path touches only thread-local state;
 //!   buffers merge into the process-wide sink when a thread exits (i.e.
 //!   at the join of every `std::thread::scope` worker spawned by
@@ -27,8 +27,16 @@
 //! * **[`json`]** — the hand-rolled JSON escaping shared with
 //!   `bmf_core`'s `FusionReport`, plus a minimal parser used to validate
 //!   exported traces in tests and CI.
-//! * **[`cli`]** — `--trace-out/--profile/--metrics-out` flag handling
-//!   shared by `bmf` and the figure binaries.
+//! * **[`health`]** — the *statistical* observability vocabulary:
+//!   [`Severity`], the per-run [`HealthReport`] (prior–data conflict,
+//!   effective sample size, covariance spectrum, CV surface, data
+//!   quality) and the [`DriftTimeline`], with documented thresholds.
+//!   The math that fills these types lives in `bmf_core`.
+//! * **[`dashboard`]** — a zero-dependency, self-contained HTML
+//!   dashboard (inline CSS + SVG, no JavaScript) combining profile,
+//!   metrics, health, drift and bench history in one static page.
+//! * **[`cli`]** — `--trace-out/--profile/--metrics-out/--dashboard-out`
+//!   flag handling shared by `bmf` and the figure binaries.
 //!
 //! # The two hard invariants
 //!
@@ -64,13 +72,16 @@
 //! ```
 
 pub mod cli;
+pub mod dashboard;
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use cli::ObsOptions;
+pub use cli::{ObsOptions, BENCH_HISTORY_FILE};
 pub use export::{chrome_trace_json, metrics_json, profile_json, profile_table, HardwareContext};
+pub use health::{DriftTimeline, DriftWindow, HealthReport, Severity};
 pub use metrics::{counters, histograms, Counter, Histogram, MetricsSnapshot};
 pub use span::{span, take_events, Span, SpanEvent};
 

@@ -179,6 +179,60 @@ pub struct HistogramStats {
     pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
+impl HistogramStats {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds by
+    /// linear interpolation inside the power-of-two bucket containing
+    /// the target rank. Bucket `i` covers `[2^i, 2^(i+1))` (bucket 0
+    /// covers `[0, 2)`); within a bucket the mass is assumed uniform.
+    /// The estimate is clamped to the exact `[min_ns, max_ns]` range,
+    /// which also makes single-observation histograms exact. Returns 0
+    /// for an empty histogram.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in [0, count): the index (in sorted order) whose value
+        // we estimate. `q * count` rounds down, capped at the last.
+        let rank = ((q * self.count as f64) as u64).min(self.count - 1);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if rank < cumulative + b {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = if i >= 63 {
+                    u64::MAX as f64
+                } else {
+                    (1u64 << (i + 1)) as f64
+                };
+                let frac = (rank - cumulative) as f64 / b as f64;
+                let est = lo + frac * (hi - lo);
+                let est = est.clamp(self.min_ns as f64, self.max_ns as f64);
+                return est.round() as u64;
+            }
+            cumulative += b;
+        }
+        self.max_ns
+    }
+
+    /// Median estimate (see [`HistogramStats::percentile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90_ns(&self) -> u64 {
+        self.percentile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
+}
+
 /// The process-wide counters. Names are stable identifiers used in the
 /// metrics snapshot JSON and in `FusionReport`.
 pub mod counters {
@@ -210,8 +264,12 @@ pub mod counters {
     pub static FFT_CALLS: Counter = Counter::new("fft.calls");
     /// Spectrum analyses (`spectrum::analyze`).
     pub static SPECTRUM_ANALYSES: Counter = Counter::new("spectrum.analyses");
+    /// Drift-monitor windows closed.
+    pub static DRIFT_WINDOWS: Counter = Counter::new("drift.windows");
+    /// Drift windows classified `Warn` or worse.
+    pub static DRIFT_ALERTS: Counter = Counter::new("drift.alerts");
 
-    static ALL: [&Counter; 13] = [
+    static ALL: [&Counter; 15] = [
         &MONTE_CARLO_SIMS,
         &MONTE_CARLO_RETRIES,
         &CHOLESKY_CALLS,
@@ -225,6 +283,8 @@ pub mod counters {
         &LADDER_RUNG_TRANSITIONS,
         &FFT_CALLS,
         &SPECTRUM_ANALYSES,
+        &DRIFT_WINDOWS,
+        &DRIFT_ALERTS,
     ];
 
     /// Every registered counter, in snapshot order.
@@ -356,6 +416,68 @@ mod tests {
         let stats = histograms::CHOLESKY_NS.stats();
         assert_eq!(stats.count, 0);
         assert_eq!(stats.min_ns, 0);
+        crate::reset();
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut stats = HistogramStats {
+            name: "test",
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        // Empty histogram: all percentiles are zero.
+        assert_eq!(stats.p50_ns(), 0);
+        assert_eq!(stats.p99_ns(), 0);
+
+        // Single observation: clamping to [min, max] makes it exact.
+        stats.count = 1;
+        stats.sum_ns = 700;
+        stats.min_ns = 700;
+        stats.max_ns = 700;
+        stats.buckets[Histogram::bucket_index(700)] = 1;
+        assert_eq!(stats.p50_ns(), 700);
+        assert_eq!(stats.p99_ns(), 700);
+
+        // 100 observations evenly split between bucket 4 ([16,32)) and
+        // bucket 10 ([1024,2048)): p50 falls at the start of the upper
+        // bucket, p90 interpolates 80% of the way through it, p99 lands
+        // near its top but clamps to the recorded max.
+        let mut stats = HistogramStats {
+            name: "test",
+            count: 100,
+            sum_ns: 0,
+            min_ns: 16,
+            max_ns: 1500,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        stats.buckets[4] = 50;
+        stats.buckets[10] = 50;
+        let p50 = stats.p50_ns();
+        assert!((1024..1100).contains(&p50), "p50 = {p50}");
+        let p90 = stats.p90_ns();
+        assert!((1500..=1945).contains(&p90), "p90 = {p90}");
+        assert!(p50 <= p90);
+        // p99 interpolates past max_ns=1500, so the clamp holds it there.
+        assert_eq!(stats.p99_ns(), 1500);
+        // Monotone in q even with the clamp.
+        assert!(stats.percentile_ns(0.10) <= stats.percentile_ns(0.49));
+        assert!(stats.percentile_ns(0.49) <= stats.percentile_ns(0.51));
+    }
+
+    #[test]
+    fn drift_counters_are_registered() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        counters::DRIFT_WINDOWS.add(3);
+        counters::DRIFT_ALERTS.incr();
+        let snap = snapshot();
+        assert_eq!(snap.counter("drift.windows"), 3);
+        assert_eq!(snap.counter("drift.alerts"), 1);
         crate::reset();
     }
 

@@ -87,7 +87,10 @@ fn print_usage() {
     println!("observability (any subcommand): --trace-out <json> writes a Chrome");
     println!("trace-event file (load in Perfetto / chrome://tracing), --profile prints");
     println!("an aggregated per-span profile, --metrics-out <json> writes a counter/");
-    println!("histogram snapshot. Recording never alters numeric results.");
+    println!("histogram snapshot, --dashboard-out <html> writes a self-contained");
+    println!("HTML dashboard (profile, metrics, estimator health, drift timeline,");
+    println!("and bench history when BENCH_history.json is present — see the");
+    println!("bench_history bin). Recording never alters numeric results.");
     println!();
     println!("--threads defaults to the machine's available parallelism; results are");
     println!("bit-identical for every thread count (per-task seed derivation).");
@@ -241,6 +244,9 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
             }
             None => {}
         }
+        if let Some(health) = report.health.clone() {
+            obs.attach_health(health);
+        }
         late_t.invert_moments(&est)?
     } else {
         let sel = CrossValidation::default().select_seeded(
@@ -258,6 +264,17 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
         let est = BmfEstimator::new(prior)?.estimate(&late_norm)?;
         late_t.invert_moments(&est.map)?
     };
+
+    if obs.dashboard_out.is_some() {
+        // Read-only drift scan of the late-stage stream against the
+        // early-stage model; an unfilled window simply yields no entries.
+        match DriftMonitor::new(&early_moments, DriftConfig::default())
+            .and_then(|mut m| m.push_batch(&late_norm).map(|()| m))
+        {
+            Ok(monitor) => obs.attach_drift(monitor.into_timeline()),
+            Err(e) => eprintln!("drift monitor unavailable: {e}"),
+        }
+    }
 
     match optional(&flags, "out") {
         Some(path) => {
