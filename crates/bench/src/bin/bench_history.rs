@@ -2,7 +2,7 @@
 //! hardware-tagged timing entry per run to `BENCH_history.json` and
 //! gates on noisy regressions.
 //!
-//! Each run times the three tracked stages from [`bmf_bench::stages`]
+//! Each run measures the tracked stages from [`bmf_bench::stages`]
 //! (the same workloads `bench_parallel` scales across thread counts) at
 //! one thread count, then appends an entry:
 //!
@@ -11,19 +11,24 @@
 //!   "timestamp": 1754424000,
 //!   "timestamp_iso": "2026-08-05T20:00:00Z",
 //!   "quick": true,
-//!   "hardware": {"detected_cores": 8, "threads_used": 2},
-//!   "stages": {"cv_select_default_grid": 0.41, ...}
+//!   "hardware": {"detected_cores": 8, "threads_used": 2, "oversubscribed": false},
+//!   "stages": {"cv_select_default_grid": 0.41, "cv_candidate_throughput": 263.4, ...}
 //! }
 //! ```
 //!
 //! **Regression check** (noise-aware): the latest entry fails if any
-//! tracked stage is more than 25% slower than the *median* of the last
+//! tracked stage is more than 25% worse than the *median* of the last
 //! up-to-3 earlier entries on *comparable hardware* (same
-//! `detected_cores`, `threads_used` and `quick` flag). The median of
-//! best-of-N timings absorbs scheduler noise; entries from different
-//! machines never gate each other — with no comparable baseline the
-//! check warns and passes, so a 1-core CI runner cannot fail against a
-//! 16-core workstation baseline.
+//! `detected_cores`, `threads_used` and `quick` flag). "Worse" is
+//! direction-aware: duration stages fail when slower, `*_throughput`
+//! stages (candidates/sec) fail when the rate drops — the ratio is
+//! inverted for those. The median of best-of-N values absorbs scheduler
+//! noise; entries from different machines never gate each other — with
+//! no comparable baseline the check warns and passes, so a 1-core CI
+//! runner cannot fail against a 16-core workstation baseline.
+//! `hardware.oversubscribed` marks entries timed with more worker
+//! threads than detected cores; comparability already isolates them from
+//! properly-sized runs, and the dashboard flags them.
 //!
 //! Usage: `cargo run --release -p bmf-bench --bin bench_history
 //!         [--quick] [--file <path>] [--threads <n>] [--check-only] [--no-check]`
@@ -37,7 +42,7 @@
 //! * `--no-check` — append a timing entry but skip the gate (baseline
 //!   seeding).
 
-use bmf_bench::stages::{Workloads, STAGE_NAMES};
+use bmf_bench::stages::{higher_is_better, Workloads, STAGE_NAMES};
 use bmf_core::parallel::available_threads;
 use bmf_obs::json::{self, Value};
 use std::collections::BTreeMap;
@@ -149,7 +154,14 @@ fn regression_check(entries: &[Value]) -> Result<bool, String> {
             continue;
         }
         let med = median(&mut prior);
-        let ratio = current / med;
+        // Duration stages regress when they get slower (current/median
+        // grows); throughput stages regress when the rate drops, so the
+        // ratio is inverted to keep one "worse > limit" test.
+        let (ratio, unit) = if higher_is_better(stage) {
+            (med / current, "/s")
+        } else {
+            (current / med, "s")
+        };
         let verdict = if ratio > REGRESSION_FACTOR {
             failures.push(stage);
             "REGRESSION"
@@ -157,8 +169,8 @@ fn regression_check(entries: &[Value]) -> Result<bool, String> {
             "ok"
         };
         println!(
-            "bench_history: {stage:24} {current:.4}s vs median {med:.4}s \
-             (x{ratio:.3}, limit x{REGRESSION_FACTOR}) {verdict}"
+            "bench_history: {stage:24} {current:.4}{unit} vs median {med:.4}{unit} \
+             (worse x{ratio:.3}, limit x{REGRESSION_FACTOR}) {verdict}"
         );
     }
     if failures.is_empty() {
@@ -206,9 +218,10 @@ fn main() -> ExitCode {
         let w = Workloads::prepare(quick, threads);
         let mut stages = BTreeMap::new();
         for stage in STAGE_NAMES {
-            let seconds = w.time_stage(stage, threads, runs);
-            eprintln!("  {stage:24} {seconds:.4}s");
-            stages.insert(stage.to_string(), num(seconds));
+            let value = w.stage_value(stage, threads, runs);
+            let unit = if higher_is_better(stage) { "/s" } else { "s" };
+            eprintln!("  {stage:24} {value:.4}{unit}");
+            stages.insert(stage.to_string(), num(value));
         }
         let unix = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -220,6 +233,10 @@ fn main() -> ExitCode {
             num(hardware.detected_cores as f64),
         );
         hw.insert("threads_used".to_string(), num(threads as f64));
+        hw.insert(
+            "oversubscribed".to_string(),
+            Value::Bool(hardware.detected_cores != 0 && threads > hardware.detected_cores),
+        );
         let mut entry = BTreeMap::new();
         entry.insert("timestamp".to_string(), num(unix as f64));
         entry.insert(

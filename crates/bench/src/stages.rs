@@ -3,12 +3,15 @@
 //!
 //! Both bins must time *the same* workloads or the committed history is
 //! meaningless, so the workload construction and the timing harness live
-//! here. The three stages mirror the pipeline's hot paths:
+//! here. The tracked stages mirror the pipeline's hot paths:
 //!
 //! 1. **cv_select_default_grid** — `CrossValidation::default()` (12×12
-//!    grid, Q = 4, 8 repeats) on a synthetic d = 5 problem.
-//! 2. **monte_carlo_opamp** — seeded Monte Carlo on the 45 nm op-amp.
-//! 3. **error_sweep_adc** — repetition-parallel error sweep over a
+//!    grid, Q = 4, 8 repeats) on a synthetic d = 5 problem, in seconds.
+//! 2. **cv_candidate_throughput** — the same selection reported as
+//!    feasible candidates scored per second (higher is better; the
+//!    regression gate inverts its direction for `_throughput` stages).
+//! 3. **monte_carlo_opamp** — seeded Monte Carlo on the 45 nm op-amp.
+//! 4. **error_sweep_adc** — repetition-parallel error sweep over a
 //!    prepared flash-ADC study.
 //!
 //! Every stage is bit-identical across thread counts, so the timings
@@ -27,13 +30,24 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 /// Names of the tracked stages, in the order they are run and recorded.
-/// `BENCH_history.json` entries key their timings by these names — do not
-/// rename without migrating the committed history.
-pub const STAGE_NAMES: [&str; 3] = [
+/// `BENCH_history.json` entries key their values by these names — do not
+/// rename without migrating the committed history. Stages named
+/// `*_throughput` record work/second (higher is better); all others
+/// record seconds (lower is better).
+pub const STAGE_NAMES: [&str; 4] = [
     "cv_select_default_grid",
+    "cv_candidate_throughput",
     "monte_carlo_opamp",
     "error_sweep_adc",
 ];
+
+/// Whether a stage records a rate (higher is better) rather than a
+/// duration (lower is better). Regression tooling must invert its
+/// slower-than-baseline test for these stages.
+#[must_use]
+pub fn higher_is_better(stage: &str) -> bool {
+    stage.ends_with("_throughput")
+}
 
 /// Times `f` as the best of `runs` after one warm-up call.
 pub fn time_best_of<F: FnMut()>(runs: usize, mut f: F) -> f64 {
@@ -121,7 +135,7 @@ impl Workloads {
     /// fixed, known-good inputs — failure is a bug, not an input error).
     pub fn run(&self, stage: &str, threads: usize) {
         match stage {
-            "cv_select_default_grid" => {
+            "cv_select_default_grid" | "cv_candidate_throughput" => {
                 self.cv
                     .select_seeded(&self.cv_early, &self.cv_late, 6, threads)
                     .expect("cv select");
@@ -141,6 +155,24 @@ impl Workloads {
     pub fn time_stage(&self, stage: &str, threads: usize, runs: usize) -> f64 {
         time_best_of(runs, || self.run(stage, threads))
     }
+
+    /// Number of feasible `(κ₀, ν₀)` candidates the CV stages score per
+    /// select call (the numerator of `cv_candidate_throughput`).
+    pub fn cv_feasible_candidates(&self) -> usize {
+        self.cv.feasible_candidate_count(self.cv_early.mean.len())
+    }
+
+    /// The recorded value of one stage: seconds for duration stages,
+    /// candidates/second for `cv_candidate_throughput` (see
+    /// [`higher_is_better`]).
+    pub fn stage_value(&self, stage: &str, threads: usize, runs: usize) -> f64 {
+        let seconds = self.time_stage(stage, threads, runs);
+        if stage == "cv_candidate_throughput" {
+            self.cv_feasible_candidates() as f64 / seconds
+        } else {
+            seconds
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +188,18 @@ mod tests {
         let w = Workloads::prepare(true, 2);
         assert_eq!(w.prepared.late_pool.ncols(), 5);
         w.run("monte_carlo_opamp", 2);
+    }
+
+    #[test]
+    fn throughput_stage_direction_and_candidate_count() {
+        assert!(higher_is_better("cv_candidate_throughput"));
+        assert!(STAGE_NAMES
+            .iter()
+            .filter(|s| !s.ends_with("_throughput"))
+            .all(|s| !higher_is_better(s)));
+        let w = Workloads::prepare(true, 2);
+        // Default 12×12 grid at d = 5: 9 feasible ν₀ values × 12 κ₀.
+        assert_eq!(w.cv_feasible_candidates(), 108);
     }
 
     #[test]

@@ -6,12 +6,43 @@
 //! cross-validation on the few late-stage samples (Fig. 2b): fit the BMF
 //! MAP estimate on `Q−1` folds, evaluate the Gaussian log-likelihood
 //! (Eq. 9) of the held-out fold, and average over the `Q` runs.
+//!
+//! # The fast scoring path
+//!
+//! Read literally, the paper's procedure refits the whole estimator per
+//! candidate × repeat × fold: fresh sufficient statistics (O(n·d²)) plus a
+//! fresh covariance factorisation (O(d³)) for every grid point. This module
+//! instead exploits the grid's rank structure (the `FoldCaches` internals):
+//!
+//! * per (repeat, fold), the training statistics `(n, X̄, S)`, the prior–data
+//!   gap `δ = μ_E − X̄` and the centred held-out rows are computed **once**,
+//!   outside the candidate loop;
+//! * per feasible ν₀, the base matrix `M(ν₀) = S + (ν₀−d)Σ_E` is factorised
+//!   **once** per fold (`|ν|` Cholesky calls instead of `|ν|·|κ|`), and its
+//!   factor is applied to the held-out rows and to δ right away
+//!   (`ŷ_t = L⁻¹(x_t−X̄)`, `ẑ = L⁻¹δ`);
+//! * per candidate, the posterior inverse scale differs from `M(ν₀)` only by
+//!   the rank-one term `κ₀n/(κ₀+n)·δδᵀ` (Eq. 25) and the MAP covariance by
+//!   the scalar `1/(ν₀+n−d)` (Eq. 32), so the matrix determinant lemma and
+//!   Sherman–Morrison reduce each grid point to scalar arithmetic on the
+//!   cached solves — O(d) per held-out row, no factorisation, no triangular
+//!   solve, and no allocation in the candidate loop. (When the explicit
+//!   posterior factor is needed, [`bmf_linalg::Cholesky::rank1_update`] +
+//!   [`bmf_linalg::Cholesky::scaled`] perform the same update in O(d²).)
+//!
+//! The naive per-candidate refit survives behind
+//! [`CrossValidation::with_naive_scoring`] as the equivalence oracle; the two
+//! paths agree to ≤ 1e-10 per grid score (`tests/cv_equivalence.rs` — exact
+//! bit-identity is impossible because the fast path reassociates the same
+//! arithmetic). Parallel scoring splits over (candidate × repeat) work items
+//! so small grids still occupy every worker, while each candidate's repeats
+//! are reduced in repeat order — bit-identical at every thread count.
 
 use crate::map::BmfEstimator;
 use crate::parallel;
 use crate::prior::NormalWishartPrior;
 use crate::{BmfError, MomentEstimate, Result};
-use bmf_linalg::Matrix;
+use bmf_linalg::{Cholesky, Matrix, Vector};
 use bmf_stats::{descriptive, MultivariateNormal};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -118,6 +149,10 @@ pub struct CrossValidation {
     nu_grid: Vec<f64>,
     q: usize,
     repeats: usize,
+    /// Score with the naive per-candidate refit instead of the fast
+    /// rank-structured path (equivalence oracle; see the module docs).
+    #[serde(default)]
+    naive: bool,
 }
 
 /// Builds a log-spaced grid over `[lo, hi]` with `points` entries.
@@ -141,8 +176,65 @@ impl Default for CrossValidation {
             nu_grid: log_grid(1.0, 1000.0, 12),
             q: 4,
             repeats: 8,
+            naive: false,
         }
     }
+}
+
+/// Drops exact (bitwise) duplicate grid values, keeping the first
+/// occurrence of each; returns the deduplicated grid and the number of
+/// entries dropped.
+fn dedupe_grid(grid: Vec<f64>) -> (Vec<f64>, usize) {
+    let before = grid.len();
+    let mut seen = std::collections::HashSet::with_capacity(before);
+    let deduped: Vec<f64> = grid
+        .into_iter()
+        .filter(|v| seen.insert(v.to_bits()))
+        .collect();
+    let dropped = before - deduped.len();
+    (deduped, dropped)
+}
+
+/// The stage at which a CV candidate's scoring failed — reported when
+/// *every* feasible candidate fails, so the error names the actual
+/// culprit instead of misdiagnosing grid feasibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ScoreFailure {
+    /// Prior construction from the early moments (Σ_E not SPD, …).
+    Prior,
+    /// Sufficient statistics of the training folds (non-finite samples).
+    Statistics,
+    /// Posterior covariance factorisation.
+    Factorisation,
+    /// Held-out likelihood evaluation.
+    Likelihood,
+    /// Fold assembly left every fold empty.
+    EmptyFolds,
+}
+
+impl ScoreFailure {
+    fn describe(self) -> &'static str {
+        match self {
+            ScoreFailure::Prior => "prior construction from the early moments",
+            ScoreFailure::Statistics => "sufficient statistics of the training folds",
+            ScoreFailure::Factorisation => "posterior covariance factorisation",
+            ScoreFailure::Likelihood => "held-out likelihood evaluation",
+            ScoreFailure::EmptyFolds => "fold assembly (every fold empty)",
+        }
+    }
+}
+
+/// The most frequent failure stage across candidates (ties break toward
+/// the earlier pipeline stage).
+fn dominant_failure(failures: &[ScoreFailure]) -> Option<ScoreFailure> {
+    let mut counts = std::collections::BTreeMap::new();
+    for &f in failures {
+        *counts.entry(f).or_insert(0usize) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(stage, count)| (count, std::cmp::Reverse(stage)))
+        .map(|(stage, _)| stage)
 }
 
 impl CrossValidation {
@@ -160,6 +252,10 @@ impl CrossValidation {
     /// re-randomised `repeats` times and scores are averaged, which
     /// stabilises the argmax when the folds are tiny (e.g. n = 8, Q = 4 →
     /// two-sample test folds).
+    ///
+    /// Exact duplicate grid values are dropped (first occurrence kept) —
+    /// a duplicated candidate would be scored twice for no information
+    /// gain — and counted on the `cv.grid_duplicates` warning counter.
     ///
     /// # Errors
     ///
@@ -199,12 +295,47 @@ impl CrossValidation {
                 });
             }
         }
+        let (kappa_grid, kappa_dupes) = dedupe_grid(kappa_grid);
+        let (nu_grid, nu_dupes) = dedupe_grid(nu_grid);
+        let dropped = kappa_dupes + nu_dupes;
+        if dropped > 0 {
+            bmf_obs::counters::CV_GRID_DUPLICATES.add(dropped as u64);
+        }
         Ok(CrossValidation {
             kappa_grid,
             nu_grid,
             q,
             repeats,
+            naive: false,
         })
+    }
+
+    /// Switches between the fast rank-structured scorer (default,
+    /// `naive = false`) and the naive per-candidate refit. The naive path
+    /// re-runs a full [`BmfEstimator::estimate`] per candidate × repeat ×
+    /// fold exactly as the paper's procedure reads; it is kept as the
+    /// equivalence oracle the fast path is tested against
+    /// (`tests/cv_equivalence.rs`) and costs O(|grid|·d³) more work.
+    #[must_use]
+    pub fn with_naive_scoring(mut self, naive: bool) -> Self {
+        self.naive = naive;
+        self
+    }
+
+    /// Whether this search scores with the naive refit oracle.
+    pub fn naive_scoring(&self) -> bool {
+        self.naive
+    }
+
+    /// Number of grid candidates that survive the `ν₀ > d` feasibility
+    /// filter for dimension `d` — what one select call actually scores
+    /// (used by benches to report candidates/sec).
+    pub fn feasible_candidate_count(&self, d: usize) -> usize {
+        self.nu_grid
+            .iter()
+            .filter(|&&nu0| nu0 > d as f64 + 1e-9)
+            .count()
+            * self.kappa_grid.len()
     }
 
     /// The κ₀ candidate grid.
@@ -252,14 +383,17 @@ impl CrossValidation {
     }
 
     /// [`CrossValidation::select`] with an explicit root seed and thread
-    /// count: candidates are scored in parallel over `threads` scoped
-    /// workers, and the per-repeat fold shuffles are derived from `seed`
-    /// (stream [`parallel::streams::CV_FOLD_SHUFFLE`], index = repeat).
+    /// count: the grid is scored in parallel over `threads` scoped
+    /// workers — split over (candidate × repeat) work items so even small
+    /// grids occupy every worker — and the per-repeat fold shuffles are
+    /// derived from `seed` (stream
+    /// [`parallel::streams::CV_FOLD_SHUFFLE`], index = repeat).
     ///
     /// The result is **bit-identical for every `threads` value**: each
-    /// candidate's score is accumulated entirely within one task in repeat
-    /// order, and tasks are combined in candidate order, so neither the
-    /// random streams nor the floating-point reduction order depend on
+    /// (candidate, repeat) item's score is accumulated entirely within one
+    /// task, items are reduced per candidate in repeat order, and
+    /// candidates are combined in grid order, so neither the random
+    /// streams nor the floating-point reduction order depend on
     /// scheduling.
     ///
     /// # Errors
@@ -291,13 +425,27 @@ impl CrossValidation {
             });
         }
 
-        // Feasible candidate pairs (Eq. 20 needs ν₀ > d).
-        let candidates: Vec<(f64, f64)> = self
+        // Feasible candidate pairs (Eq. 20 needs ν₀ > d), built ν-major so
+        // candidate `c` maps to feasible-ν index `c / kappa_grid.len()`.
+        let nu_values: Vec<f64> = self
             .nu_grid
             .iter()
-            .filter(|&&nu0| nu0 > d as f64 + 1e-9)
+            .copied()
+            .filter(|&nu0| nu0 > d as f64 + 1e-9)
+            .collect();
+        let candidates: Vec<(f64, f64)> = nu_values
+            .iter()
             .flat_map(|&nu0| self.kappa_grid.iter().map(move |&kappa0| (kappa0, nu0)))
             .collect();
+        if candidates.is_empty() {
+            return Err(BmfError::InvalidConfig {
+                reason: format!(
+                    "no feasible (kappa0, nu0) candidate for d = {d}: every nu0 in the \
+                     grid is <= d, but the prior of Eq. 20 requires nu0 > d; extend the \
+                     nu grid above {d}"
+                ),
+            });
+        }
 
         // Assemble each repeat's folds and training sets up front (cheap —
         // data movement only), with the row shuffle of repeat `rep` drawn
@@ -330,24 +478,57 @@ impl CrossValidation {
             fold_sets.push((training, folds));
         }
 
-        // Score candidates in parallel; this is the hot loop (one BMF fit
-        // per candidate × repeat × fold).
+        // Score the grid; this is the hot loop. The fast path hoists the
+        // per-(repeat, fold) sufficient statistics and per-ν₀ base factors
+        // into `FoldCaches` and splits the parallel work over
+        // (candidate × repeat) items so small grids still occupy every
+        // worker; the naive path refits per candidate exactly as before.
+        // Both accumulate each candidate's score in repeat order, so the
+        // reduction is scheduling-invariant at every thread count.
         bmf_obs::counters::CV_CANDIDATES.add(candidates.len() as u64);
-        let scores = parallel::map_slice(&candidates, threads, |_, &(kappa0, nu0)| {
-            let _span = bmf_obs::span("cv.candidate");
-            let mut score = 0.0_f64;
-            for (training, folds) in &fold_sets {
-                score += self.score_combination(early, kappa0, nu0, training, folds)
-                    / self.repeats as f64;
-            }
-            score
-        })?;
+        let repeats_f = self.repeats as f64;
+        let scored: Vec<(f64, Option<ScoreFailure>)> = if self.naive {
+            parallel::map_slice(&candidates, threads, |_, &(kappa0, nu0)| {
+                let _span = bmf_obs::span("cv.candidate");
+                let mut score = 0.0_f64;
+                let mut failure = None;
+                for (training, folds) in &fold_sets {
+                    let (s, f) = self.score_combination(early, kappa0, nu0, training, folds);
+                    score += s / repeats_f;
+                    failure = failure.or(f);
+                }
+                (score, failure)
+            })?
+        } else {
+            let caches = FoldCaches::build(early, late_samples, &nu_values, &fold_sets, threads)?;
+            let per_repeat =
+                parallel::map_product(candidates.len(), self.repeats, threads, |c, rep| {
+                    let (kappa0, nu0) = candidates[c];
+                    caches.score_repeat(rep, kappa0, nu0, c / self.kappa_grid.len())
+                })?;
+            per_repeat
+                .into_iter()
+                .map(|reps| {
+                    let mut score = 0.0_f64;
+                    let mut failure = None;
+                    for (s, f) in reps {
+                        score += s / repeats_f;
+                        failure = failure.or(f);
+                    }
+                    (score, failure)
+                })
+                .collect()
+        };
 
         let mut grid = Vec::with_capacity(candidates.len());
         let mut best: Option<CvGridPoint> = None;
-        for (&(kappa0, nu0), &score) in candidates.iter().zip(scores.iter()) {
+        let mut failures: Vec<ScoreFailure> = Vec::new();
+        for (&(kappa0, nu0), &(score, failure)) in candidates.iter().zip(scored.iter()) {
             let point = CvGridPoint { kappa0, nu0, score };
             grid.push(point);
+            if let Some(f) = failure {
+                failures.push(f);
+            }
             let better = match best {
                 None => score.is_finite(),
                 Some(b) => score > b.score,
@@ -357,16 +538,23 @@ impl CrossValidation {
             }
         }
 
-        let best = best.ok_or_else(|| BmfError::InvalidConfig {
-            reason: format!(
-                "no feasible (kappa0, nu0) candidate for d = {d}; extend the nu grid above d"
-            ),
-        })?;
-        if !best.score.is_finite() {
+        let Some(best) = best else {
+            // The grid *was* feasible (the empty-candidate case returned
+            // above), yet no candidate produced a finite score — a scoring
+            // failure, not a grid-feasibility one. Name the stage.
+            let stage = dominant_failure(&failures).map_or(
+                "held-out likelihood evaluation (no finite score)",
+                ScoreFailure::describe,
+            );
             return Err(BmfError::InvalidConfig {
-                reason: "every hyper-parameter combination failed to score".to_string(),
+                reason: format!(
+                    "all {} feasible (kappa0, nu0) candidates failed to score for d = {d} \
+                     (failing stage: {stage}); the nu grid is feasible, so check the early \
+                     moments and late samples rather than the grid",
+                    candidates.len()
+                ),
             });
-        }
+        };
         Ok(HyperParameterSelection {
             kappa0: best.kappa0,
             nu0: best.nu0,
@@ -464,6 +652,7 @@ impl CrossValidation {
             self.q,
             self.repeats,
         )
+        .map(|fine| fine.with_naive_scoring(self.naive))
         .and_then(|fine| fine.select_seeded(early, late_samples, zoom_seed, threads));
         let refined = match refined {
             Ok(r) => r,
@@ -494,7 +683,9 @@ impl CrossValidation {
         }
     }
 
-    /// Scores one combination: mean held-out per-sample log-likelihood.
+    /// Scores one combination with the naive per-candidate refit: mean
+    /// held-out per-sample log-likelihood, plus the failing stage when the
+    /// score is −∞. This is the equivalence oracle for the fast path.
     fn score_combination(
         &self,
         early: &MomentEstimate,
@@ -502,14 +693,14 @@ impl CrossValidation {
         nu0: f64,
         training: &[Matrix],
         folds: &[Matrix],
-    ) -> f64 {
+    ) -> (f64, Option<ScoreFailure>) {
         let prior = match NormalWishartPrior::from_early_moments(early, kappa0, nu0) {
             Ok(p) => p,
-            Err(_) => return f64::NEG_INFINITY,
+            Err(_) => return (f64::NEG_INFINITY, Some(ScoreFailure::Prior)),
         };
         let estimator = match BmfEstimator::new(prior) {
             Ok(e) => e,
-            Err(_) => return f64::NEG_INFINITY,
+            Err(_) => return (f64::NEG_INFINITY, Some(ScoreFailure::Prior)),
         };
         let mut total = 0.0;
         let mut count = 0usize;
@@ -520,25 +711,233 @@ impl CrossValidation {
             bmf_obs::counters::CV_FOLD_EVALS.incr();
             let est = match estimator.estimate(train) {
                 Ok(e) => e,
-                Err(_) => return f64::NEG_INFINITY,
+                Err(_) => return (f64::NEG_INFINITY, Some(ScoreFailure::Statistics)),
             };
             let model = match MultivariateNormal::new(est.map.mean.clone(), est.map.cov.clone()) {
                 Ok(m) => m,
-                Err(_) => return f64::NEG_INFINITY,
+                Err(_) => return (f64::NEG_INFINITY, Some(ScoreFailure::Factorisation)),
             };
             match model.ln_likelihood(test) {
                 Ok(ll) => {
                     total += ll;
                     count += test.nrows();
                 }
-                Err(_) => return f64::NEG_INFINITY,
+                Err(_) => return (f64::NEG_INFINITY, Some(ScoreFailure::Likelihood)),
             }
         }
         if count == 0 {
-            f64::NEG_INFINITY
+            (f64::NEG_INFINITY, Some(ScoreFailure::EmptyFolds))
         } else {
-            total / count as f64
+            (total / count as f64, None)
         }
+    }
+}
+
+/// The hoisted state of one fast CV search (the tentpole of the fast
+/// scoring path): per-(repeat, fold) training statistics and per-ν₀ base
+/// factors, built once outside the candidate loop and then shared
+/// read-only by every (candidate × repeat) scoring task.
+struct FoldCaches {
+    d: usize,
+    /// `caches[rep][fold]`; `None` marks a degenerate (empty) fold that
+    /// the scorer skips, mirroring the naive path's `continue`.
+    caches: Vec<Vec<Option<FoldCache>>>,
+    /// A condition that fails every candidate identically (non-SPD early
+    /// covariance, non-finite samples), detected once up front instead of
+    /// once per candidate as the naive path does.
+    global_failure: Option<ScoreFailure>,
+}
+
+/// Per-(repeat, fold) cache: everything candidate-independent about one
+/// train/test split, reduced per feasible ν₀ to the solved vectors the
+/// candidate loop consumes.
+struct FoldCache {
+    /// Training rows `n` of this split.
+    n_train: f64,
+    /// Per feasible ν₀ (indexed like `nu_values`): the base-factor solves
+    /// of this split (`None` when `M(ν₀)` is not SPD).
+    nus: Vec<Option<NuCache>>,
+}
+
+/// The candidate-independent solves against one fold's base factor
+/// `L L' = M(ν₀) = S + (ν₀−d)Σ_E`. Every candidate sharing this ν₀
+/// scores from these scalars alone (Sherman–Morrison on the rank-one
+/// κ₀-term), without touching the factor again.
+struct NuCache {
+    /// `ln det M(ν₀)`.
+    ln_det_m: f64,
+    /// `ẑ = L⁻¹δ`, where `δ = μ_E − X̄` is the prior–data mean gap
+    /// (Eq. 24's blend axis).
+    z: Vector,
+    /// `g = ẑᵀẑ = δᵀM⁻¹δ`.
+    g: f64,
+    /// Row `t` is `ŷ_t = L⁻¹(x_t − X̄)` for held-out row `x_t`.
+    y: Matrix,
+}
+
+impl FoldCaches {
+    fn build(
+        early: &MomentEstimate,
+        late_samples: &Matrix,
+        nu_values: &[f64],
+        fold_sets: &[(Vec<Matrix>, Vec<Matrix>)],
+        threads: usize,
+    ) -> Result<Self> {
+        let _span = bmf_obs::span("cv.fold_precompute");
+        let d = early.dim();
+        // Conditions the naive path rediscovers per candidate are checked
+        // once and replayed for every scoring task.
+        let global_failure = if Cholesky::new(&early.cov).is_err() {
+            Some(ScoreFailure::Prior)
+        } else if !late_samples.is_finite() {
+            Some(ScoreFailure::Statistics)
+        } else {
+            None
+        };
+        if global_failure.is_some() {
+            return Ok(FoldCaches {
+                d,
+                caches: Vec::new(),
+                global_failure,
+            });
+        }
+        let q = fold_sets.first().map_or(0, |(training, _)| training.len());
+        let caches = parallel::map_product(fold_sets.len(), q, threads, |rep, k| {
+            let (training, folds) = &fold_sets[rep];
+            FoldCache::build(early, nu_values, &training[k], &folds[k])
+        })?;
+        Ok(FoldCaches {
+            d,
+            caches,
+            global_failure: None,
+        })
+    }
+
+    /// Scores candidate `(κ₀, ν₀)` on one repeat's folds: mean held-out
+    /// per-sample log-likelihood, plus the failing stage on −∞.
+    ///
+    /// Per fold this is pure scalar arithmetic on the cached solves: the
+    /// posterior inverse scale is `M(ν₀) + c·δδᵀ` (c = κ₀n/(κ₀+n),
+    /// Eq. 25), so the matrix determinant lemma gives its log-determinant
+    /// as `ln det M + ln(1+c·g)` and Sherman–Morrison gives the held-out
+    /// Mahalanobis term from `ŷ_t`, `ẑ` and `g` in O(d) per row — no
+    /// factorisation, triangular solve, or allocation per candidate. The
+    /// ν₀ axis enters only through the cache index and the scalar rescale
+    /// `1/(ν₀+n−d)` of Eq. 32.
+    fn score_repeat(
+        &self,
+        rep: usize,
+        kappa0: f64,
+        nu0: f64,
+        nu_idx: usize,
+    ) -> (f64, Option<ScoreFailure>) {
+        if let Some(stage) = self.global_failure {
+            return (f64::NEG_INFINITY, Some(stage));
+        }
+        let df = self.d as f64;
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for cache in &self.caches[rep] {
+            let Some(cache) = cache.as_ref() else {
+                continue;
+            };
+            bmf_obs::counters::CV_FOLD_EVALS.incr();
+            let Some(nu) = cache.nus[nu_idx].as_ref() else {
+                return (f64::NEG_INFINITY, Some(ScoreFailure::Factorisation));
+            };
+            let nf = cache.n_train;
+            // Posterior mean shifts the residual by w·δ (w = κ₀/(κ₀+n),
+            // Eq. 24): L⁻¹(x_t − μ_n) = ŷ_t − w·ẑ.
+            let w = kappa0 / (kappa0 + nf);
+            let c = kappa0 * nf / (kappa0 + nf);
+            let a = nu0 + nf - df;
+            let cg = c * nu.g;
+            // Σ_MAP = (M + c·δδᵀ)/a, so ln det Σ_MAP = ln det M
+            // + ln(1+c·g) − d·ln a and x'Σ_MAP⁻¹x = a·(‖e‖² − c(e·ẑ)²/(1+c·g))
+            // with e = L⁻¹x.
+            let denom = c / (1.0 + cg);
+            let norm = df * ln_2pi + nu.ln_det_m + cg.ln_1p() - df * a.ln();
+            for t in 0..nu.y.nrows() {
+                let mut ee = 0.0;
+                let mut ez = 0.0;
+                for j in 0..self.d {
+                    let e = nu.y[(t, j)] - w * nu.z[j];
+                    ee += e * e;
+                    ez += e * nu.z[j];
+                }
+                let m2 = a * (ee - denom * ez * ez);
+                let ll = -0.5 * (norm + m2);
+                if !ll.is_finite() {
+                    return (f64::NEG_INFINITY, Some(ScoreFailure::Likelihood));
+                }
+                total += ll;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            (f64::NEG_INFINITY, Some(ScoreFailure::EmptyFolds))
+        } else {
+            (total / count as f64, None)
+        }
+    }
+}
+
+impl FoldCache {
+    fn build(
+        early: &MomentEstimate,
+        nu_values: &[f64],
+        training: &Matrix,
+        test: &Matrix,
+    ) -> Option<FoldCache> {
+        if training.nrows() == 0 || test.nrows() == 0 {
+            return None;
+        }
+        let df = training.ncols() as f64;
+        let xbar = descriptive::mean_vector(training).ok()?;
+        let s = descriptive::scatter_about(training, &xbar).ok()?;
+        let delta = &early.mean - &xbar;
+        let test_centered =
+            Matrix::from_fn(test.nrows(), test.ncols(), |i, j| test[(i, j)] - xbar[j]);
+        let nus = nu_values
+            .iter()
+            .map(|&nu0| {
+                let mut m = &early.cov * (nu0 - df);
+                m += &s;
+                NuCache::build(&m, &delta, &test_centered)
+            })
+            .collect();
+        Some(FoldCache {
+            n_train: training.nrows() as f64,
+            nus,
+        })
+    }
+}
+
+impl NuCache {
+    /// Factorises one fold's base matrix `M(ν₀)` and pre-solves the
+    /// prior–data gap and the centred held-out rows against it, so the
+    /// candidate loop never touches the factor. `None` when `M(ν₀)` is
+    /// not SPD (a per-ν₀ factorisation failure).
+    fn build(m: &Matrix, delta: &Vector, test_centered: &Matrix) -> Option<NuCache> {
+        let chol = Cholesky::new(m).ok()?;
+        let z = chol.solve_lower(delta).ok()?;
+        let g = z.dot(&z).ok()?;
+        let d = test_centered.ncols();
+        let mut y = Matrix::from_fn(test_centered.nrows(), d, |_, _| 0.0);
+        for t in 0..test_centered.nrows() {
+            let u = Vector::from_fn(d, |j| test_centered[(t, j)]);
+            let yt = chol.solve_lower(&u).ok()?;
+            for j in 0..d {
+                y[(t, j)] = yt[j];
+            }
+        }
+        Some(NuCache {
+            ln_det_m: chol.ln_det(),
+            z,
+            g,
+            y,
+        })
     }
 }
 
@@ -823,6 +1222,110 @@ mod tests {
                 .unwrap();
             assert_eq!(par, refined_ref, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn duplicate_grid_values_are_deduplicated() {
+        let cv =
+            CrossValidation::new(vec![1.0, 10.0, 1.0, 10.0, 1.0], vec![5.0, 5.0, 50.0], 2).unwrap();
+        assert_eq!(cv.kappa_grid(), &[1.0, 10.0]);
+        assert_eq!(cv.nu_grid(), &[5.0, 50.0]);
+        assert_eq!(cv.feasible_candidate_count(2), 4);
+        assert_eq!(cv.feasible_candidate_count(49), 2);
+        assert_eq!(cv.feasible_candidate_count(50), 0);
+        // Selection still works and scores each unique candidate once.
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: truth().mean().clone(),
+            cov: truth().cov().clone(),
+        };
+        let late = truth().sample_matrix(&mut r, 10);
+        let sel = cv.select(&early, &late, &mut r).unwrap();
+        assert_eq!(sel.grid.len(), 4);
+    }
+
+    #[test]
+    fn infeasible_grid_error_names_the_grid() {
+        let cv = CrossValidation::new(vec![1.0], vec![1.0, 2.0], 2).unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::identity(2),
+        };
+        let late = truth().sample_matrix(&mut r, 8);
+        let err = cv.select(&early, &late, &mut r).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("no feasible (kappa0, nu0) candidate"),
+            "infeasible-grid failure must blame the grid: {msg}"
+        );
+        assert!(!msg.contains("failed to score"), "{msg}");
+    }
+
+    #[test]
+    fn all_failed_error_names_the_failing_stage_not_the_grid() {
+        // The grid IS feasible (nu0 = 5 > d = 2); a NaN late sample makes
+        // every candidate fail at the sufficient-statistics stage. The old
+        // code conflated this with grid infeasibility.
+        let cv = CrossValidation::new(vec![1.0, 10.0], vec![5.0], 2).unwrap();
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: Vector::zeros(2),
+            cov: Matrix::identity(2),
+        };
+        let mut late = truth().sample_matrix(&mut r, 8);
+        late[(3, 1)] = f64::NAN;
+        for naive in [false, true] {
+            let err = cv
+                .clone()
+                .with_naive_scoring(naive)
+                .select_seeded(&early, &late, 11, 1)
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("failed to score"),
+                "naive = {naive}: all-failed diagnosis must name scoring, got: {msg}"
+            );
+            assert!(
+                msg.contains("sufficient statistics"),
+                "naive = {naive}: failing stage must be named, got: {msg}"
+            );
+            assert!(
+                !msg.contains("no feasible"),
+                "naive = {naive}: must not blame a feasible grid, got: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_scoring_matches_naive_oracle() {
+        let cv = CrossValidation::with_repeats(vec![1.0, 4.67, 120.0], vec![2.5, 7.0, 310.0], 3, 2)
+            .unwrap();
+        assert!(!cv.naive_scoring());
+        let naive_cv = cv.clone().with_naive_scoring(true);
+        assert!(naive_cv.naive_scoring());
+        let mut r = rng();
+        let early = MomentEstimate {
+            mean: Vector::from_slice(&[0.4, -0.2]),
+            cov: truth().cov() * 1.7,
+        };
+        let late = truth().sample_matrix(&mut r, 12);
+        let fast = cv.select_seeded(&early, &late, 7, 1).unwrap();
+        let naive = naive_cv.select_seeded(&early, &late, 7, 1).unwrap();
+        assert_eq!(fast.grid.len(), naive.grid.len());
+        for (f, n) in fast.grid.iter().zip(naive.grid.iter()) {
+            assert_eq!((f.kappa0, f.nu0), (n.kappa0, n.nu0));
+            let tol = 1e-10 * n.score.abs().max(1.0);
+            assert!(
+                (f.score - n.score).abs() <= tol,
+                "({}, {}): fast {} vs naive {}",
+                f.kappa0,
+                f.nu0,
+                f.score,
+                n.score
+            );
+        }
+        assert_eq!((fast.kappa0, fast.nu0), (naive.kappa0, naive.nu0));
     }
 
     #[test]

@@ -508,11 +508,26 @@ fn bench_section(data: &DashboardData) -> String {
             .and_then(|h| h.get("threads_used"))
             .and_then(Value::as_f64)
             .unwrap_or(0.0);
+        // Oversubscribed runs (threads > cores) measure scheduler
+        // contention, not scaling; flag them so their numbers are never
+        // read as capability data. Older entries lack the explicit flag,
+        // so fall back to comparing the two counts.
+        let oversubscribed = e
+            .get("hardware")
+            .and_then(|h| h.get("oversubscribed"))
+            .and_then(Value::as_bool)
+            .unwrap_or(cores > 0.0 && threads > cores);
         let _ = write!(
             out,
             "<tr><td class=\"num\">{j}</td><td>{}</td><td class=\"num\">{cores}</td>\
-             <td class=\"num\">{threads}</td>",
-            html_escape(when)
+             <td class=\"num\">{threads}{}</td>",
+            html_escape(when),
+            if oversubscribed {
+                " <span class=\"status-warning\" title=\"threads &gt; detected cores: \
+                 not scaling data\">oversub</span>"
+            } else {
+                ""
+            }
         );
         for name in &stage_names {
             let cell = e

@@ -246,6 +246,8 @@ pub mod counters {
     pub static CHOLESKY_CALLS: Counter = Counter::new("cholesky.calls");
     /// Factorizations that needed the SPD repair ladder.
     pub static CHOLESKY_REPAIRS: Counter = Counter::new("cholesky.repairs");
+    /// O(d²) rank-one factor updates (`Cholesky::rank1_update`).
+    pub static CHOLESKY_RANK1_UPDATES: Counter = Counter::new("cholesky.rank1_updates");
     /// Symmetric eigendecompositions (`SymmetricEigen::new`).
     pub static EIGEN_CALLS: Counter = Counter::new("eigen.calls");
     /// Total Jacobi sweeps across all eigendecompositions.
@@ -254,6 +256,9 @@ pub mod counters {
     pub static CV_CANDIDATES: Counter = Counter::new("cv.candidates");
     /// Individual (training set, held-out fold) evaluations.
     pub static CV_FOLD_EVALS: Counter = Counter::new("cv.fold_evals");
+    /// Duplicate grid values dropped by the CV constructor (a non-zero
+    /// value means a caller supplied a grid with repeated candidates).
+    pub static CV_GRID_DUPLICATES: Counter = Counter::new("cv.grid_duplicates");
     /// Faults fired by `FaultInjector` (failures, NaNs, outliers).
     pub static FAULT_INJECTIONS: Counter = Counter::new("fault.injections");
     /// Cells/rows/columns flagged by the data-quality guard.
@@ -269,15 +274,17 @@ pub mod counters {
     /// Drift windows classified `Warn` or worse.
     pub static DRIFT_ALERTS: Counter = Counter::new("drift.alerts");
 
-    static ALL: [&Counter; 15] = [
+    static ALL: [&Counter; 17] = [
         &MONTE_CARLO_SIMS,
         &MONTE_CARLO_RETRIES,
         &CHOLESKY_CALLS,
         &CHOLESKY_REPAIRS,
+        &CHOLESKY_RANK1_UPDATES,
         &EIGEN_CALLS,
         &EIGEN_SWEEPS,
         &CV_CANDIDATES,
         &CV_FOLD_EVALS,
+        &CV_GRID_DUPLICATES,
         &FAULT_INJECTIONS,
         &GUARD_FLAGS,
         &LADDER_RUNG_TRANSITIONS,

@@ -77,7 +77,7 @@ fn print_usage() {
     println!();
     println!("subcommands:");
     println!("  estimate --early <csv> --late <csv> [--out <csv>] [--seed <u64>] [--threads <n>]");
-    println!("           [--strict | --degrade] [--report <json-path|->]");
+    println!("           [--strict | --degrade] [--report <json-path|->] [--cv-naive]");
     println!("  generate --circuit opamp|adc --stage schematic|postlayout");
     println!("           --samples <n> [--seed <u64>] [--threads <n>] [--out <csv>]");
     println!("           [--fault-rate <r>] [--retry-attempts <n>]");
@@ -101,12 +101,14 @@ fn print_usage() {
     println!("error. --report writes the FusionReport as JSON ('-' prints a summary).");
     println!("generate --fault-rate r injects failed sims at rate r and gross outliers");
     println!("at r/5 (deterministic, seed-derived) to exercise the robustness path.");
+    println!("--cv-naive scores the hyper-parameter grid with the naive per-candidate");
+    println!("refit instead of the fast rank-structured path (equivalence oracle; slow).");
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Flags that take no value (presence is the whole message).
-const BOOL_FLAGS: &[&str] = &["strict", "degrade"];
+const BOOL_FLAGS: &[&str] = &["strict", "degrade", "cv-naive"];
 
 /// Parses `--key value` pairs; repeated keys accumulate. Flags listed in
 /// [`BOOL_FLAGS`] are valueless switches.
@@ -209,6 +211,7 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
 
     let strict = flags.contains_key("strict");
     let degrade = flags.contains_key("degrade");
+    let cv_naive = flags.contains_key("cv-naive");
     if strict && degrade {
         return Err("--strict and --degrade are mutually exclusive".into());
     }
@@ -224,6 +227,7 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
         };
         let pipeline = RobustPipeline::new()
             .with_mode(mode)
+            .with_cv(CrossValidation::default().with_naive_scoring(cv_naive))
             .with_seed(cv_seed)
             .with_threads(threads);
         let (est, report) = pipeline.estimate(&early_moments, &late_norm)?;
@@ -249,12 +253,9 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
         }
         late_t.invert_moments(&est)?
     } else {
-        let sel = CrossValidation::default().select_seeded(
-            &early_moments,
-            &late_norm,
-            cv_seed,
-            threads,
-        )?;
+        let sel = CrossValidation::default()
+            .with_naive_scoring(cv_naive)
+            .select_seeded(&early_moments, &late_norm, cv_seed, threads)?;
         eprintln!(
             "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4}, {threads} thread(s))",
             sel.kappa0, sel.nu0, sel.score
