@@ -52,7 +52,7 @@ fn ablation_no_shift_scale(
     seed: u64,
     threads: usize,
 ) {
-    println!("--- ablation 1: BMF without shift & scale (n = {n}) ---");
+    bmf_obs::outln!("--- ablation 1: BMF without shift & scale (n = {n}) ---");
     let cv = CrossValidation::default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut raw_cov_err = 0.0;
@@ -100,23 +100,23 @@ fn ablation_no_shift_scale(
         norm_mean_err += error_mean(&est.map, &study.exact_late).unwrap();
     }
     let ok = (reps - failures).max(1) as f64;
-    println!(
+    bmf_obs::outln!(
         "  raw-space BMF   (normalised units): mean error {:.5}, cov error {:.5} ({failures} failures)",
         raw_mean_err / ok,
         raw_cov_err / ok
     );
-    println!(
+    bmf_obs::outln!(
         "  shift+scale BMF                   : mean error {:.5}, cov error {:.5}",
         norm_mean_err / reps as f64,
         norm_cov_err / reps as f64
     );
-    println!("  -> raw space skips the nominal-shift correction, so the prior mean is");
-    println!("     biased by the layout shift and the magnitudes are badly conditioned.\n");
+    bmf_obs::outln!("  -> raw space skips the nominal-shift correction, so the prior mean is");
+    bmf_obs::outln!("     biased by the layout shift and the magnitudes are badly conditioned.\n");
 }
 
 /// Ablation 2: fixed hyper-parameters vs cross-validated ones.
 fn ablation_fixed_vs_cv(study: &PreparedStudy, n: usize, reps: usize, seed: u64, threads: usize) {
-    println!("--- ablation 2: fixed hyper-parameters vs CV (n = {n}) ---");
+    bmf_obs::outln!("--- ablation 2: fixed hyper-parameters vs CV (n = {n}) ---");
     let cv = CrossValidation::default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let fixed_settings: Vec<(&str, f64, f64)> = vec![
@@ -160,18 +160,18 @@ fn ablation_fixed_vs_cv(study: &PreparedStudy, n: usize, reps: usize, seed: u64,
     }
     let r = reps as f64;
     for (k, (name, _, _)) in fixed_settings.iter().enumerate() {
-        println!(
+        bmf_obs::outln!(
             "  fixed {name:18}: mean error {:.5}, cov error {:.5}",
             fixed_mean_err[k] / r,
             fixed_err[k] / r
         );
     }
-    println!(
+    bmf_obs::outln!(
         "  two-dimensional CV       : mean error {:.5}, cov error {:.5}",
         cv_mean_err / r,
         cv_err / r
     );
-    println!(
+    bmf_obs::outln!(
         "  MLE baseline             : mean error {:.5}, cov error {:.5}\n",
         mle_mean_err / r,
         mle_err / r
@@ -187,7 +187,7 @@ fn ablation_prior_corruption(
     seed: u64,
     threads: usize,
 ) {
-    println!("--- ablation 3: prior corruption vs selected confidence (n = {n}) ---");
+    bmf_obs::outln!("--- ablation 3: prior corruption vs selected confidence (n = {n}) ---");
     let cv = CrossValidation::default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
@@ -219,16 +219,16 @@ fn ablation_prior_corruption(
         v_cc += cc.nu0;
     }
     let r = reps as f64;
-    println!(
+    bmf_obs::outln!(
         "  clean prior        : mean kappa0 = {:8.2}, mean nu0 = {:8.1}",
         k_clean / r,
         v_clean / r
     );
-    println!(
+    bmf_obs::outln!(
         "  corrupted mean     : mean kappa0 = {:8.2}   (should shrink)",
         k_cm / r
     );
-    println!(
+    bmf_obs::outln!(
         "  corrupted covariance: mean nu0   = {:8.1}   (should shrink)\n",
         v_cc / r
     );
@@ -242,9 +242,9 @@ fn ablation_dimensionality(n: usize, reps: usize, seed: u64, threads: usize) {
     use bmf_linalg::{Matrix, Vector};
     use bmf_stats::MultivariateNormal;
 
-    println!("--- ablation 4: dimensionality scaling (synthetic, n = {n}) ---");
-    println!("    d | MLE cov err | BMF cov err | ratio");
-    println!("------+-------------+-------------+------");
+    bmf_obs::outln!("--- ablation 4: dimensionality scaling (synthetic, n = {n}) ---");
+    bmf_obs::outln!("    d | MLE cov err | BMF cov err | ratio");
+    bmf_obs::outln!("------+-------------+-------------+------");
     let cv = CrossValidation::default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     for d in [2usize, 4, 6, 8, 10] {
@@ -277,14 +277,14 @@ fn ablation_dimensionality(n: usize, reps: usize, seed: u64, threads: usize) {
             bmf_err += error_cov(&est.map, &exact).expect("err");
         }
         let r = reps as f64;
-        println!(
+        bmf_obs::outln!(
             "  {d:3} | {:11.4} | {:11.4} | {:5.3}",
             mle_err / r,
             bmf_err / r,
             (bmf_err / r) / (mle_err / r)
         );
     }
-    println!();
+    bmf_obs::outln!("");
 }
 
 fn main() {
@@ -292,7 +292,7 @@ fn main() {
     let mut obs = match bmf_obs::ObsOptions::extract(&mut args) {
         Ok(obs) => obs,
         Err(e) => {
-            eprintln!("error: {e}");
+            bmf_obs::error!("error: {e}");
             std::process::exit(2);
         }
     };
@@ -310,17 +310,21 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0);
     obs.set_threads(threads);
+    obs.set_run(
+        7,
+        &format!("ablations quick={quick} fault_rate={fault_rate}"),
+    );
     let (pool, reps) = if quick { (600, 10) } else { (3000, 40) };
     let n = 32;
 
-    eprintln!(
+    bmf_obs::info!(
         "ablations: op-amp, {pool} MC samples/stage, {reps} repetitions, {threads} thread(s), fault rate {fault_rate}"
     );
     let tb = OpAmpTestbench::default_45nm();
     let data = if fault_rate > 0.0 {
         let (data, guard_summary) =
             faulted_study_data(tb, pool, pool, 7, threads, fault_rate).expect("faulted study");
-        eprintln!("{guard_summary}");
+        bmf_obs::info!("{guard_summary}");
         data
     } else {
         let study_raw = two_stage_study_seeded(&tb, pool, pool, 7, threads).expect("monte carlo");
@@ -333,7 +337,7 @@ fn main() {
         cov: descriptive::covariance_mle(&data.early_samples).expect("cov"),
     };
 
-    println!("=== Ablation studies (two-stage op-amp) ===\n");
+    bmf_obs::outln!("=== Ablation studies (two-stage op-amp) ===\n");
     ablation_no_shift_scale(
         &prepared,
         &data.late_samples,
@@ -355,11 +359,11 @@ fn main() {
                 obs.attach_health(health);
                 obs.attach_drift(drift);
             }
-            Err(e) => eprintln!("dashboard snapshot failed: {e}"),
+            Err(e) => bmf_obs::warn!("dashboard snapshot failed: {e}"),
         }
     }
     if let Err(e) = obs.finish() {
-        eprintln!("failed to write observability output: {e}");
+        bmf_obs::error!("failed to write observability output: {e}");
         std::process::exit(1);
     }
 }

@@ -150,7 +150,7 @@ fn regression_check(entries: &[Value]) -> Result<bool, String> {
             .filter_map(|e| entry_u64(e, &["stages", stage]))
             .collect();
         if prior.is_empty() {
-            eprintln!("bench_history: stage {stage} has no baseline timings; skipping");
+            bmf_obs::warn!("bench_history: stage {stage} has no baseline timings; skipping");
             continue;
         }
         let med = median(&mut prior);
@@ -168,7 +168,7 @@ fn regression_check(entries: &[Value]) -> Result<bool, String> {
         } else {
             "ok"
         };
-        println!(
+        bmf_obs::outln!(
             "bench_history: {stage:24} {current:.4}{unit} vs median {med:.4}{unit} \
              (worse x{ratio:.3}, limit x{REGRESSION_FACTOR}) {verdict}"
         );
@@ -183,7 +183,14 @@ fn regression_check(entries: &[Value]) -> Result<bool, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut obs = match bmf_obs::ObsOptions::extract(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            bmf_obs::error!("bench_history: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let check_only = args.iter().any(|a| a == "--check-only");
     let no_check = args.iter().any(|a| a == "--no-check");
@@ -197,10 +204,19 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(available_threads);
 
+    obs.set_threads(threads);
+    // The history run id keys this process's telemetry (events, trace,
+    // dashboard) to the entry it appends; the timestamp seed makes each
+    // timing run a distinct run.
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    obs.set_run(unix, &format!("bench_history quick={quick}"));
+
     let mut entries = match load_entries(&path) {
         Ok(entries) => entries,
         Err(e) => {
-            eprintln!("bench_history: FAIL: {e}");
+            bmf_obs::error!("bench_history: FAIL: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -210,7 +226,7 @@ fn main() -> ExitCode {
         // the machine's true capability far better than any single run,
         // and the quick stages are cheap enough to repeat.
         let runs = 3;
-        eprintln!(
+        bmf_obs::info!(
             "bench_history: timing {} stage(s) at {threads} thread(s), best of {runs} run(s){}",
             STAGE_NAMES.len(),
             if quick { " (quick)" } else { "" }
@@ -220,12 +236,11 @@ fn main() -> ExitCode {
         for stage in STAGE_NAMES {
             let value = w.stage_value(stage, threads, runs);
             let unit = if higher_is_better(stage) { "/s" } else { "s" };
-            eprintln!("  {stage:24} {value:.4}{unit}");
+            bmf_obs::info!("  {stage:24} {value:.4}{unit}");
+            bmf_obs::event!(Info, "bench.stage",
+                "stage": stage, "value": value, "unit": unit);
             stages.insert(stage.to_string(), num(value));
         }
-        let unix = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map_or(0, |d| d.as_secs());
         let hardware = bmf_obs::HardwareContext::detect(threads);
         let mut hw = BTreeMap::new();
         hw.insert(
@@ -244,6 +259,9 @@ fn main() -> ExitCode {
             Value::String(iso8601_utc(unix)),
         );
         entry.insert("quick".to_string(), Value::Bool(quick));
+        if let Some(run_id) = bmf_obs::run::run_id() {
+            entry.insert("run_id".to_string(), Value::String(run_id));
+        }
         entry.insert("hardware".to_string(), Value::Object(hw));
         entry.insert("stages".to_string(), Value::Object(stages));
         entries.push(Value::Object(entry));
@@ -259,31 +277,37 @@ fn main() -> ExitCode {
             ),
         );
         if let Err(e) = std::fs::write(&path, Value::Object(doc).to_json() + "\n") {
-            eprintln!("bench_history: FAIL: cannot write {path}: {e}");
+            bmf_obs::error!("bench_history: FAIL: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("bench_history: appended entry #{} to {path}", entries.len());
+        bmf_obs::info!("bench_history: appended entry #{} to {path}", entries.len());
     }
 
-    if no_check {
-        println!("bench_history: check skipped (--no-check)");
-        return ExitCode::SUCCESS;
+    let code = if no_check {
+        bmf_obs::outln!("bench_history: check skipped (--no-check)");
+        ExitCode::SUCCESS
+    } else {
+        match regression_check(&entries) {
+            Ok(true) => {
+                bmf_obs::outln!("bench_history: OK (no regression beyond x{REGRESSION_FACTOR})");
+                ExitCode::SUCCESS
+            }
+            Ok(false) => {
+                bmf_obs::outln!(
+                    "bench_history: WARN: no comparable baseline in {path} \
+                     (different hardware/threads/quick); check passes vacuously"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                bmf_obs::error!("bench_history: FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    };
+    if let Err(e) = obs.finish() {
+        bmf_obs::error!("bench_history: failed to write observability output: {e}");
+        return ExitCode::FAILURE;
     }
-    match regression_check(&entries) {
-        Ok(true) => {
-            println!("bench_history: OK (no regression beyond x{REGRESSION_FACTOR})");
-            ExitCode::SUCCESS
-        }
-        Ok(false) => {
-            println!(
-                "bench_history: WARN: no comparable baseline in {path} \
-                 (different hardware/threads/quick); check passes vacuously"
-            );
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("bench_history: FAIL: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    code
 }

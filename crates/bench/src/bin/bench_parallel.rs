@@ -74,7 +74,14 @@ fn json_stage(name: &str, cells: &[Cell]) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let obs = match bmf_obs::ObsOptions::extract(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            bmf_obs::error!("bench_parallel: {e}");
+            std::process::exit(2);
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
         .iter()
@@ -92,7 +99,8 @@ fn main() {
     let hardware = bmf_obs::HardwareContext::detect(*thread_counts.iter().max().unwrap_or(&1));
     let cores = hardware.detected_cores;
     let runs = if quick { 1 } else { 3 };
-    eprintln!(
+    obs.set_run(6, &format!("bench_parallel quick={quick}"));
+    bmf_obs::info!(
         "bench_parallel: threads = {thread_counts:?}, available parallelism = {avail}, \
          best of {runs} run(s)/cell{}",
         if quick { " (quick)" } else { "" }
@@ -115,7 +123,7 @@ fn main() {
         );
         let seconds = w.time_stage("cv_select_default_grid", t, runs);
         let oversubscribed = cores != 0 && t > cores;
-        eprintln!(
+        bmf_obs::info!(
             "  cv_select_default_grid  threads={t:<2} {seconds:.4}s{}",
             if oversubscribed {
                 " (oversubscribed)"
@@ -142,7 +150,7 @@ fn main() {
             "Monte Carlo must be bit-identical at {t} threads"
         );
         let seconds = w.time_stage("monte_carlo_opamp", t, runs);
-        eprintln!("  monte_carlo_opamp       threads={t:<2} {seconds:.4}s");
+        bmf_obs::info!("  monte_carlo_opamp       threads={t:<2} {seconds:.4}s");
         mc_cells.push(Cell {
             threads: t,
             seconds,
@@ -154,7 +162,7 @@ fn main() {
     let mut sweep_cells = Vec::new();
     for &t in &thread_counts {
         let seconds = w.time_stage("error_sweep_adc", t, runs);
-        eprintln!("  error_sweep_adc         threads={t:<2} {seconds:.4}s");
+        bmf_obs::info!("  error_sweep_adc         threads={t:<2} {seconds:.4}s");
         sweep_cells.push(Cell {
             threads: t,
             seconds,
@@ -169,7 +177,7 @@ fn main() {
     let cv_speedup_2 = speedup_vs_1(&cv_cells, 2);
     let gate_required = cv_cells.iter().any(|c| c.threads == 2 && !c.oversubscribed) && cores >= 2;
     let gate_passed = !gate_required || cv_speedup_2 > 1.0;
-    eprintln!(
+    bmf_obs::info!(
         "  cv scaling gate: speedup_vs_1(2 threads) = {cv_speedup_2:.3} \
          ({}{})",
         if gate_required { "required" } else { "vacuous" },
@@ -193,15 +201,19 @@ fn main() {
         json_stage("error_sweep_adc", &sweep_cells),
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("failed to write {out_path}: {e}");
+        bmf_obs::error!("failed to write {out_path}: {e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {out_path}");
+    bmf_obs::info!("wrote {out_path}");
+    if let Err(e) = obs.finish() {
+        bmf_obs::error!("failed to write observability output: {e}");
+        std::process::exit(1);
+    }
     // Enforce the gate in full runs only: --quick is the CI smoke mode,
     // where a shared runner's noisy 2-thread cell must not flake the job
     // (the gate verdict is still recorded in the JSON above).
     if !quick && !gate_passed {
-        eprintln!(
+        bmf_obs::error!(
             "bench_parallel: FAIL: cv_select_default_grid does not scale \
              (speedup_vs_1 at 2 threads = {cv_speedup_2:.3} <= 1.0 on a {cores}-core machine)"
         );

@@ -29,7 +29,7 @@ fn main() {
     let mut obs = match bmf_obs::ObsOptions::extract(&mut args) {
         Ok(obs) => obs,
         Err(e) => {
-            eprintln!("error: {e}");
+            bmf_obs::error!("error: {e}");
             std::process::exit(2);
         }
     };
@@ -51,6 +51,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0);
     obs.set_threads(threads);
+    obs.set_run(
+        45,
+        &format!("fig4_opamp quick={quick} fault_rate={fault_rate}"),
+    );
     let (pool, reps) = if quick { (800, 15) } else { (5000, 100) };
 
     let tb = OpAmpTestbench::default_45nm();
@@ -60,7 +64,7 @@ fn main() {
         config.sample_sizes = vec![8, 16, 32, 64, 128, 256];
     }
 
-    eprintln!(
+    bmf_obs::info!(
         "fig4_opamp: {pool} MC samples/stage, {reps} repetitions, n = {:?}, {threads} thread(s), fault rate {fault_rate}",
         config.sample_sizes
     );
@@ -68,7 +72,7 @@ fn main() {
     let run = if fault_rate > 0.0 {
         run_circuit_experiment_with_faults(tb, pool, pool, 45, &config, threads, fault_rate).map(
             |(result, guard_summary)| {
-                eprintln!("{guard_summary}");
+                bmf_obs::info!("{guard_summary}");
                 result
             },
         )
@@ -78,36 +82,41 @@ fn main() {
     let result = match run {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("experiment failed: {e}");
+            bmf_obs::error!("experiment failed: {e}");
             std::process::exit(1);
         }
     };
 
-    println!("=== Figure 4: two-stage op-amp (45 nm), MLE vs BMF ===");
-    println!("metrics: gain_db, bandwidth_hz, power_w, offset_v, phase_margin_deg");
-    println!("errors per Eq. 37 (mean, 2-norm) / Eq. 38 (cov, Frobenius), shifted+scaled space");
-    println!();
-    println!("{}", result.to_table());
-    println!("{}", format_cost_reduction(&result));
+    bmf_obs::outln!("=== Figure 4: two-stage op-amp (45 nm), MLE vs BMF ===");
+    bmf_obs::outln!("metrics: gain_db, bandwidth_hz, power_w, offset_v, phase_margin_deg");
+    bmf_obs::outln!(
+        "errors per Eq. 37 (mean, 2-norm) / Eq. 38 (cov, Frobenius), shifted+scaled space"
+    );
+    bmf_obs::outln!("");
+    bmf_obs::outln!("{}", result.to_table());
+    bmf_obs::outln!("{}", format_cost_reduction(&result));
     if let Some(r32) = result.rows.iter().find(|r| r.n == 32) {
-        println!(
+        bmf_obs::outln!(
             "CV-selected hyper-parameters at n = 32: kappa0 = {:.2}, nu0 = {:.1}",
-            r32.mean_kappa0, r32.mean_nu0
+            r32.mean_kappa0,
+            r32.mean_nu0
         );
-        println!("(paper: kappa0 = 4.67, nu0 = 557.3 — mean prior weak, covariance prior strong)");
+        bmf_obs::outln!(
+            "(paper: kappa0 = 4.67, nu0 = 557.3 — mean prior weak, covariance prior strong)"
+        );
     }
     if let Some(prefix) = svg_prefix {
         let (mean_svg, cov_svg) = figure_svgs("two-stage op-amp (45 nm)", &result);
         for (suffix, doc) in [("mean", mean_svg), ("cov", cov_svg)] {
             let path = format!("{prefix}_{suffix}.svg");
             if let Err(e) = std::fs::write(&path, doc) {
-                eprintln!("failed to write {path}: {e}");
+                bmf_obs::error!("failed to write {path}: {e}");
             } else {
-                eprintln!("wrote {path}");
+                bmf_obs::info!("wrote {path}");
             }
         }
     }
-    eprintln!("elapsed: {:.1?}", t0.elapsed());
+    bmf_obs::info!("elapsed: {:.1?}", t0.elapsed());
     if obs.dashboard_out.is_some() {
         // Separate explicitly-seeded snapshot study: attaching health +
         // drift to the dashboard must not perturb the figure's RNG
@@ -117,11 +126,11 @@ fn main() {
                 obs.attach_health(health);
                 obs.attach_drift(drift);
             }
-            Err(e) => eprintln!("dashboard snapshot failed: {e}"),
+            Err(e) => bmf_obs::warn!("dashboard snapshot failed: {e}"),
         }
     }
     if let Err(e) = obs.finish() {
-        eprintln!("failed to write observability output: {e}");
+        bmf_obs::error!("failed to write observability output: {e}");
         std::process::exit(1);
     }
 }

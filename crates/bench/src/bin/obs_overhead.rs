@@ -16,7 +16,12 @@
 //!    instrumentation hits (span events + counter increments) the
 //!    workload performs;
 //! 3. time the same CV selection with recording *disabled* (the shipped
-//!    configuration) and report `hits x per_call_cost / workload_time`.
+//!    configuration) and report `hits x per_call_cost / workload_time`;
+//! 4. gate the *events-enabled* path the same way: calibrate the cost of
+//!    one structured-event emission (TLS buffer push + flight-ring
+//!    insert), count the events the workload emits, and require
+//!    `events x per_event_cost / workload_time` inside the same budget —
+//!    so `--events-out` telemetry stays effectively free.
 //!
 //! Usage: `cargo run --release -p bmf-bench --bin obs_overhead
 //!         [--budget-percent <f>]` (default budget: 2%).
@@ -107,4 +112,39 @@ fn main() {
         std::process::exit(1);
     }
     println!("OK: disabled-recorder overhead within budget");
+
+    // 4. Events-enabled path: per-emission cost (field rendering + TLS
+    //    push + flight-ring insert) times the workload's event volume.
+    const EVENT_ITERS: u64 = 200_000;
+    bmf_obs::reset();
+    bmf_obs::enable();
+    let t0 = Instant::now();
+    for i in 0..EVENT_ITERS {
+        bmf_obs::event!(Debug, "obs_overhead.calibration", "i": i);
+        black_box(i);
+    }
+    let per_event = t0.elapsed().as_secs_f64() / EVENT_ITERS as f64;
+    bmf_obs::reset();
+    eprintln!(
+        "enabled event emission: {:.1} ns/event ({EVENT_ITERS} iterations)",
+        per_event * 1e9
+    );
+
+    bmf_obs::enable();
+    cv.select_seeded(&early, &late, 6, 1).expect("cv select");
+    let event_count = bmf_obs::take_event_records().len() as u64;
+    bmf_obs::reset();
+    let event_overhead = event_count as f64 * per_event / best;
+    println!(
+        "obs_overhead: events-on: {event_count} event(s) x {:.1} ns = {:.2} us over a {:.1} ms CV select -> {:.4}% (budget {budget_percent}%)",
+        per_event * 1e9,
+        event_count as f64 * per_event * 1e6,
+        best * 1e3,
+        event_overhead * 100.0
+    );
+    if event_overhead * 100.0 > budget_percent {
+        eprintln!("FAIL: events-enabled overhead exceeds the {budget_percent}% budget");
+        std::process::exit(1);
+    }
+    println!("OK: events-enabled overhead within budget");
 }

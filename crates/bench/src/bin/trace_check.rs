@@ -16,6 +16,14 @@
 //! * `--expect-health <ok|warn|critical>` — with `--dashboard`, the
 //!   `health-data` blob must be non-null and report exactly that overall
 //!   severity.
+//! * `--events <path>` — the file must be well-formed JSONL: every line
+//!   parses as a JSON object carrying `seq`/`ts_ns`/`tid` numbers, a
+//!   valid `level`, and a `kind` string, with `seq` strictly increasing
+//!   and at most one distinct `run_id` across the log. The named
+//!   `--expect-event <kind>` entries (repeatable) must each appear.
+//! * `--flight <path>` — the file must be a flight-recorder dump: a
+//!   `reason` string, `run_id`, numeric `captured`/`capacity`, and an
+//!   `events` array of well-formed events no longer than `capacity`.
 //!
 //! Exits 0 when every requested check passes, 1 otherwise.
 
@@ -23,8 +31,117 @@ use bmf_obs::json::Value;
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
-    eprintln!("trace_check: FAIL: {msg}");
+    bmf_obs::error!("trace_check: FAIL: {msg}");
     ExitCode::FAILURE
+}
+
+/// Validates one structured event object (a JSONL line or a
+/// flight-recorder `events[]` entry).
+fn check_event_object(ev: &Value, what: &str) -> Result<(), String> {
+    for key in ["seq", "ts_ns", "tid"] {
+        if ev.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("{what} has no numeric {key}"));
+        }
+    }
+    match ev.get("level").and_then(Value::as_str) {
+        Some("error" | "warn" | "info" | "debug") => {}
+        other => return Err(format!("{what} has invalid level {other:?}")),
+    }
+    if ev.get("kind").and_then(Value::as_str).is_none() {
+        return Err(format!("{what} has no kind string"));
+    }
+    Ok(())
+}
+
+/// Validates a JSONL event log: every line parses, events are
+/// well-formed with strictly increasing `seq`, the log carries at most
+/// one distinct `run_id`, and every expected kind appears.
+fn check_events(text: &str, expect: &[String]) -> Result<(usize, Option<String>), String> {
+    let mut count = 0usize;
+    let mut last_seq = -1.0f64;
+    let mut run_id: Option<String> = None;
+    let mut kinds: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = bmf_obs::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        check_event_object(&ev, &format!("line {}", i + 1))?;
+        let seq = ev.get("seq").and_then(Value::as_f64).unwrap_or(-1.0);
+        if seq <= last_seq {
+            return Err(format!(
+                "line {}: seq {seq} is not strictly increasing (previous {last_seq})",
+                i + 1
+            ));
+        }
+        last_seq = seq;
+        if let Some(id) = ev.get("run_id").and_then(Value::as_str) {
+            match &run_id {
+                None => run_id = Some(id.to_string()),
+                Some(seen) if seen != id => {
+                    return Err(format!(
+                        "line {}: run_id {id:?} differs from {seen:?}",
+                        i + 1
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(kind) = ev.get("kind").and_then(Value::as_str) {
+            kinds.insert(kind.to_string());
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("event log is empty".to_string());
+    }
+    for kind in expect {
+        if !kinds.contains(kind) {
+            return Err(format!(
+                "no {kind:?} event in the log (kinds seen: {kinds:?})"
+            ));
+        }
+    }
+    Ok((count, run_id))
+}
+
+/// Validates a flight-recorder dump document.
+fn check_flight(doc: &Value) -> Result<(String, usize), String> {
+    let reason = doc
+        .get("reason")
+        .and_then(Value::as_str)
+        .ok_or("flight dump has no reason string")?;
+    if doc.get("run_id").and_then(Value::as_str).is_none() {
+        return Err("flight dump has no run_id".to_string());
+    }
+    let capacity = doc
+        .get("capacity")
+        .and_then(Value::as_f64)
+        .ok_or("flight dump has no numeric capacity")? as usize;
+    let captured = doc
+        .get("captured")
+        .and_then(Value::as_f64)
+        .ok_or("flight dump has no numeric captured")? as usize;
+    let events = doc
+        .get("events")
+        .and_then(Value::as_array)
+        .ok_or("flight dump has no events array")?;
+    if events.len() != captured {
+        return Err(format!(
+            "captured says {captured} but events array has {}",
+            events.len()
+        ));
+    }
+    if events.len() > capacity {
+        return Err(format!(
+            "events array ({}) exceeds capacity ({capacity})",
+            events.len()
+        ));
+    }
+    for (i, ev) in events.iter().enumerate() {
+        check_event_object(ev, &format!("event {i}"))?;
+    }
+    Ok((reason.to_string(), events.len()))
 }
 
 fn load(path: &str) -> Result<Value, String> {
@@ -144,16 +261,18 @@ fn embedded_json(html: &str, id: &str) -> Result<Value, String> {
     bmf_obs::json::parse(&raw).map_err(|e| format!("blob {id} is not valid JSON: {e}"))
 }
 
-/// The ids the dashboard always renders: the five section anchors plus
-/// the three machine-readable JSON blobs.
-const DASHBOARD_IDS: [&str; 8] = [
+/// The ids the dashboard always renders: the six section anchors plus
+/// the four machine-readable JSON blobs.
+const DASHBOARD_IDS: [&str; 10] = [
     "profile",
     "metrics",
     "health",
     "drift",
+    "events",
     "bench",
     "health-data",
     "drift-data",
+    "events-data",
     "bench-data",
 ];
 
@@ -232,6 +351,8 @@ fn main() -> ExitCode {
     let trace = grab("--trace");
     let metrics = grab("--metrics");
     let dashboard = grab("--dashboard");
+    let events = grab("--events");
+    let flight = grab("--flight");
     let expect_health = grab("--expect-health");
     if let Some(sev) = expect_health.as_deref() {
         if !matches!(sev, "ok" | "warn" | "critical") {
@@ -246,10 +367,22 @@ fn main() -> ExitCode {
         .filter(|(_, a)| *a == "--expect-counter")
         .filter_map(|(i, _)| args.get(i + 1).cloned())
         .collect();
-    if trace.is_none() && metrics.is_none() && dashboard.is_none() {
-        eprintln!(
+    let expect_events: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--expect-event")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    if trace.is_none()
+        && metrics.is_none()
+        && dashboard.is_none()
+        && events.is_none()
+        && flight.is_none()
+    {
+        bmf_obs::error!(
             "usage: trace_check [--trace <json>] [--metrics <json>] [--expect-counter <name>]... \
-             [--dashboard <html>] [--expect-health <ok|warn|critical>]"
+             [--dashboard <html>] [--expect-health <ok|warn|critical>] \
+             [--events <jsonl>] [--expect-event <kind>]... [--flight <json>]"
         );
         return ExitCode::FAILURE;
     }
@@ -260,7 +393,7 @@ fn main() -> ExitCode {
             Err(e) => return fail(&e),
         };
         match check_trace(&doc) {
-            Ok((total, complete)) => println!(
+            Ok((total, complete)) => bmf_obs::outln!(
                 "trace_check: {path}: {total} events ({complete} complete spans), hardware context present"
             ),
             Err(e) => return fail(&format!("{path}: {e}")),
@@ -272,9 +405,34 @@ fn main() -> ExitCode {
             Err(e) => return fail(&e),
         };
         match check_metrics(&doc, &expect) {
-            Ok(()) => println!(
+            Ok(()) => bmf_obs::outln!(
                 "trace_check: {path}: {} expected counter(s) present and nonzero",
                 expect.len()
+            ),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    if let Some(path) = events {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        match check_events(&text, &expect_events) {
+            Ok((count, run_id)) => bmf_obs::outln!(
+                "trace_check: {path}: {count} well-formed event(s), run {}",
+                run_id.as_deref().unwrap_or("(unstamped)")
+            ),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    if let Some(path) = flight {
+        let doc = match load(&path) {
+            Ok(doc) => doc,
+            Err(e) => return fail(&e),
+        };
+        match check_flight(&doc) {
+            Ok((reason, n)) => bmf_obs::outln!(
+                "trace_check: {path}: flight dump ({reason}), {n} event(s) within capacity"
             ),
             Err(e) => return fail(&format!("{path}: {e}")),
         }
@@ -285,12 +443,12 @@ fn main() -> ExitCode {
             Err(e) => return fail(&format!("cannot read {path}: {e}")),
         };
         match check_dashboard(&html, expect_health.as_deref()) {
-            Ok(desc) => println!(
+            Ok(desc) => bmf_obs::outln!(
                 "trace_check: {path}: well-formed dashboard, all ids/links resolve ({desc})"
             ),
             Err(e) => return fail(&format!("{path}: {e}")),
         }
     }
-    println!("trace_check: OK");
+    bmf_obs::outln!("trace_check: OK");
     ExitCode::SUCCESS
 }

@@ -168,6 +168,7 @@ impl<T: Testbench> Testbench for FaultInjector<T> {
         let u_fail: f64 = rng.gen();
         if u_fail < self.config.sim_failure_rate {
             bmf_obs::counters::FAULT_INJECTIONS.incr();
+            bmf_obs::event!(Debug, "fault.injected", "fault": "sim_failure");
             return Err(CircuitError::InjectedFault {
                 kind: "simulation failure",
             });
@@ -181,6 +182,7 @@ impl<T: Testbench> Testbench for FaultInjector<T> {
         let out_sign: bool = rng.gen();
         if u_out < self.config.outlier_rate && d > 0 {
             bmf_obs::counters::FAULT_INJECTIONS.incr();
+            bmf_obs::event!(Debug, "fault.injected", "fault": "outlier", "col": out_col);
             let shift = self.config.outlier_magnitude * (1.0 + v[out_col].abs());
             v[out_col] += if out_sign { shift } else { -shift };
         }
@@ -188,6 +190,7 @@ impl<T: Testbench> Testbench for FaultInjector<T> {
         // harder case for the downstream guard.
         if u_nan < self.config.nan_rate && d > 0 {
             bmf_obs::counters::FAULT_INJECTIONS.incr();
+            bmf_obs::event!(Debug, "fault.injected", "fault": "nan", "col": nan_col);
             v[nan_col] = f64::NAN;
         }
         Ok(v)

@@ -232,9 +232,11 @@ pub fn run_monte_carlo_with_policy<T: Testbench + ?Sized, R: Rng>(
     let nominal = tb.nominal(stage)?;
     let d = tb.dim();
     let mut samples = Matrix::zeros(n, d);
+    let heartbeat = bmf_obs::Heartbeat::new(stage_span_name(stage), n);
     for i in 0..n {
         let v = sample_with_retries(tb, stage, rng, policy)?;
         samples.row_mut(i).copy_from_slice(v.as_slice());
+        heartbeat.tick();
     }
     Ok(StageData {
         stage,
@@ -254,7 +256,7 @@ fn sample_with_retries<T: Testbench + ?Sized>(
     policy: &RetryPolicy,
 ) -> Result<Vector> {
     let mut last_err: Option<CircuitError> = None;
-    for _ in 0..policy.max_attempts {
+    for attempt in 0..policy.max_attempts {
         match tb.sample(stage, rng) {
             Ok(v) => {
                 bmf_obs::counters::MONTE_CARLO_SIMS.incr();
@@ -262,10 +264,18 @@ fn sample_with_retries<T: Testbench + ?Sized>(
             }
             Err(e) => {
                 bmf_obs::counters::MONTE_CARLO_RETRIES.incr();
+                bmf_obs::event!(Warn, "mc.retry",
+                    "stage": stage_span_name(stage),
+                    "attempt": attempt + 1,
+                    "max_attempts": policy.max_attempts,
+                    "error": e.to_string());
                 last_err = Some(e);
             }
         }
     }
+    bmf_obs::event!(Error, "mc.retry_exhausted",
+        "stage": stage_span_name(stage),
+        "max_attempts": policy.max_attempts);
     Err(last_err.expect("retry loop ran at least once"))
 }
 
@@ -335,11 +345,17 @@ pub fn run_monte_carlo_seeded_with_policy<T: Testbench + ?Sized>(
     let nominal = tb.nominal(stage)?;
     let d = tb.dim();
     let stream = stage_stream(stage);
+    // Shared across workers: Heartbeat::tick is one relaxed fetch_add
+    // plus a rate-limiter CAS, and the progress stream never feeds back
+    // into the numerics, so parallel ticking keeps bit-identity.
+    let heartbeat = bmf_obs::Heartbeat::new(stage_span_name(stage), n);
     let rows = bmf_stats::parallel::scoped_map_range(n, threads, |i| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(bmf_stats::parallel::derive_seed(
             seed, stream, i as u64,
         ));
-        sample_with_retries(tb, stage, &mut rng, policy)
+        let out = sample_with_retries(tb, stage, &mut rng, policy);
+        heartbeat.tick();
+        out
     })
     .map_err(|p| CircuitError::Worker {
         reason: p.to_string(),

@@ -538,6 +538,13 @@ impl CrossValidation {
             }
         }
 
+        if !failures.is_empty() {
+            bmf_obs::event!(Warn, "cv.candidate_failed",
+                "failed": failures.len(),
+                "candidates": candidates.len(),
+                "dominant": dominant_failure(&failures).map_or("unknown", ScoreFailure::describe));
+        }
+
         let Some(best) = best else {
             // The grid *was* feasible (the empty-candidate case returned
             // above), yet no candidate produced a finite score — a scoring

@@ -199,6 +199,22 @@ impl DriftMonitor {
         bmf_obs::counters::DRIFT_WINDOWS.incr();
         if severity >= Severity::Warn {
             bmf_obs::counters::DRIFT_ALERTS.incr();
+            // Runtime-computed level (Warn vs Error) so the raw `emit`
+            // entry point is used instead of the `event!` macro.
+            let level = if severity == Severity::Critical {
+                bmf_obs::Level::Error
+            } else {
+                bmf_obs::Level::Warn
+            };
+            if bmf_obs::event::stream_on(level) {
+                let mut fields = String::new();
+                bmf_obs::event::push_field(&mut fields, "window", &index);
+                bmf_obs::event::push_field(&mut fields, "kl", &kl);
+                bmf_obs::event::push_field(&mut fields, "mean_dist", &mean_dist);
+                bmf_obs::event::push_field(&mut fields, "cov_frob", &cov_frob);
+                bmf_obs::event::push_field(&mut fields, "severity", &severity.label());
+                bmf_obs::event::emit(level, "drift.alert", fields);
+            }
             self.timeline.alerts.push(format!(
                 "window {index} (samples {start_sample}..{}): KL = {kl:.4} nats > {} threshold {} \
                  (mean dist {mean_dist:.4}, cov drift {cov_frob:.4})",

@@ -300,6 +300,14 @@ pub fn screen(samples: &Matrix, policy: &GuardPolicy) -> Result<(Matrix, DataQua
         + report.duplicate_rows.len()
         + report.outlier_rows.len();
     bmf_obs::counters::GUARD_FLAGS.add(flags as u64);
+    if flags > 0 {
+        bmf_obs::event!(Warn, "guard.flag",
+            "nonfinite": report.nonfinite_cells.len(),
+            "constant_cols": report.constant_columns.len(),
+            "duplicates": report.duplicate_rows.len(),
+            "outliers": report.outlier_rows.len(),
+            "dropped": report.dropped_rows.len());
+    }
 
     let cleaned = Matrix::from_fn(keep.len(), d, |i, j| samples[(keep[i], j)]);
     Ok((cleaned, report))

@@ -113,6 +113,12 @@ pub struct FusionReport {
     /// failed (a note records why). Strictly read-only: computing it
     /// never touches an RNG stream or the estimate.
     pub health: Option<bmf_obs::health::HealthReport>,
+    /// Identity of the run this estimate belongs to, copied from the
+    /// process-wide `bmf_obs::run` context when one is installed (CLI
+    /// `--events-out`/telemetry runs); `None` otherwise. The same id is
+    /// stamped on every structured event, trace, metrics snapshot, and
+    /// flight dump, so a report can be joined to its telemetry.
+    pub run_id: Option<String>,
 }
 
 /// Wall-clock spent in each stage of one [`RobustPipeline::estimate`]
@@ -178,9 +184,13 @@ impl FusionReport {
             Some(h) => h.to_json(),
             None => "null".to_string(),
         };
+        let run_id = match &self.run_id {
+            Some(r) => format!("\"{}\"", json_escape(r)),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
-                "{{\"fallback\":\"{}\",\"fallback_reason\":{},",
+                "{{\"run_id\":{},\"fallback\":\"{}\",\"fallback_reason\":{},",
                 "\"prior_condition\":{},\"prior_repair\":\"{}\",",
                 "\"prior_repair_detail\":\"{}\",\"selection\":{},",
                 "\"health\":{},",
@@ -191,6 +201,7 @@ impl FusionReport {
                 "\"timings_ns\":{{\"guard\":{},\"prior\":{},\"cv\":{},",
                 "\"ladder\":{},\"total\":{}}},\"counters\":{{{}}}}}"
             ),
+            run_id,
             self.fallback.label(),
             reason,
             json_f64(self.prior_condition),
@@ -370,17 +381,32 @@ impl RobustPipeline {
         let before = bmf_obs::is_enabled().then(bmf_obs::metrics::snapshot);
         let mut timings = StageTimings::default();
         let mut result = self.estimate_inner(early, late_samples, &mut timings);
-        if let Ok((_, report)) = result.as_mut() {
-            timings.total_ns = started.elapsed().as_nanos() as u64;
-            report.timings = timings;
-            if let Some(before) = before {
-                report.counters = bmf_obs::metrics::snapshot()
-                    .counters
-                    .iter()
-                    .map(|&(name, v)| (name, v.saturating_sub(before.counter(name))))
-                    .filter(|&(_, delta)| delta > 0)
-                    .collect();
+        match result.as_mut() {
+            Ok((_, report)) => {
+                timings.total_ns = started.elapsed().as_nanos() as u64;
+                report.timings = timings;
+                report.run_id = bmf_obs::run::run_id();
+                if let Some(before) = before {
+                    report.counters = bmf_obs::metrics::snapshot()
+                        .counters
+                        .iter()
+                        .map(|&(name, v)| (name, v.saturating_sub(before.counter(name))))
+                        .filter(|&(_, delta)| delta > 0)
+                        .collect();
+                }
+                // Degrading past MAP is the "something went wrong but we
+                // recovered" outcome: preserve the black box that led here.
+                if matches!(
+                    report.fallback,
+                    FallbackLevel::Mle | FallbackLevel::EarlyOnly
+                ) {
+                    bmf_obs::flight::dump("ladder_degraded");
+                }
             }
+            Err(_) if self.mode == FailureMode::Strict => {
+                bmf_obs::flight::dump("strict_failure");
+            }
+            Err(_) => {}
         }
         result
     }
@@ -426,6 +452,8 @@ impl RobustPipeline {
                 }
                 // No usable late data at all → early-only rung.
                 bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                bmf_obs::event!(Warn, "ladder.transition",
+                    "from": "map", "to": "early_only", "cause": e.to_string());
                 let report = FusionReport {
                     data_quality: DataQualityReport {
                         rows_in: late_samples.nrows(),
@@ -441,6 +469,7 @@ impl RobustPipeline {
                     timings: StageTimings::default(),
                     counters: Vec::new(),
                     health: None,
+                    run_id: None,
                 };
                 return Ok((early.clone(), report));
             }
@@ -543,6 +572,9 @@ impl RobustPipeline {
             Ok(est) => {
                 let fallback = if prior_repair.is_repaired() {
                     bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                    bmf_obs::event!(Info, "ladder.transition",
+                        "from": "map", "to": "map_repaired_prior",
+                        "cause": prior_repair.to_string());
                     FallbackLevel::MapRepairedPrior
                 } else {
                     FallbackLevel::Map
@@ -563,6 +595,7 @@ impl RobustPipeline {
                     timings: StageTimings::default(),
                     counters: Vec::new(),
                     health,
+                    run_id: None,
                 };
                 Ok((est.map, report))
             }
@@ -571,6 +604,8 @@ impl RobustPipeline {
                     return Err(map_err);
                 }
                 bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                bmf_obs::event!(Warn, "ladder.transition",
+                    "from": "map", "to": "mle", "cause": map_err.to_string());
                 let mle_span = bmf_obs::span("ladder.mle");
                 let mle_attempt = MleEstimator::new().estimate(&cleaned);
                 drop(mle_span);
@@ -588,11 +623,14 @@ impl RobustPipeline {
                             timings: StageTimings::default(),
                             counters: Vec::new(),
                             health,
+                            run_id: None,
                         };
                         Ok((mle, report))
                     }
                     Err(mle_err) => {
                         bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                        bmf_obs::event!(Error, "ladder.transition",
+                            "from": "mle", "to": "early_only", "cause": mle_err.to_string());
                         let report = FusionReport {
                             data_quality: dq,
                             prior_condition,
@@ -606,6 +644,7 @@ impl RobustPipeline {
                             timings: StageTimings::default(),
                             counters: Vec::new(),
                             health: None,
+                            run_id: None,
                         };
                         Ok((early.clone(), report))
                     }
@@ -872,10 +911,12 @@ mod tests {
             .unwrap();
 
         // Recording was off → counters are empty; the JSON must still be
-        // a parseable object with an empty counters map.
+        // a parseable object with an empty counters map. With no run
+        // context set, run_id serializes as an explicit null.
         assert!(report.counters.is_empty());
         let doc = json::parse(&report.to_json()).expect("empty-counter report JSON must parse");
         assert!(doc.get("counters").is_some());
+        assert!(matches!(doc.get("run_id"), Some(json::Value::Null)));
         let health = doc.get("health").expect("health key present");
         let overall = health
             .get("overall")
@@ -888,8 +929,9 @@ mod tests {
             .is_some());
         assert!(health.get("cv").is_some());
 
-        // Populate counters and timings by hand and check values survive
-        // the round trip exactly.
+        // Populate counters, timings and the run id by hand and check
+        // values survive the round trip exactly.
+        report.run_id = Some("deadbeef00c0ffee".to_string());
         report.counters = vec![("cv.fold_evals", 7), ("cholesky.calls", 3)];
         report.timings = StageTimings {
             guard_ns: 1,
@@ -899,6 +941,10 @@ mod tests {
             total_ns: 10,
         };
         let doc = json::parse(&report.to_json()).expect("populated report JSON must parse");
+        assert_eq!(
+            doc.get("run_id").and_then(json::Value::as_str),
+            Some("deadbeef00c0ffee")
+        );
         let counters = doc.get("counters").unwrap();
         assert_eq!(
             counters.get("cv.fold_evals").and_then(json::Value::as_f64),

@@ -199,6 +199,8 @@ impl Cholesky {
         if asymmetry > 0.0 {
             if let Ok(chol) = Cholesky::new(&sym) {
                 bmf_obs::counters::CHOLESKY_REPAIRS.incr();
+                bmf_obs::event!(Warn, "spd.repair",
+                    "stage": "symmetrized", "asymmetry": asymmetry);
                 return Ok(RepairedCholesky {
                     cholesky: chol,
                     matrix: sym,
@@ -221,6 +223,8 @@ impl Cholesky {
                 }
                 if let Ok(chol) = Cholesky::new(&ridged) {
                     bmf_obs::counters::CHOLESKY_REPAIRS.incr();
+                    bmf_obs::event!(Warn, "spd.repair",
+                        "stage": "ridge_jitter", "jitter": jitter, "attempts": attempt + 1);
                     return Ok(RepairedCholesky {
                         cholesky: chol,
                         matrix: ridged,
@@ -250,6 +254,7 @@ impl Cholesky {
         clipped.symmetrize()?;
         let chol = Cholesky::new(&clipped)?;
         bmf_obs::counters::CHOLESKY_REPAIRS.incr();
+        bmf_obs::event!(Warn, "spd.repair", "stage": "eigenvalue_clipped", "floor": floor);
         Ok(RepairedCholesky {
             cholesky: chol,
             matrix: clipped,

@@ -7,21 +7,35 @@
 //! * `--profile` — print the aggregated per-span profile table to stdout
 //! * `--metrics-out <path>` — write a metrics snapshot JSON file
 //! * `--dashboard-out <path>` — write a self-contained HTML dashboard
-//!   (profile, metrics, estimator health, drift timeline, bench history)
+//!   (profile, metrics, estimator health, drift timeline, event log,
+//!   bench history)
+//! * `--events-out <path>` — write the structured event log as JSONL
+//!   (one JSON object per line) and arm the flight-recorder panic hook
+//! * `--log-level <error|warn|info|debug>` — console verbosity for the
+//!   [`crate::error!`]/[`crate::warn!`]/[`crate::info!`]/[`crate::outln!`]
+//!   macros; `--log-level error` makes a binary fully quiet. Unlike the
+//!   output flags it does *not* enable recording.
+//!
+//! The `BMF_LOG` environment variable (same level names) sets both the
+//! console and the event-stream filter; `--log-level` then overrides
+//! the console side.
 //!
 //! [`ObsOptions::extract`] strips the flags out of an argv vector
 //! *before* the binary's own parsing runs, so the existing positional /
 //! flag parsers in `bmf` and the figure bins never see them. If any
-//! flag is present, recording is enabled for the whole run;
+//! output flag is present, recording is enabled for the whole run;
 //! [`ObsOptions::finish`] then drains the recorded data and writes the
 //! requested artifacts. Binaries that compute a [`HealthReport`] or a
 //! [`DriftTimeline`] attach them via [`ObsOptions::attach_health`] /
-//! [`ObsOptions::attach_drift`] before calling `finish`.
+//! [`ObsOptions::attach_drift`] before calling `finish`, and install
+//! their run identity via [`ObsOptions::set_run`].
 
 use crate::dashboard::{self, DashboardData};
+use crate::event::Level;
 use crate::export::HardwareContext;
 use crate::health::{DriftTimeline, HealthReport};
 use std::io;
+use std::io::Write as _;
 
 /// Filename the dashboard looks for (in the working directory) to
 /// populate its bench-history section.
@@ -38,6 +52,10 @@ pub struct ObsOptions {
     pub metrics_out: Option<String>,
     /// Destination for the HTML dashboard, if requested.
     pub dashboard_out: Option<String>,
+    /// Destination for the JSONL event log, if requested.
+    pub events_out: Option<String>,
+    /// Console level from `--log-level`, if given (applied at extract).
+    pub log_level: Option<Level>,
     /// Worker thread count recorded in exports; bins set this after
     /// their own `--threads` parsing via [`ObsOptions::set_threads`].
     pub threads_used: usize,
@@ -49,27 +67,49 @@ pub struct ObsOptions {
     pub drift: Option<DriftTimeline>,
 }
 
-/// Error raised when an observability flag is missing its value.
+/// Error raised when an observability flag is missing or has an
+/// unusable value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObsFlagError {
     pub flag: &'static str,
+    pub message: String,
+}
+
+impl ObsFlagError {
+    fn missing_value(flag: &'static str) -> Self {
+        ObsFlagError {
+            flag,
+            message: "requires a value".to_string(),
+        }
+    }
+
+    fn bad_level(flag: &'static str, got: &str) -> Self {
+        ObsFlagError {
+            flag,
+            message: format!("requires a level (error|warn|info|debug), got {got:?}"),
+        }
+    }
 }
 
 impl std::fmt::Display for ObsFlagError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "flag {} requires a value (path)", self.flag)
+        write!(f, "flag {} {}", self.flag, self.message)
     }
 }
 
 impl std::error::Error for ObsFlagError {}
 
 impl ObsOptions {
-    /// Removes `--trace-out <path>`, `--profile`, `--metrics-out <path>`
-    /// and `--dashboard-out <path>` (also the `--flag=value` spellings)
-    /// from `args`, returning the parsed options. If any flag was
+    /// Removes `--trace-out <path>`, `--profile`, `--metrics-out <path>`,
+    /// `--dashboard-out <path>`, `--events-out <path>` and
+    /// `--log-level <level>` (also the `--flag=value` spellings) from
+    /// `args`, returning the parsed options. If any output flag was
     /// present, recording is enabled process-wide before returning, so
-    /// spans and counters hit from the very first pipeline call are
-    /// captured.
+    /// spans, counters and events hit from the very first pipeline call
+    /// are captured; `--events-out` additionally arms the
+    /// flight-recorder panic hook. The `BMF_LOG` environment variable
+    /// sets both level filters first; `--log-level` then overrides the
+    /// console side.
     pub fn extract(args: &mut Vec<String>) -> Result<ObsOptions, ObsFlagError> {
         let mut options = ObsOptions {
             threads_used: 1,
@@ -80,28 +120,43 @@ impl ObsOptions {
         }
         let mut kept = Vec::with_capacity(args.len());
         let mut iter = args.drain(..);
-        let mut missing: Option<&'static str> = None;
+        let mut error: Option<ObsFlagError> = None;
+        let mut level_arg: Option<String> = None;
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--profile" => options.profile = true,
                 "--trace-out" => match iter.next() {
                     Some(path) => options.trace_out = Some(path),
                     None => {
-                        missing = Some("--trace-out");
+                        error = Some(ObsFlagError::missing_value("--trace-out"));
                         break;
                     }
                 },
                 "--metrics-out" => match iter.next() {
                     Some(path) => options.metrics_out = Some(path),
                     None => {
-                        missing = Some("--metrics-out");
+                        error = Some(ObsFlagError::missing_value("--metrics-out"));
                         break;
                     }
                 },
                 "--dashboard-out" => match iter.next() {
                     Some(path) => options.dashboard_out = Some(path),
                     None => {
-                        missing = Some("--dashboard-out");
+                        error = Some(ObsFlagError::missing_value("--dashboard-out"));
+                        break;
+                    }
+                },
+                "--events-out" => match iter.next() {
+                    Some(path) => options.events_out = Some(path),
+                    None => {
+                        error = Some(ObsFlagError::missing_value("--events-out"));
+                        break;
+                    }
+                },
+                "--log-level" => match iter.next() {
+                    Some(level) => level_arg = Some(level),
+                    None => {
+                        error = Some(ObsFlagError::missing_value("--log-level"));
                         break;
                     }
                 },
@@ -112,6 +167,10 @@ impl ObsOptions {
                         options.metrics_out = Some(path.to_string());
                     } else if let Some(path) = arg.strip_prefix("--dashboard-out=") {
                         options.dashboard_out = Some(path.to_string());
+                    } else if let Some(path) = arg.strip_prefix("--events-out=") {
+                        options.events_out = Some(path.to_string());
+                    } else if let Some(level) = arg.strip_prefix("--log-level=") {
+                        level_arg = Some(level.to_string());
                     } else {
                         kept.push(arg);
                     }
@@ -120,21 +179,41 @@ impl ObsOptions {
         }
         drop(iter);
         *args = kept;
-        if let Some(flag) = missing {
-            return Err(ObsFlagError { flag });
+        if let Some(error) = error {
+            return Err(error);
+        }
+        // BMF_LOG filters both what is printed and what is recorded;
+        // --log-level then overrides the console side only.
+        if let Ok(spec) = std::env::var("BMF_LOG") {
+            if let Some(level) = Level::parse(spec.trim()) {
+                crate::event::set_console_level(level);
+                crate::event::set_stream_level(level);
+            }
+        }
+        if let Some(spec) = level_arg {
+            let Some(level) = Level::parse(&spec) else {
+                return Err(ObsFlagError::bad_level("--log-level", &spec));
+            };
+            options.log_level = Some(level);
+            crate::event::set_console_level(level);
         }
         if options.any() {
             crate::enable();
         }
+        if options.events_out.is_some() {
+            crate::flight::install_panic_hook();
+        }
         Ok(options)
     }
 
-    /// Whether any observability output was requested.
+    /// Whether any observability output was requested (`--log-level`
+    /// deliberately does not count: it filters, it does not record).
     pub fn any(&self) -> bool {
         self.trace_out.is_some()
             || self.profile
             || self.metrics_out.is_some()
             || self.dashboard_out.is_some()
+            || self.events_out.is_some()
     }
 
     /// Records the worker thread count for export hardware context.
@@ -157,6 +236,16 @@ impl ObsOptions {
         self.drift = Some(drift);
     }
 
+    /// Derives and installs the process-wide [`crate::run::RunContext`]
+    /// from the run's root seed and configuration description. Call once
+    /// after argument parsing; the id is then stamped into every JSONL
+    /// event line, export, `FusionReport` and flight dump. Cheap and
+    /// unconditional — installing a run identity does not enable
+    /// recording.
+    pub fn set_run(&self, root_seed: u64, config: &str) {
+        crate::run::set(crate::run::RunContext::derive(root_seed, config));
+    }
+
     /// Drains recorded spans/metrics and writes every requested
     /// artifact. Call once, at the end of `main`. A no-op when no flag
     /// was given.
@@ -166,19 +255,39 @@ impl ObsOptions {
         }
         crate::disable();
         let events = crate::span::take_events();
+        let records = crate::event::take_records();
         let hardware = HardwareContext::detect(self.threads_used);
+        let run = crate::run::current();
         if let Some(path) = &self.trace_out {
-            std::fs::write(path, crate::export::chrome_trace_json(&events, &hardware))?;
-            eprintln!("wrote trace ({} events) to {path}", events.len());
+            std::fs::write(
+                path,
+                crate::export::chrome_trace_json(&events, &hardware, run.as_ref()),
+            )?;
+            crate::info!("wrote trace ({} events) to {path}", events.len());
+        }
+        if let Some(path) = &self.events_out {
+            let mut body = String::with_capacity(records.len() * 128);
+            let run_id = run.as_ref().map(|r| r.run_id.as_str());
+            for record in &records {
+                body.push_str(&record.to_json(run_id));
+                body.push('\n');
+            }
+            let mut file = std::fs::File::create(path)?;
+            file.write_all(body.as_bytes())?;
+            crate::info!("wrote event log ({} events) to {path}", records.len());
         }
         if let Some(path) = &self.metrics_out {
             let snapshot = crate::metrics::snapshot();
-            std::fs::write(path, crate::export::metrics_json(&snapshot, &hardware))?;
-            eprintln!("wrote metrics snapshot to {path}");
+            std::fs::write(
+                path,
+                crate::export::metrics_json(&snapshot, &hardware, run.as_ref()),
+            )?;
+            crate::info!("wrote metrics snapshot to {path}");
         }
         if let Some(path) = &self.dashboard_out {
             let snapshot = crate::metrics::snapshot();
             let bench_history = std::fs::read_to_string(BENCH_HISTORY_FILE).ok();
+            let flight_dump = crate::flight::last_dump();
             let page = dashboard::render(&DashboardData {
                 title: if self.title.is_empty() {
                     "bmf dashboard"
@@ -186,14 +295,18 @@ impl ObsOptions {
                     &self.title
                 },
                 hardware: &hardware,
+                run: run.as_ref(),
                 events: &events,
+                event_log: &records,
+                flight_occupancy: crate::flight::occupancy(),
+                flight_dump: flight_dump.as_ref(),
                 snapshot: &snapshot,
                 health: self.health.as_ref(),
                 drift: self.drift.as_ref(),
                 bench_history_json: bench_history.as_deref(),
             });
             std::fs::write(path, page)?;
-            eprintln!("wrote dashboard to {path}");
+            crate::info!("wrote dashboard to {path}");
         }
         if self.profile {
             let snapshot = crate::metrics::snapshot();
@@ -261,12 +374,85 @@ mod tests {
     fn extract_rejects_missing_path_value() {
         let _g = test_lock();
         crate::reset();
-        for flag in ["--trace-out", "--metrics-out", "--dashboard-out"] {
+        for flag in [
+            "--trace-out",
+            "--metrics-out",
+            "--dashboard-out",
+            "--events-out",
+            "--log-level",
+        ] {
             let mut args = argv(&["bmf", flag]);
             let err = ObsOptions::extract(&mut args).unwrap_err();
             assert_eq!(err.flag, flag);
             assert!(!crate::is_enabled());
         }
+        crate::reset();
+    }
+
+    #[test]
+    fn events_out_enables_recording_and_log_level_does_not() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&["bmf", "estimate", "--events-out", "events.jsonl"]);
+        let options = ObsOptions::extract(&mut args).unwrap();
+        assert_eq!(args, argv(&["bmf", "estimate"]));
+        assert_eq!(options.events_out.as_deref(), Some("events.jsonl"));
+        assert!(options.any());
+        assert!(crate::is_enabled());
+        crate::reset();
+
+        let mut args = argv(&["bmf", "--log-level=warn", "estimate"]);
+        let options = ObsOptions::extract(&mut args).unwrap();
+        assert_eq!(args, argv(&["bmf", "estimate"]));
+        assert_eq!(options.log_level, Some(Level::Warn));
+        assert!(!options.any(), "--log-level alone requests no output");
+        assert!(!crate::is_enabled());
+        assert_eq!(crate::event::console_level(), Level::Warn);
+        crate::reset();
+    }
+
+    #[test]
+    fn log_level_rejects_unknown_levels() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&["bmf", "--log-level", "loud"]);
+        let err = ObsOptions::extract(&mut args).unwrap_err();
+        assert_eq!(err.flag, "--log-level");
+        assert!(err.to_string().contains("loud"), "{err}");
+        crate::reset();
+    }
+
+    #[test]
+    fn finish_writes_jsonl_events_with_run_ids() {
+        let _g = test_lock();
+        crate::reset();
+        let dir = std::env::temp_dir().join(format!("bmf-cli-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("events.jsonl");
+        let mut args = argv(&[
+            "bmf",
+            "--events-out",
+            out.to_str().unwrap(),
+            "--log-level",
+            "error", // keep the status line quiet under the test runner
+        ]);
+        let options = ObsOptions::extract(&mut args).unwrap();
+        options.set_run(2015, "cli finish test");
+        crate::event!(Warn, "mc.retry", "attempt": 2u64);
+        crate::event!(Info, "ladder.transition", "from": "map", "to": "mle");
+        options.finish().unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let expected_id = crate::run::RunContext::derive(2015, "cli finish test").run_id;
+        for line in &lines {
+            let v = crate::json::parse(line).expect("JSONL line parses");
+            assert_eq!(
+                v.get("run_id").and_then(crate::json::Value::as_str),
+                Some(expected_id.as_str())
+            );
+        }
+        let _ = std::fs::remove_file(&out);
         crate::reset();
     }
 

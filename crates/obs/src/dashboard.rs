@@ -20,10 +20,13 @@
 //! alone), one axis per chart, 2px lines, and dark mode as its own
 //! selected palette via `prefers-color-scheme`.
 
+use crate::event::{EventRecord, Level};
 use crate::export::{aggregate, fmt_ns, HardwareContext};
+use crate::flight::DumpInfo;
 use crate::health::{DriftTimeline, HealthReport, Severity};
 use crate::json::{self, Value};
 use crate::metrics::MetricsSnapshot;
+use crate::run::RunContext;
 use crate::span::SpanEvent;
 use std::fmt::Write as _;
 
@@ -35,8 +38,16 @@ pub struct DashboardData<'a> {
     pub title: &'a str,
     /// Hardware context of the run.
     pub hardware: &'a HardwareContext,
+    /// Run identity, when one was installed.
+    pub run: Option<&'a RunContext>,
     /// Recorded span events (profile section).
     pub events: &'a [SpanEvent],
+    /// Recorded structured events (event-log section; the tail renders).
+    pub event_log: &'a [EventRecord],
+    /// Flight-recorder ring occupancy at render time.
+    pub flight_occupancy: usize,
+    /// The last flight-recorder dump this process wrote, if any.
+    pub flight_dump: Option<&'a DumpInfo>,
     /// Metrics snapshot (counters + histograms).
     pub snapshot: &'a MetricsSnapshot,
     /// Statistical health report, when the run produced one.
@@ -46,6 +57,9 @@ pub struct DashboardData<'a> {
     /// Raw contents of `BENCH_history.json`, when available.
     pub bench_history_json: Option<&'a str>,
 }
+
+/// How many event-log rows the dashboard tail shows (and embeds).
+const EVENT_TAIL: usize = 50;
 
 /// Escapes text for HTML element and attribute content.
 fn html_escape(s: &str) -> String {
@@ -543,6 +557,87 @@ fn bench_section(data: &DashboardData) -> String {
     out
 }
 
+/// An event-level badge reusing the fixed status palette (label always
+/// present, never color alone). Info and debug rows are unemphasised.
+fn level_badge(level: Level) -> String {
+    let (class, icon) = match level {
+        Level::Error => ("status-critical", "\u{2716}"), // ✖
+        Level::Warn => ("status-warning", "\u{26a0}"),   // ⚠
+        Level::Info => ("muted", "\u{00b7}"),            // ·
+        Level::Debug => ("muted", "\u{00b7}"),
+    };
+    format!(
+        "<span class=\"badge {class}\"><span class=\"icon\">{icon}</span> {}</span>",
+        level.as_str()
+    )
+}
+
+/// The last [`EVENT_TAIL`] records of the event log.
+fn event_tail<'a>(data: &DashboardData<'a>) -> &'a [EventRecord] {
+    let skip = data.event_log.len().saturating_sub(EVENT_TAIL);
+    &data.event_log[skip..]
+}
+
+fn events_section(data: &DashboardData) -> String {
+    let mut out = String::from("<section id=\"events\"><h2>Event log</h2>");
+    let tail = event_tail(data);
+    if tail.is_empty() {
+        out.push_str(
+            "<p class=\"muted\">No structured events recorded \
+             (run with <code>--events-out</code>).</p>",
+        );
+    } else {
+        if data.event_log.len() > tail.len() {
+            let _ = write!(
+                out,
+                "<p class=\"muted\">Last {} of {} events.</p>",
+                tail.len(),
+                data.event_log.len()
+            );
+        }
+        out.push_str(
+            "<table><thead><tr><th class=\"num\">t</th><th>level</th>\
+             <th>kind</th><th>fields</th></tr></thead><tbody>",
+        );
+        for rec in tail {
+            let _ = write!(
+                out,
+                "<tr><td class=\"num\">{}</td><td>{}</td><td>{}</td>\
+                 <td><code>{}</code></td></tr>",
+                fmt_ns(rec.ts_ns),
+                level_badge(rec.level),
+                html_escape(rec.kind),
+                html_escape(&rec.fields),
+            );
+        }
+        out.push_str("</tbody></table>");
+    }
+    // Flight-recorder status.
+    out.push_str("<h3>Flight recorder</h3>");
+    let _ = write!(
+        out,
+        "<p>{} of {} events buffered.",
+        data.flight_occupancy,
+        crate::flight::FLIGHT_CAPACITY
+    );
+    match data.flight_dump {
+        Some(dump) => {
+            let _ = write!(
+                out,
+                " Last dump: <span class=\"badge status-critical\">\
+                 <span class=\"icon\">\u{2716}</span> {}</span> \u{2192} \
+                 <code>{}</code> ({} events).",
+                html_escape(&dump.reason),
+                html_escape(&dump.path.display().to_string()),
+                dump.events
+            );
+        }
+        None => out.push_str(" No dump written — nothing crashed."),
+    }
+    out.push_str("</p></section>");
+    out
+}
+
 const STYLE: &str = "\
 :root{color-scheme:light;\
 --surface-1:#fcfcfb;--page:#f9f9f7;--text-primary:#0b0b0b;--text-secondary:#52514e;\
@@ -593,13 +688,22 @@ pub fn render(data: &DashboardData) -> String {
         "<p>{} cores detected, {} threads used</p>",
         data.hardware.detected_cores, data.hardware.threads_used
     );
+    if let Some(run) = data.run {
+        let _ = write!(
+            out,
+            "<p>run <code>{}</code> \u{00b7} root seed {}</p>",
+            html_escape(&run.run_id),
+            run.root_seed
+        );
+    }
     out.push_str(
         "<nav><a href=\"#health\">Health</a><a href=\"#drift\">Drift</a>\
-         <a href=\"#profile\">Profile</a><a href=\"#metrics\">Metrics</a>\
-         <a href=\"#bench\">Bench</a></nav></header>",
+         <a href=\"#events\">Events</a><a href=\"#profile\">Profile</a>\
+         <a href=\"#metrics\">Metrics</a><a href=\"#bench\">Bench</a></nav></header>",
     );
     out.push_str(&health_section(data));
     out.push_str(&drift_section(data));
+    out.push_str(&events_section(data));
     out.push_str(&profile_section(data));
     out.push_str(&metrics_section(data));
     out.push_str(&bench_section(data));
@@ -628,6 +732,21 @@ pub fn render(data: &DashboardData) -> String {
         out,
         "<script type=\"application/json\" id=\"bench-data\">{}</script>",
         embed_json(&bench_json)
+    );
+    // The same event tail the table shows, as a machine-readable array.
+    let run_id = data.run.map(|r| r.run_id.as_str());
+    let events_json = format!(
+        "[{}]",
+        event_tail(data)
+            .iter()
+            .map(|rec| rec.to_json(run_id))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let _ = write!(
+        out,
+        "<script type=\"application/json\" id=\"events-data\">{}</script>",
+        embed_json(&events_json)
     );
     out.push_str("</main></body></html>\n");
     out
@@ -738,10 +857,38 @@ mod tests {
         let drift = drift();
         let bench = r#"{"entries":[{"timestamp_iso":"2026-08-05T00:00:00Z","hardware":{"detected_cores":8,"threads_used":2},"stages":{"cv":1.5,"mc":0.5}}]}"#;
         let snap = snapshot();
+        let run = RunContext::derive(2015, "dashboard test");
+        let event_log = vec![
+            EventRecord {
+                seq: 0,
+                ts_ns: 1_000,
+                tid: 1,
+                level: Level::Warn,
+                kind: "spd.repair",
+                fields: "\"stage\":\"ridge\",\"note\":\"</script> hostile\"".to_string(),
+            },
+            EventRecord {
+                seq: 1,
+                ts_ns: 2_000,
+                tid: 1,
+                level: Level::Error,
+                kind: "ladder.transition",
+                fields: String::new(),
+            },
+        ];
+        let dump = DumpInfo {
+            reason: "strict_failure".to_string(),
+            path: std::path::PathBuf::from("flight-abc.json"),
+            events: 2,
+        };
         let page = render(&DashboardData {
             title: "fig4 <smoke>",
             hardware: &hw(),
+            run: Some(&run),
             events: &[],
+            event_log: &event_log,
+            flight_occupancy: 2,
+            flight_dump: Some(&dump),
             snapshot: &snap,
             health: Some(&health),
             drift: Some(&drift),
@@ -755,17 +902,26 @@ mod tests {
             "id=\"metrics\"",
             "id=\"health\"",
             "id=\"drift\"",
+            "id=\"events\"",
             "id=\"bench\"",
             "id=\"health-data\"",
             "id=\"drift-data\"",
             "id=\"bench-data\"",
+            "id=\"events-data\"",
         ] {
             assert!(page.contains(id), "missing {id}");
         }
         // Every nav href has a matching section id.
-        for target in ["#health", "#drift", "#profile", "#metrics", "#bench"] {
+        for target in [
+            "#health", "#drift", "#events", "#profile", "#metrics", "#bench",
+        ] {
             assert!(page.contains(&format!("href=\"{target}\"")));
         }
+        // Run identity and flight status render.
+        assert!(page.contains(&run.run_id));
+        assert!(page.contains("Flight recorder"));
+        assert!(page.contains("flight-abc.json"));
+        assert!(page.contains("strict_failure"));
         // The hostile </script> in the alert never appears raw inside
         // the embedded JSON (it is either HTML-escaped in the list or
         // backslash-escaped in the blob).
@@ -792,6 +948,25 @@ mod tests {
                 .map(<[Value]>::len),
             Some(1)
         );
+        // Embedded events blob re-parses (its hostile </script> payload
+        // included) and carries the run id per record.
+        let events_v = json::parse(&extract("events-data")).expect("events blob parses");
+        let recs = events_v.as_array().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[0].get("kind").and_then(Value::as_str),
+            Some("spd.repair")
+        );
+        assert_eq!(
+            recs[0].get("run_id").and_then(Value::as_str),
+            Some(run.run_id.as_str())
+        );
+        assert_eq!(
+            recs[0].get("note").and_then(Value::as_str),
+            Some("</script> hostile")
+        );
+        // Event level badges render with icon + label.
+        assert!(page.contains("\u{2716}</span> error"));
         // Status badges carry icon + label, never color alone.
         assert!(page.contains("status-warning"));
         assert!(page.contains("\u{26a0}"));
@@ -809,7 +984,11 @@ mod tests {
         let page = render(&DashboardData {
             title: "empty run",
             hardware: &hw(),
+            run: None,
             events: &[],
+            event_log: &[],
+            flight_occupancy: 0,
+            flight_dump: None,
             snapshot: &snap,
             health: None,
             drift: None,
@@ -818,12 +997,18 @@ mod tests {
         for id in [
             "id=\"health\"",
             "id=\"drift\"",
+            "id=\"events\"",
             "id=\"bench\"",
             "id=\"health-data\"",
+            "id=\"events-data\"",
         ] {
             assert!(page.contains(id), "missing {id}");
         }
         assert!(page.contains("No health report"));
+        assert!(page.contains("No structured events"));
+        assert!(page.contains("No dump written"));
         assert!(page.contains(">null</script>"));
+        // Empty event tail embeds an empty array.
+        assert!(page.contains("id=\"events-data\">[]</script>"));
     }
 }

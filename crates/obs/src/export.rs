@@ -49,8 +49,13 @@ fn ns_to_us(ns: u64) -> String {
 /// Renders events in the Chrome trace-event "JSON object format"
 /// (loadable in Perfetto and `chrome://tracing`): complete events
 /// (`"ph":"X"`) with microsecond timestamps, plus thread-name metadata
-/// and the hardware context under `otherData`.
-pub fn chrome_trace_json(events: &[SpanEvent], hardware: &HardwareContext) -> String {
+/// and the hardware context — and the run identity, when one is
+/// installed — under `otherData`.
+pub fn chrome_trace_json(
+    events: &[SpanEvent],
+    hardware: &HardwareContext,
+    run: Option<&crate::run::RunContext>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
@@ -88,8 +93,10 @@ pub fn chrome_trace_json(events: &[SpanEvent], hardware: &HardwareContext) -> St
     }
     let _ = write!(
         out,
-        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{{}}}}}",
-        hardware.json_fields()
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{{}{}}}}}",
+        hardware.json_fields(),
+        run.map(|r| format!(",{}", r.json_fields()))
+            .unwrap_or_default()
     );
     out
 }
@@ -239,12 +246,22 @@ pub fn profile_table(
     out
 }
 
-/// The metrics snapshot (counters + histograms) as a JSON document.
-pub fn metrics_json(snapshot: &MetricsSnapshot, hardware: &HardwareContext) -> String {
+/// The metrics snapshot (counters + histograms) as a JSON document,
+/// stamped with the run identity when one is installed.
+pub fn metrics_json(
+    snapshot: &MetricsSnapshot,
+    hardware: &HardwareContext,
+    run: Option<&crate::run::RunContext>,
+) -> String {
     let mut out = String::new();
+    if let Some(run) = run {
+        let _ = write!(out, "{{\"run\":{{{}}},", run.json_fields());
+    } else {
+        out.push('{');
+    }
     let _ = write!(
         out,
-        "{{\"hardware\":{{{}}},\"counters\":{{",
+        "\"hardware\":{{{}}},\"counters\":{{",
         hardware.json_fields()
     );
     for (i, (name, value)) in snapshot.counters.iter().enumerate() {
@@ -330,7 +347,7 @@ mod tests {
 
     #[test]
     fn chrome_trace_is_valid_and_complete() {
-        let doc = chrome_trace_json(&sample_events(), &hw());
+        let doc = chrome_trace_json(&sample_events(), &hw(), None);
         let v = parse(&doc).expect("trace must be valid JSON");
         let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
         // 2 thread_name metadata events + 3 span events.
@@ -353,6 +370,34 @@ mod tests {
             Some(8.0)
         );
         assert_eq!(other.get("threads_used").and_then(Value::as_f64), Some(2.0));
+        // No run installed → no run_id key.
+        assert!(other.get("run_id").is_none());
+    }
+
+    #[test]
+    fn exports_stamp_the_run_identity() {
+        let run = crate::run::RunContext::derive(2015, "export test");
+        let doc = chrome_trace_json(&sample_events(), &hw(), Some(&run));
+        let v = parse(&doc).expect("trace must be valid JSON");
+        let other = v.get("otherData").unwrap();
+        assert_eq!(
+            other.get("run_id").and_then(Value::as_str),
+            Some(run.run_id.as_str())
+        );
+        assert_eq!(other.get("root_seed").and_then(Value::as_f64), Some(2015.0));
+
+        let snapshot = MetricsSnapshot {
+            counters: vec![("monte_carlo.sims", 1)],
+            histograms: vec![],
+        };
+        let doc = metrics_json(&snapshot, &hw(), Some(&run));
+        let v = parse(&doc).expect("metrics must be valid JSON");
+        assert_eq!(
+            v.get("run")
+                .and_then(|r| r.get("run_id"))
+                .and_then(Value::as_str),
+            Some(run.run_id.as_str())
+        );
     }
 
     #[test]
@@ -414,7 +459,7 @@ mod tests {
                 buckets: [0; HISTOGRAM_BUCKETS],
             }],
         };
-        let doc = metrics_json(&snapshot, &hw());
+        let doc = metrics_json(&snapshot, &hw(), None);
         let v = parse(&doc).expect("metrics must be valid JSON");
         let counters = v.get("counters").unwrap();
         assert_eq!(

@@ -27,6 +27,20 @@
 //! * **[`json`]** — the hand-rolled JSON escaping shared with
 //!   `bmf_core`'s `FusionReport`, plus a minimal parser used to validate
 //!   exported traces in tests and CI.
+//! * **[`mod@event`]** — the leveled structured event log: typed
+//!   [`EventRecord`]s from every pipeline decision point (guard flags,
+//!   SPD repairs, retries, ladder rung transitions, drift alerts),
+//!   buffered thread-locally like spans, drained as JSONL via
+//!   `--events-out`, filtered by `BMF_LOG`; plus the console macros
+//!   ([`error!`]/[`warn!`]/[`info!`]/[`debug!`]/[`outln!`]) the binaries
+//!   print through and the rate-limited progress [`Heartbeat`].
+//! * **[`flight`]** — the crash flight recorder: a fixed ring of the
+//!   last [`flight::FLIGHT_CAPACITY`] events, dumped to
+//!   `flight-<run_id>.json` on panic, strict failure, or a ladder drop
+//!   past MAP.
+//! * **[`run`]** — the [`RunContext`] (run id from root seed + config
+//!   hash) stamped into every event line, export, report and dashboard
+//!   so one run's artifacts can be joined offline.
 //! * **[`health`]** — the *statistical* observability vocabulary:
 //!   [`Severity`], the per-run [`HealthReport`] (prior–data conflict,
 //!   effective sample size, covariance spectrum, CV surface, data
@@ -73,17 +87,25 @@
 
 pub mod cli;
 pub mod dashboard;
+pub mod event;
 pub mod export;
+pub mod flight;
 pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod run;
 pub mod span;
 
 pub use cli::{ObsOptions, BENCH_HISTORY_FILE};
+pub use event::{EventRecord, Heartbeat, Level, RateLimiter};
 pub use export::{chrome_trace_json, metrics_json, profile_json, profile_table, HardwareContext};
 pub use health::{DriftTimeline, DriftWindow, HealthReport, Severity};
 pub use metrics::{counters, histograms, Counter, Histogram, MetricsSnapshot};
+pub use run::RunContext;
 pub use span::{span, take_events, Span, SpanEvent};
+
+/// Drains every recorded structured event (see [`mod@event`]).
+pub use event::take_records as take_event_records;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -110,11 +132,17 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Disables recording and clears all recorded events and metric values.
-/// Intended for tests and for delimiting independent measurement windows.
+/// Disables recording and clears all recorded events and metric values:
+/// spans, structured events, the flight-recorder ring, the run context
+/// and the event level filters. Intended for tests and for delimiting
+/// independent measurement windows.
 pub fn reset() {
     disable();
     span::clear();
+    event::clear();
+    event::reset_levels();
+    flight::clear();
+    run::clear();
     metrics::reset_all();
 }
 

@@ -51,8 +51,17 @@ pub(crate) fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the trace epoch (shared with the event layer so
+/// span and event timestamps are directly comparable).
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
+}
+
+/// The calling thread's recording id (allocated on first use; shared
+/// between span and event records so a JSONL line can be matched to the
+/// trace lane it happened on).
+pub(crate) fn current_tid() -> u64 {
+    BUFFER.with(|b| b.borrow().tid)
 }
 
 /// Closed events that have already left their recording thread (either
@@ -168,6 +177,12 @@ impl Drop for Span {
             if let Ok(mut sink) = SINK.lock() {
                 sink.extend(flushed);
             }
+            // The outermost close is also the event layer's join-safe
+            // flush point: a scoped worker's structured events must be
+            // in their sink before the scope join unblocks, for the
+            // same reason the span batch must (TLS destructors run too
+            // late).
+            crate::event::flush_thread();
         }
     }
 }

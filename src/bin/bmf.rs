@@ -61,7 +61,11 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown subcommand '{other}'").into()),
     };
-    let result = result.and_then(|()| obs.finish().map_err(Into::into));
+    // Telemetry is flushed even when the subcommand failed — a strict
+    // failure is exactly when the event log matters; the subcommand's
+    // error still wins the exit code.
+    let finish = obs.finish().map_err(Box::<dyn std::error::Error>::from);
+    let result = result.and(finish);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -90,7 +94,12 @@ fn print_usage() {
     println!("histogram snapshot, --dashboard-out <html> writes a self-contained");
     println!("HTML dashboard (profile, metrics, estimator health, drift timeline,");
     println!("and bench history when BENCH_history.json is present — see the");
-    println!("bench_history bin). Recording never alters numeric results.");
+    println!("bench_history bin), --events-out <jsonl> writes the structured event");
+    println!("log (one JSON object per line: retries, repairs, ladder transitions,");
+    println!("guard flags, drift alerts), each stamped with the run id that also");
+    println!("appears in the FusionReport and flight-recorder dumps. --log-level");
+    println!("error|warn|info|debug (or the BMF_LOG env var) sets console verbosity.");
+    println!("Recording never alters numeric results.");
     println!();
     println!("--threads defaults to the machine's available parallelism; results are");
     println!("bit-identical for every thread count (per-task seed derivation).");
@@ -215,6 +224,14 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
     if strict && degrade {
         return Err("--strict and --degrade are mutually exclusive".into());
     }
+    // Thread count deliberately left out of the run config: the same
+    // estimate at any parallelism is the same run (bit-identical output).
+    obs.set_run(
+        seed,
+        &format!(
+            "estimate early={early_path} late={late_path} strict={strict} cv_naive={cv_naive}"
+        ),
+    );
     let report_path = optional(&flags, "report");
 
     let physical = if strict || degrade || report_path.is_some() {
@@ -231,12 +248,12 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
             .with_seed(cv_seed)
             .with_threads(threads);
         let (est, report) = pipeline.estimate(&early_moments, &late_norm)?;
-        eprintln!("robust pipeline: fusion level = {}", report.fallback);
+        bmf_ams::obs::info!("robust pipeline: fusion level = {}", report.fallback);
         if let Some(reason) = &report.fallback_reason {
-            eprintln!("robust pipeline: {reason}");
+            bmf_ams::obs::warn!("robust pipeline: {reason}");
         }
         if let Some((kappa0, nu0)) = report.selection {
-            eprintln!(
+            bmf_ams::obs::info!(
                 "cross-validation selected kappa0 = {kappa0:.3}, nu0 = {nu0:.2} ({threads} thread(s))"
             );
         }
@@ -244,7 +261,7 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
             Some("-") => eprint!("{}", report.summary()),
             Some(path) => {
                 std::fs::write(path, report.to_json())?;
-                eprintln!("fusion report written to {path}");
+                bmf_ams::obs::info!("fusion report written to {path}");
             }
             None => {}
         }
@@ -256,7 +273,7 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
         let sel = CrossValidation::default()
             .with_naive_scoring(cv_naive)
             .select_seeded(&early_moments, &late_norm, cv_seed, threads)?;
-        eprintln!(
+        bmf_ams::obs::info!(
             "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4}, {threads} thread(s))",
             sel.kappa0, sel.nu0, sel.score
         );
@@ -273,14 +290,14 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
             .and_then(|mut m| m.push_batch(&late_norm).map(|()| m))
         {
             Ok(monitor) => obs.attach_drift(monitor.into_timeline()),
-            Err(e) => eprintln!("drift monitor unavailable: {e}"),
+            Err(e) => bmf_ams::obs::warn!("drift monitor unavailable: {e}"),
         }
     }
 
     match optional(&flags, "out") {
         Some(path) => {
             write_moments_csv(&mut File::create(path)?, &early.names, &physical)?;
-            eprintln!("moments written to {path}");
+            bmf_ams::obs::info!("moments written to {path}");
         }
         None => {
             write_moments_csv(&mut std::io::stdout().lock(), &early.names, &physical)?;
@@ -328,16 +345,20 @@ fn cmd_generate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
 
     let threads = threads_flag(&flags)?;
     obs.set_threads(threads);
+    obs.set_run(
+        seed,
+        &format!("generate circuit={circuit} stage={stage:?} samples={n} fault_rate={fault_rate}"),
+    );
     let policy = RetryPolicy {
         max_attempts: retry_attempts,
     };
     let data = run_monte_carlo_seeded_with_policy(tb.as_ref(), stage, n, seed, threads, &policy)?;
     if fault_rate > 0.0 {
-        eprintln!(
+        bmf_ams::obs::info!(
             "generated {n} samples on {threads} thread(s) (fault rate {fault_rate}, retry budget {retry_attempts})"
         );
     } else {
-        eprintln!("generated {n} samples on {threads} thread(s)");
+        bmf_ams::obs::info!("generated {n} samples on {threads} thread(s)");
     }
 
     // First row is the nominal run, as `bmf estimate` expects.
@@ -355,7 +376,7 @@ fn cmd_generate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
     match optional(&flags, "out") {
         Some(path) => {
             write_samples_csv(&mut File::create(path)?, &labelled)?;
-            eprintln!("{} samples (+ nominal row) written to {path}", n);
+            bmf_ams::obs::info!("{} samples (+ nominal row) written to {path}", n);
         }
         None => write_samples_csv(&mut std::io::stdout().lock(), &labelled)?,
     }

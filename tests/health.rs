@@ -163,7 +163,11 @@ fn estimates_bit_identical_with_health_drift_and_dashboard_active() {
                 let html = render(&DashboardData {
                     title: "health test",
                     hardware: &hardware,
+                    run: None,
                     events: &events,
+                    event_log: &[],
+                    flight_occupancy: 0,
+                    flight_dump: None,
                     snapshot: &snapshot,
                     health: report.health.as_ref(),
                     drift: Some(&timeline),
@@ -246,7 +250,11 @@ fn dashboard_document_contains_every_section_and_blob() {
     let html = render(&DashboardData {
         title: "sections test",
         hardware: &hardware,
+        run: None,
         events: &[],
+        event_log: &[],
+        flight_occupancy: 0,
+        flight_dump: None,
         snapshot: &snapshot,
         health: report.health.as_ref(),
         drift: Some(&timeline),
@@ -257,9 +265,11 @@ fn dashboard_document_contains_every_section_and_blob() {
         "metrics",
         "health",
         "drift",
+        "events",
         "bench",
         "health-data",
         "drift-data",
+        "events-data",
         "bench-data",
     ] {
         assert!(

@@ -3,7 +3,9 @@
 //! side-channel, not a participant. These tests run the same workloads
 //! with recording off and on, at 1, 2 and 7 threads, and demand exact
 //! bit equality; they also check that counters recorded from scoped
-//! worker threads merge into consistent totals.
+//! worker threads merge into consistent totals, that the structured
+//! event stream drains as valid run-id-stamped JSONL, and that a
+//! strict-mode failure leaves a well-formed flight-recorder black box.
 //!
 //! The recorder state is process-global, so every test serialises on one
 //! mutex and resets the state on entry.
@@ -11,10 +13,11 @@
 use bmf_ams::circuits::adc::AdcTestbench;
 use bmf_ams::circuits::monte_carlo::{run_monte_carlo_seeded, Stage};
 use bmf_ams::core::cv::CrossValidation;
-use bmf_ams::core::pipeline::RobustPipeline;
+use bmf_ams::core::pipeline::{FailureMode, RobustPipeline};
 use bmf_ams::core::MomentEstimate;
 use bmf_ams::linalg::{Matrix, Vector};
 use bmf_ams::obs::json::Value;
+use bmf_ams::obs::RunContext;
 use bmf_ams::stats::MultivariateNormal;
 use rand::SeedableRng;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -180,6 +183,155 @@ fn fold_eval_counts_are_thread_count_invariant() {
         counts.iter().all(|&c| c == counts[0]),
         "fold evaluations differ across thread counts: {counts:?}"
     );
+    bmf_ams::obs::reset();
+}
+
+/// The event stream rides the same enable switch as spans and counters,
+/// so turning it on (heartbeats, guard flags, ladder transitions and
+/// all) must leave every number untouched at every thread count — and
+/// every drained record must render as one valid JSONL line carrying
+/// the run id that also lands in the `FusionReport`.
+#[test]
+fn event_stream_preserves_bit_identity_and_emits_valid_jsonl() {
+    let _g = obs_lock();
+    let tb = AdcTestbench::default_180nm();
+    let (early, late) = synthetic(3, 24, 77);
+
+    // Reference numbers: recording (and thus the event stream) off.
+    let mc_reference = run_monte_carlo_seeded(&tb, Stage::PostLayout, 13, 5, 1).expect("mc");
+    let est_reference = RobustPipeline::new()
+        .with_seed(11)
+        .with_threads(1)
+        .estimate(&early, &late)
+        .expect("estimate")
+        .0;
+
+    for &threads in &THREAD_COUNTS {
+        bmf_ams::obs::reset();
+        bmf_ams::obs::enable();
+        bmf_ams::obs::run::set(RunContext::derive(11, "observability events test"));
+        let run_id = bmf_ams::obs::run::run_id().expect("run context set");
+
+        let mc = run_monte_carlo_seeded(&tb, Stage::PostLayout, 13, 5, threads).expect("mc");
+        assert_eq!(mc.samples, mc_reference.samples, "threads={threads}");
+        let (est, report) = RobustPipeline::new()
+            .with_seed(11)
+            .with_threads(threads)
+            .estimate(&early, &late)
+            .expect("estimate");
+        assert_moments_bits_eq(
+            &est,
+            &est_reference,
+            &format!("events on, threads={threads}"),
+        );
+
+        // Run correlation: the report carries the same id the event
+        // lines are stamped with.
+        assert_eq!(report.run_id.as_deref(), Some(run_id.as_str()));
+        let doc = bmf_ams::obs::json::parse(&report.to_json()).expect("report JSON");
+        assert_eq!(
+            doc.get("run_id").and_then(Value::as_str),
+            Some(run_id.as_str())
+        );
+
+        // The Monte Carlo heartbeat guarantees at least one progress
+        // event per stage (the final tick always pulses).
+        let records = bmf_ams::obs::take_event_records();
+        assert!(
+            records.iter().any(|r| r.kind == "progress"),
+            "threads={threads}: expected a progress heartbeat, got kinds {:?}",
+            records.iter().map(|r| r.kind).collect::<Vec<_>>()
+        );
+        for pair in records.windows(2) {
+            assert!(
+                pair[0].seq < pair[1].seq,
+                "drained events must be in emission order"
+            );
+        }
+        for rec in &records {
+            let line = rec.to_json(Some(&run_id));
+            let ev = bmf_ams::obs::json::parse(&line)
+                .unwrap_or_else(|e| panic!("event line must parse: {e}: {line}"));
+            assert_eq!(
+                ev.get("run_id").and_then(Value::as_str),
+                Some(run_id.as_str())
+            );
+            for key in ["seq", "ts_ns", "tid"] {
+                assert!(
+                    ev.get(key).and_then(Value::as_f64).is_some(),
+                    "event missing numeric {key}: {line}"
+                );
+            }
+            let level = ev.get("level").and_then(Value::as_str).expect("level");
+            assert!(
+                ["error", "warn", "info", "debug"].contains(&level),
+                "unknown level {level}"
+            );
+            assert!(ev.get("kind").and_then(Value::as_str).is_some());
+        }
+    }
+    bmf_ams::obs::reset();
+}
+
+/// A strict-mode failure must leave a black box behind: the pipeline
+/// dumps the flight-recorder ring to `flight-<run_id>.json`, and the
+/// dump must be a well-formed document whose event count matches its
+/// own `captured` header.
+#[test]
+fn strict_failure_dumps_flight_recorder_black_box() {
+    let _g = obs_lock();
+    let dir = std::env::temp_dir().join(format!("bmf-obs-itest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    bmf_ams::obs::flight::set_dump_dir(&dir);
+    bmf_ams::obs::enable();
+    bmf_ams::obs::run::set(RunContext::derive(7, "strict flight test"));
+    let run_id = bmf_ams::obs::run::run_id().expect("run context set");
+    let flight_path = dir.join(format!("flight-{run_id}.json"));
+    let _ = std::fs::remove_file(&flight_path);
+
+    // A non-finite late-stage cell trips the guard, which strict mode
+    // converts into an error — and the guard.flag event that preceded
+    // the failure is what the black box should have caught.
+    let (early, mut late) = synthetic(3, 24, 5);
+    late[(0, 0)] = f64::NAN;
+    let result = RobustPipeline::new()
+        .with_mode(FailureMode::Strict)
+        .with_seed(3)
+        .with_threads(2)
+        .estimate(&early, &late);
+    assert!(result.is_err(), "strict mode must reject non-finite cells");
+
+    let body = std::fs::read_to_string(&flight_path).expect("strict failure writes a black box");
+    let doc = bmf_ams::obs::json::parse(&body).expect("flight dump must parse");
+    assert_eq!(
+        doc.get("reason").and_then(Value::as_str),
+        Some("strict_failure")
+    );
+    assert_eq!(
+        doc.get("run_id").and_then(Value::as_str),
+        Some(run_id.as_str())
+    );
+    let events = doc.get("events").and_then(Value::as_array).expect("events");
+    let captured = doc
+        .get("captured")
+        .and_then(Value::as_f64)
+        .expect("captured");
+    assert_eq!(
+        captured as usize,
+        events.len(),
+        "captured must match the event count"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("kind").and_then(Value::as_str) == Some("guard.flag")),
+        "the guard flag that caused the failure must be in the box"
+    );
+    let last = bmf_ams::obs::flight::last_dump().expect("dump recorded");
+    assert_eq!(last.path, flight_path);
+    assert_eq!(last.events, events.len());
+
+    let _ = std::fs::remove_file(&flight_path);
     bmf_ams::obs::reset();
 }
 
