@@ -276,7 +276,7 @@ fn main() -> ExitCode {
                     .to_string(),
             ),
         );
-        if let Err(e) = std::fs::write(&path, Value::Object(doc).to_json() + "\n") {
+        if let Err(e) = bmf_obs::atomic_write(&path, Value::Object(doc).to_json() + "\n") {
             bmf_obs::error!("bench_history: FAIL: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

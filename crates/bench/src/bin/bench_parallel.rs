@@ -200,7 +200,7 @@ fn main() {
         json_stage("monte_carlo_opamp", &mc_cells),
         json_stage("error_sweep_adc", &sweep_cells),
     );
-    if let Err(e) = std::fs::write(&out_path, &json) {
+    if let Err(e) = bmf_obs::atomic_write(&out_path, &json) {
         bmf_obs::error!("failed to write {out_path}: {e}");
         std::process::exit(1);
     }

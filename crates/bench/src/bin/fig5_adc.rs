@@ -102,7 +102,7 @@ fn main() {
         let (mean_svg, cov_svg) = figure_svgs("flash ADC (0.18 um)", &result);
         for (suffix, doc) in [("mean", mean_svg), ("cov", cov_svg)] {
             let path = format!("{prefix}_{suffix}.svg");
-            if let Err(e) = std::fs::write(&path, doc) {
+            if let Err(e) = bmf_obs::atomic_write(&path, doc) {
                 bmf_obs::error!("failed to write {path}: {e}");
             } else {
                 bmf_obs::info!("wrote {path}");

@@ -13,6 +13,9 @@
 //! 3. **monte_carlo_opamp** — seeded Monte Carlo on the 45 nm op-amp.
 //! 4. **error_sweep_adc** — repetition-parallel error sweep over a
 //!    prepared flash-ADC study.
+//! 5. **shard_merge_overhead** — parse + validate + reduce + finalize of
+//!    a pre-built 7-shard packet set (`bmf_circuits::shard`), the fixed
+//!    cost `bmf merge` adds over the single-process study.
 //!
 //! Every stage is bit-identical across thread counts, so the timings
 //! measure pure wall-clock.
@@ -21,6 +24,7 @@ use crate::study_to_data;
 use bmf_circuits::adc::AdcTestbench;
 use bmf_circuits::monte_carlo::{run_monte_carlo_seeded, two_stage_study_seeded, Stage};
 use bmf_circuits::opamp::OpAmpTestbench;
+use bmf_circuits::shard::{merge_packet_texts, run_shard, MergePolicy, StudyConfig};
 use bmf_core::cv::CrossValidation;
 use bmf_core::experiment::{prepare, run_error_sweep_parallel, PreparedStudy, SweepConfig};
 use bmf_core::MomentEstimate;
@@ -34,11 +38,12 @@ use std::time::Instant;
 /// rename without migrating the committed history. Stages named
 /// `*_throughput` record work/second (higher is better); all others
 /// record seconds (lower is better).
-pub const STAGE_NAMES: [&str; 4] = [
+pub const STAGE_NAMES: [&str; 5] = [
     "cv_select_default_grid",
     "cv_candidate_throughput",
     "monte_carlo_opamp",
     "error_sweep_adc",
+    "shard_merge_overhead",
 ];
 
 /// Whether a stage records a rate (higher is better) rather than a
@@ -96,6 +101,9 @@ pub struct Workloads {
     pub prepared: PreparedStudy,
     /// Sweep configuration for the error-sweep stage.
     pub sweep: SweepConfig,
+    /// Pre-serialized 7-shard packet set for the merge-overhead stage,
+    /// as the `(label, text)` pairs `bmf merge` reads off disk.
+    pub packets: Vec<(String, String)>,
 }
 
 impl Workloads {
@@ -116,6 +124,21 @@ impl Workloads {
             cv: CrossValidation::default(),
             seed: 3,
         };
+        let shard_config = StudyConfig {
+            circuit: "opamp".to_string(),
+            n_early: if quick { 70 } else { 280 },
+            n_late: if quick { 21 } else { 84 },
+            shard_count: 7,
+            seed: 2015,
+            max_attempts: 25,
+            fault_rate: 0.0,
+        };
+        let packets = (0..shard_config.shard_count)
+            .map(|i| {
+                let packet = run_shard(&shard_config, i, setup_threads).expect("shard");
+                (format!("shard-{i}.json"), packet.to_json())
+            })
+            .collect();
         Workloads {
             cv_early,
             cv_late,
@@ -124,6 +147,7 @@ impl Workloads {
             opamp: OpAmpTestbench::default_45nm(),
             prepared,
             sweep,
+            packets,
         }
     }
 
@@ -146,6 +170,16 @@ impl Workloads {
             }
             "error_sweep_adc" => {
                 run_error_sweep_parallel(&self.prepared, &self.sweep, threads).expect("sweep");
+            }
+            "shard_merge_overhead" => {
+                // Merge is the serial reduction `bmf merge` performs:
+                // parse + checksum + compatibility checks + exact-sum
+                // reduce + moment finalize. `threads` is deliberately
+                // unused — the stage tracks the fixed per-merge cost.
+                let outcome =
+                    merge_packet_texts(&self.packets, &MergePolicy::default()).expect("merge");
+                outcome.early.moments().expect("early moments");
+                outcome.late.moments().expect("late moments");
             }
             other => panic!("unknown benchmark stage {other:?}"),
         }
@@ -188,6 +222,8 @@ mod tests {
         let w = Workloads::prepare(true, 2);
         assert_eq!(w.prepared.late_pool.ncols(), 5);
         w.run("monte_carlo_opamp", 2);
+        assert_eq!(w.packets.len(), 7);
+        w.run("shard_merge_overhead", 1);
     }
 
     #[test]

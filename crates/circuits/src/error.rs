@@ -61,6 +61,30 @@ pub enum CircuitError {
         /// The joined worker's panic payload (when it was a string).
         reason: String,
     },
+    /// A shard packet failed structural validation (unreadable file,
+    /// malformed JSON, wrong format marker or version, bad checksum).
+    PacketCorrupt {
+        /// Packet file path or label.
+        source: String,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// A shard packet is well-formed but belongs to a different study
+    /// (mismatched run id, config hash, shard count or dimensions), or
+    /// two packets claim the same shard index with different contents.
+    PacketIncompatible {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A merge could not satisfy its shard-coverage quorum policy.
+    ShardQuorum {
+        /// Shards successfully merged.
+        merged: usize,
+        /// Quorum the policy required.
+        required: usize,
+        /// Planned shard count.
+        shard_count: usize,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(LinalgError),
 }
@@ -86,6 +110,20 @@ impl fmt::Display for CircuitError {
             CircuitError::InvalidSignal { reason } => write!(f, "invalid signal: {reason}"),
             CircuitError::InjectedFault { kind } => write!(f, "injected fault: {kind}"),
             CircuitError::Worker { reason } => write!(f, "parallel worker failure: {reason}"),
+            CircuitError::PacketCorrupt { source, reason } => {
+                write!(f, "corrupt shard packet {source}: {reason}")
+            }
+            CircuitError::PacketIncompatible { reason } => {
+                write!(f, "incompatible shard packet: {reason}")
+            }
+            CircuitError::ShardQuorum {
+                merged,
+                required,
+                shard_count,
+            } => write!(
+                f,
+                "shard quorum not met: merged {merged} of {shard_count} shards, policy requires {required}"
+            ),
             CircuitError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }

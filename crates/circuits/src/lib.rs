@@ -58,6 +58,7 @@ pub mod mosfet;
 pub mod netlist;
 pub mod opamp;
 pub mod ring_oscillator;
+pub mod shard;
 pub mod spectrum;
 pub mod tran;
 pub mod variation;

@@ -234,7 +234,7 @@ pub fn run_monte_carlo_with_policy<T: Testbench + ?Sized, R: Rng>(
     let mut samples = Matrix::zeros(n, d);
     let heartbeat = bmf_obs::Heartbeat::new(stage_span_name(stage), n);
     for i in 0..n {
-        let v = sample_with_retries(tb, stage, rng, policy)?;
+        let (v, _) = sample_with_retries(tb, stage, rng, policy)?;
         samples.row_mut(i).copy_from_slice(v.as_slice());
         heartbeat.tick();
     }
@@ -247,20 +247,23 @@ pub fn run_monte_carlo_with_policy<T: Testbench + ?Sized, R: Rng>(
 
 /// Draws one sample, redrawing up to `policy.max_attempts` times on
 /// simulation failure (the retry loop shared by the serial and seeded
-/// runners). On exhaustion the returned error is the **last** simulator
-/// error — the freshest diagnosis of why the bench keeps failing.
+/// runners). On success also returns the number of failed draws that
+/// preceded it — deterministic per sample stream, so shard packets can
+/// report retry telemetry that merges exactly. On exhaustion the
+/// returned error is the **last** simulator error — the freshest
+/// diagnosis of why the bench keeps failing.
 fn sample_with_retries<T: Testbench + ?Sized>(
     tb: &T,
     stage: Stage,
     rng: &mut dyn rand::RngCore,
     policy: &RetryPolicy,
-) -> Result<Vector> {
+) -> Result<(Vector, usize)> {
     let mut last_err: Option<CircuitError> = None;
     for attempt in 0..policy.max_attempts {
         match tb.sample(stage, rng) {
             Ok(v) => {
                 bmf_obs::counters::MONTE_CARLO_SIMS.incr();
-                return Ok(v);
+                return Ok((v, attempt));
             }
             Err(e) => {
                 bmf_obs::counters::MONTE_CARLO_RETRIES.incr();
@@ -340,6 +343,59 @@ pub fn run_monte_carlo_seeded_with_policy<T: Testbench + ?Sized>(
     threads: usize,
     policy: &RetryPolicy,
 ) -> Result<StageData> {
+    let slice = run_monte_carlo_slice_seeded_with_policy(tb, stage, 0, n, seed, threads, policy)?;
+    Ok(StageData {
+        stage,
+        nominal: slice.nominal,
+        samples: slice.samples,
+    })
+}
+
+/// Rows produced by one contiguous slice of a seeded Monte Carlo run.
+///
+/// Row `i` of `samples` is **global** sample `start + i` of the full
+/// `n`-sample run under the same root seed: running the slices of any
+/// partition of `0..n` and concatenating their rows reproduces the
+/// single-process run bit-for-bit. This is the execution unit of a
+/// sharded study.
+#[derive(Debug, Clone)]
+pub struct SliceData {
+    /// Which stage was simulated.
+    pub stage: Stage,
+    /// Nominal (variation-free) performance — identical for every slice.
+    pub nominal: Vector,
+    /// Global index of the first row.
+    pub start: usize,
+    /// `len × d` sample matrix for global indices `start..start+len`.
+    pub samples: Matrix,
+    /// Total redraws across the slice. Each sample's retries come from
+    /// its own private stream, so this count is deterministic per slice
+    /// and sums exactly across a partition.
+    pub retries: u64,
+}
+
+/// Runs global samples `start..start+len` of an `n`-sample seeded Monte
+/// Carlo run (the shard primitive behind [`run_monte_carlo_seeded`],
+/// which is the `start = 0`, `len = n` special case).
+///
+/// Sample `start + i` owns an RNG seeded from
+/// [`bmf_stats::parallel::derive_seed`]`(seed, stage_stream, start + i)`
+/// — the same stream it owns in the full run — so slices are
+/// independently executable and bit-identical at any thread count.
+///
+/// # Errors
+///
+/// As [`run_monte_carlo_seeded`], plus [`CircuitError::InvalidValue`]
+/// for an invalid policy.
+pub fn run_monte_carlo_slice_seeded_with_policy<T: Testbench + ?Sized>(
+    tb: &T,
+    stage: Stage,
+    start: usize,
+    len: usize,
+    seed: u64,
+    threads: usize,
+    policy: &RetryPolicy,
+) -> Result<SliceData> {
     policy.validate()?;
     let _span = bmf_obs::span(stage_span_name(stage));
     let nominal = tb.nominal(stage)?;
@@ -348,10 +404,12 @@ pub fn run_monte_carlo_seeded_with_policy<T: Testbench + ?Sized>(
     // Shared across workers: Heartbeat::tick is one relaxed fetch_add
     // plus a rate-limiter CAS, and the progress stream never feeds back
     // into the numerics, so parallel ticking keeps bit-identity.
-    let heartbeat = bmf_obs::Heartbeat::new(stage_span_name(stage), n);
-    let rows = bmf_stats::parallel::scoped_map_range(n, threads, |i| {
+    let heartbeat = bmf_obs::Heartbeat::new(stage_span_name(stage), len);
+    let rows = bmf_stats::parallel::scoped_map_range(len, threads, |i| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(bmf_stats::parallel::derive_seed(
-            seed, stream, i as u64,
+            seed,
+            stream,
+            (start + i) as u64,
         ));
         let out = sample_with_retries(tb, stage, &mut rng, policy);
         heartbeat.tick();
@@ -361,14 +419,19 @@ pub fn run_monte_carlo_seeded_with_policy<T: Testbench + ?Sized>(
         reason: p.to_string(),
     })?;
 
-    let mut samples = Matrix::zeros(n, d);
+    let mut samples = Matrix::zeros(len, d);
+    let mut retries = 0u64;
     for (i, row) in rows.into_iter().enumerate() {
-        samples.row_mut(i).copy_from_slice(row?.as_slice());
+        let (v, redraws) = row?;
+        samples.row_mut(i).copy_from_slice(v.as_slice());
+        retries += redraws as u64;
     }
-    Ok(StageData {
+    Ok(SliceData {
         stage,
         nominal,
+        start,
         samples,
+        retries,
     })
 }
 

@@ -103,21 +103,27 @@ pub struct DataQualityReport {
 }
 
 impl DataQualityReport {
-    /// `true` when the screen found nothing at all.
+    /// `true` when the screen found nothing at all. Checks the row
+    /// *counts* as well as the per-row findings: a stats-only input
+    /// (sharded merge) reports upstream drops by count alone.
     pub fn is_clean(&self) -> bool {
-        self.nonfinite_cells.is_empty()
+        self.rows_in == self.rows_out
+            && self.nonfinite_cells.is_empty()
             && self.dropped_rows.is_empty()
             && self.constant_columns.is_empty()
             && self.duplicate_rows.is_empty()
             && self.outlier_rows.is_empty()
     }
 
-    /// Fraction of input rows the screen dropped (0 when no rows came in).
+    /// Fraction of input rows the screen dropped (0 when no rows came
+    /// in). Counted via `rows_in − rows_out` so it also covers rows
+    /// screened upstream of the pipeline (sharded merges), where the
+    /// per-row index list is unavailable.
     pub fn dropped_fraction(&self) -> f64 {
         if self.rows_in == 0 {
             0.0
         } else {
-            self.dropped_rows.len() as f64 / self.rows_in as f64
+            self.rows_in.saturating_sub(self.rows_out) as f64 / self.rows_in as f64
         }
     }
 

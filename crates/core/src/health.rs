@@ -53,9 +53,63 @@ pub fn assess(
     data_quality: &DataQualityReport,
     estimate: &MomentEstimate,
 ) -> Result<HealthReport> {
-    let n = late_samples.nrows();
-    let d = late_samples.ncols();
+    let x_bar = descriptive::mean_vector(late_samples)?;
+    assess_at_mean(
+        early,
+        &x_bar,
+        late_samples.nrows(),
+        late_samples.ncols(),
+        kappa0,
+        nu0,
+        selection,
+        data_quality,
+        estimate,
+    )
+}
 
+/// [`assess`] for a stats-only input (sharded merge): identical math,
+/// with the sample mean taken from the reduced statistics instead of a
+/// sample matrix. The data-quality verdict reflects upstream drops via
+/// [`SufficientStats::data_quality`](crate::suffstats::SufficientStats::data_quality)
+/// counts.
+///
+/// # Errors
+///
+/// As [`assess`].
+pub fn assess_from_stats(
+    early: &MomentEstimate,
+    stats: &crate::suffstats::SufficientStats,
+    kappa0: f64,
+    nu0: f64,
+    selection: Option<&HyperParameterSelection>,
+    data_quality: &DataQualityReport,
+    estimate: &MomentEstimate,
+) -> Result<HealthReport> {
+    assess_at_mean(
+        early,
+        &stats.mean,
+        stats.n,
+        stats.dim(),
+        kappa0,
+        nu0,
+        selection,
+        data_quality,
+        estimate,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assess_at_mean(
+    early: &MomentEstimate,
+    x_bar: &bmf_linalg::Vector,
+    n: usize,
+    d: usize,
+    kappa0: f64,
+    nu0: f64,
+    selection: Option<&HyperParameterSelection>,
+    data_quality: &DataQualityReport,
+    estimate: &MomentEstimate,
+) -> Result<HealthReport> {
     // Prior–data conflict: under the prior predictive the late-stage
     // sample mean is distributed around μ₀ with covariance
     // (1/κ₀ + 1/n)·Σ_E (paper Eq. 12–14 with the Wishart scale taken at
@@ -63,9 +117,8 @@ pub fn assess(
     // asymptotically χ²(d). A tiny upper-tail p-value means the prior
     // and the data disagree about where the metrics live — exactly the
     // decorrelated-population failure mode MPME warns about.
-    let x_bar = descriptive::mean_vector(late_samples)?;
     let chol_early = Cholesky::new(&early.cov)?;
-    let raw_d2 = chol_early.mahalanobis_sq(&x_bar, &early.mean)?;
+    let raw_d2 = chol_early.mahalanobis_sq(x_bar, &early.mean)?;
     let inflation = 1.0 / kappa0 + 1.0 / n as f64;
     let mahalanobis_sq = raw_d2 / inflation;
     let p_value = if mahalanobis_sq.is_finite() {

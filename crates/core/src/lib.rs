@@ -91,6 +91,7 @@ pub mod pipeline;
 pub mod prior;
 pub mod robustness;
 pub mod sequential;
+pub mod suffstats;
 pub mod transform;
 pub mod univariate;
 pub mod yield_estimation;
@@ -161,6 +162,7 @@ pub mod prelude {
     pub use crate::mle::MleEstimator;
     pub use crate::pipeline::{FailureMode, FallbackLevel, FusionReport, RobustPipeline};
     pub use crate::prior::NormalWishartPrior;
+    pub use crate::suffstats::SufficientStats;
     pub use crate::transform::ShiftScale;
     pub use crate::yield_estimation::{SpecLimits, YieldEstimate};
     pub use crate::{BmfError, MomentEstimate};

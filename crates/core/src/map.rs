@@ -1,9 +1,10 @@
 //! Maximum-a-posteriori moment estimation (§3.3) — the core of the paper.
 
 use crate::prior::NormalWishartPrior;
+use crate::suffstats::SufficientStats;
 use crate::{BmfError, MomentEstimate, Result};
 use bmf_linalg::{Matrix, Vector};
-use bmf_stats::{descriptive, MultivariateStudentT};
+use bmf_stats::MultivariateStudentT;
 use serde::{Deserialize, Serialize};
 
 /// Posterior hyper-parameters after observing `n` late-stage samples
@@ -145,7 +146,9 @@ impl BmfEstimator {
     }
 
     /// Runs MAP estimation on an `n × d` late-stage sample matrix
-    /// (Algorithm 1, steps 2 and 4).
+    /// (Algorithm 1, steps 2 and 4). Forms the sufficient statistics
+    /// `(n, X̄, S)` and delegates to [`Self::estimate_from_stats`], so
+    /// the two entry points are bit-identical on equal statistics.
     ///
     /// # Errors
     ///
@@ -156,8 +159,7 @@ impl BmfEstimator {
     ///   positive definite).
     pub fn estimate(&self, samples: &Matrix) -> Result<BmfEstimate> {
         let d = self.prior.dim();
-        let n = samples.nrows();
-        if n == 0 {
+        if samples.nrows() == 0 {
             return Err(BmfError::InvalidSamples {
                 reason: "need at least one late-stage sample".to_string(),
             });
@@ -170,9 +172,29 @@ impl BmfEstimator {
                 ),
             });
         }
-        if !samples.is_finite() {
+        self.estimate_from_stats(&SufficientStats::from_samples(samples)?)
+    }
+
+    /// Runs MAP estimation directly on sufficient statistics — the entry
+    /// point a sharded merge uses, since packets reduce to exactly
+    /// `(n, X̄, S)`. This is the real implementation of Eq. 24–32;
+    /// [`Self::estimate`] delegates here.
+    ///
+    /// # Errors
+    ///
+    /// * [`BmfError::InvalidSamples`] for empty/mismatched/non-finite
+    ///   statistics.
+    /// * [`BmfError::Linalg`] as for [`Self::estimate`].
+    pub fn estimate_from_stats(&self, stats: &SufficientStats) -> Result<BmfEstimate> {
+        stats.validate()?;
+        let d = self.prior.dim();
+        let n = stats.n;
+        if stats.dim() != d {
             return Err(BmfError::InvalidSamples {
-                reason: "sample matrix contains non-finite entries".to_string(),
+                reason: format!(
+                    "statistics are {}-dimensional but prior is {d}-dimensional",
+                    stats.dim()
+                ),
             });
         }
 
@@ -183,13 +205,13 @@ impl BmfEstimator {
         let df = d as f64;
 
         // Step 2: sample mean X̄.
-        let xbar = descriptive::mean_vector(samples)?;
+        let xbar = stats.mean.clone();
 
         // Eq. 24: posterior location.
         let mu_n = (&(mu_e * kappa0) + &(&xbar * nf)) / (kappa0 + nf);
 
         // Eq. 26: scatter about X̄.
-        let s = descriptive::scatter_about(samples, &xbar)?;
+        let s = stats.scatter.clone();
 
         // Eq. 25: T_n⁻¹ = (ν₀−d) Σ_E + S + κ₀n/(κ₀+n) (μ_E−X̄)(μ_E−X̄)ᵀ
         // (note (ν₀−d) Λ_E⁻¹ = (ν₀−d) Σ_E).
@@ -227,7 +249,7 @@ impl BmfEstimator {
 mod tests {
     use super::*;
     use crate::mle::MleEstimator;
-    use bmf_stats::MultivariateNormal;
+    use bmf_stats::{descriptive, MultivariateNormal};
     use rand::SeedableRng;
 
     fn early() -> MomentEstimate {
@@ -297,6 +319,28 @@ mod tests {
         let one = Matrix::from_rows(&[&[5.0, 5.0]]).unwrap();
         let est = BmfEstimator::new(prior).unwrap().estimate(&one).unwrap();
         assert!(bmf_linalg::Cholesky::new(&est.map.cov).is_ok());
+    }
+
+    #[test]
+    fn estimate_and_estimate_from_stats_are_bit_identical() {
+        let prior = NormalWishartPrior::from_early_moments(&early(), 4.0, 10.0).unwrap();
+        let est = BmfEstimator::new(prior).unwrap();
+        let from_samples = est.estimate(&samples()).unwrap();
+        let stats = SufficientStats::from_samples(&samples()).unwrap();
+        let from_stats = est.estimate_from_stats(&stats).unwrap();
+        assert_eq!(from_samples.map, from_stats.map);
+        assert_eq!(from_samples.posterior.mu_n, from_stats.posterior.mu_n);
+        assert_eq!(from_samples.posterior.t_n_inv, from_stats.posterior.t_n_inv);
+        assert_eq!(from_samples.posterior.kappa_n, from_stats.posterior.kappa_n);
+        assert_eq!(from_samples.posterior.nu_n, from_stats.posterior.nu_n);
+        // Dimension mismatch is typed.
+        let bad = SufficientStats {
+            n: 2,
+            dropped: 0,
+            mean: Vector::zeros(3),
+            scatter: Matrix::identity(3),
+        };
+        assert!(est.estimate_from_stats(&bad).is_err());
     }
 
     #[test]

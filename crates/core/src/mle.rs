@@ -61,6 +61,26 @@ impl MleEstimator {
         est.validate()?;
         Ok(est)
     }
+
+    /// Estimates the moments from sufficient statistics `(n, X̄, S)`:
+    /// `μ_MLE = X̄`, `Σ_MLE = S/n` — the stats-path twin of
+    /// [`Self::estimate`] used by sharded merges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for invalid statistics.
+    pub fn estimate_from_stats(
+        &self,
+        stats: &crate::suffstats::SufficientStats,
+    ) -> Result<MomentEstimate> {
+        stats.validate()?;
+        let est = MomentEstimate {
+            mean: stats.mean.clone(),
+            cov: &stats.scatter / stats.n as f64,
+        };
+        est.validate()?;
+        Ok(est)
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,11 @@ pub struct FusionReport {
     /// stamped on every structured event, trace, metrics snapshot, and
     /// flight dump, so a report can be joined to its telemetry.
     pub run_id: Option<String>,
+    /// Shard coverage of the merge this estimate was computed from:
+    /// which shards arrived, which were missing or corrupt, and the
+    /// late-sample inflation factor a degraded merge carries. `None`
+    /// for single-process (non-sharded) estimates.
+    pub shard: Option<bmf_obs::ShardCoverage>,
 }
 
 /// Wall-clock spent in each stage of one [`RobustPipeline::estimate`]
@@ -188,12 +193,16 @@ impl FusionReport {
             Some(r) => format!("\"{}\"", json_escape(r)),
             None => "null".to_string(),
         };
+        let shard = match &self.shard {
+            Some(s) => s.to_json(),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"run_id\":{},\"fallback\":\"{}\",\"fallback_reason\":{},",
                 "\"prior_condition\":{},\"prior_repair\":\"{}\",",
                 "\"prior_repair_detail\":\"{}\",\"selection\":{},",
-                "\"health\":{},",
+                "\"health\":{},\"shard\":{},",
                 "\"data_quality\":{{\"rows_in\":{},\"rows_out\":{},",
                 "\"nonfinite_cells\":{},\"dropped_rows\":{},",
                 "\"constant_columns\":{},\"duplicate_rows\":{},",
@@ -209,6 +218,7 @@ impl FusionReport {
             json_escape(&self.prior_repair.to_string()),
             selection,
             health,
+            shard,
             dq.rows_in,
             dq.rows_out,
             json_index_pairs(&dq.nonfinite_cells),
@@ -243,6 +253,9 @@ impl FusionReport {
             out.push_str(&format!("degraded because: {r}\n"));
         }
         out.push_str(&format!("data quality: {}\n", self.data_quality.summary()));
+        if let Some(s) = &self.shard {
+            out.push_str(&format!("{}\n", s.summary()));
+        }
         out.push_str(&format!(
             "prior condition: {:.3e}, repair: {}\n",
             self.prior_condition, self.prior_repair
@@ -305,6 +318,7 @@ pub struct RobustPipeline {
     mode: FailureMode,
     seed: u64,
     threads: usize,
+    fixed_hypers: Option<(f64, f64)>,
 }
 
 impl Default for RobustPipeline {
@@ -323,7 +337,18 @@ impl RobustPipeline {
             mode: FailureMode::Degrade,
             seed: 2015,
             threads: 1,
+            fixed_hypers: None,
         }
+    }
+
+    /// Pins the hyper-parameters to `(κ₀, ν₀)`, skipping cross-validation
+    /// entirely. Required for stats-only estimation (CV needs raw
+    /// samples) when the defaults `κ₀ = 1, ν₀ = d + 2` are not wanted,
+    /// and useful to make a sharded merge and a single-process run use
+    /// identical hyper-parameters.
+    pub fn with_fixed_hypers(mut self, kappa0: f64, nu0: f64) -> Self {
+        self.fixed_hypers = Some((kappa0, nu0));
+        self
     }
 
     /// Replaces the cross-validation strategy.
@@ -380,7 +405,50 @@ impl RobustPipeline {
         let started = std::time::Instant::now();
         let before = bmf_obs::is_enabled().then(bmf_obs::metrics::snapshot);
         let mut timings = StageTimings::default();
-        let mut result = self.estimate_inner(early, late_samples, &mut timings);
+        let result = self.estimate_inner(early, late_samples, &mut timings);
+        self.finalize(result, started, before, timings)
+    }
+
+    /// [`Self::estimate`] for sufficient statistics instead of a sample
+    /// matrix — the entry point `bmf merge` feeds a reduced shard set
+    /// into. Differences from the sample path, all reported:
+    ///
+    /// * the guard already ran upstream (shard-side row screening); the
+    ///   report carries its residue as drop *counts*;
+    /// * cross-validation needs raw samples, so the hyper-parameters are
+    ///   the pinned [`Self::with_fixed_hypers`] pair or the defaults
+    ///   `κ₀ = 1, ν₀ = d + 2` (a note records which);
+    /// * `shard` coverage, when given, is stamped into the
+    ///   [`FusionReport`] — an incomplete merge degrades with a
+    ///   widened-uncertainty note in [`FailureMode::Degrade`] and is a
+    ///   typed error (plus flight-recorder dump) in
+    ///   [`FailureMode::Strict`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::estimate`], plus strict-mode rejection of upstream
+    /// drops and incomplete shard coverage.
+    pub fn estimate_from_stats(
+        &self,
+        early: &MomentEstimate,
+        late: &crate::suffstats::SufficientStats,
+        shard: Option<bmf_obs::ShardCoverage>,
+    ) -> Result<(MomentEstimate, FusionReport)> {
+        let _span = bmf_obs::span("pipeline.estimate_from_stats");
+        let started = std::time::Instant::now();
+        let before = bmf_obs::is_enabled().then(bmf_obs::metrics::snapshot);
+        let mut timings = StageTimings::default();
+        let result = self.estimate_from_stats_inner(early, late, shard, &mut timings);
+        self.finalize(result, started, before, timings)
+    }
+
+    fn finalize(
+        &self,
+        mut result: Result<(MomentEstimate, FusionReport)>,
+        started: std::time::Instant,
+        before: Option<bmf_obs::MetricsSnapshot>,
+        mut timings: StageTimings,
+    ) -> Result<(MomentEstimate, FusionReport)> {
         match result.as_mut() {
             Ok((_, report)) => {
                 timings.total_ns = started.elapsed().as_nanos() as u64;
@@ -408,6 +476,221 @@ impl RobustPipeline {
             }
             Err(_) => {}
         }
+        result
+    }
+
+    fn estimate_from_stats_inner(
+        &self,
+        early: &MomentEstimate,
+        late: &crate::suffstats::SufficientStats,
+        shard: Option<bmf_obs::ShardCoverage>,
+        timings: &mut StageTimings,
+    ) -> Result<(MomentEstimate, FusionReport)> {
+        if self.threads == 0 {
+            return Err(BmfError::InvalidConfig {
+                reason: "robust pipeline needs at least one worker thread".to_string(),
+            });
+        }
+        early.validate()?;
+        late.validate()?;
+        if late.dim() != early.dim() {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "late statistics are {}-dimensional but early moments are {}-dimensional",
+                    late.dim(),
+                    early.dim()
+                ),
+            });
+        }
+
+        let mut notes: Vec<String> = Vec::new();
+
+        // ── Stage 1: upstream-guard residue + shard coverage policy. ──
+        let stage_start = std::time::Instant::now();
+        let dq = late.data_quality();
+        if self.mode == FailureMode::Strict && late.dropped > 0 {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "strict mode: {} late-stage row(s) were screened out upstream ({})",
+                    late.dropped,
+                    dq.summary()
+                ),
+            });
+        }
+        if late.dropped > 0 {
+            notes.push(format!(
+                "{} late-stage row(s) screened out upstream of the merge",
+                late.dropped
+            ));
+        }
+        if let Some(cov) = &shard {
+            if !cov.is_complete() {
+                if self.mode == FailureMode::Strict {
+                    return Err(BmfError::InvalidSamples {
+                        reason: format!(
+                            "strict mode: shard coverage incomplete ({})",
+                            cov.summary()
+                        ),
+                    });
+                }
+                notes.push(format!(
+                    "degraded merge: {} of {} shards; late-sample uncertainty inflated x{:.4}",
+                    cov.merged, cov.shard_count, cov.inflation
+                ));
+            }
+        }
+        timings.guard_ns = stage_start.elapsed().as_nanos() as u64;
+
+        // ── Stage 2: prior conditioning (same ladder as the sample path).
+        let prior_span = bmf_obs::span("pipeline.prior");
+        let stage_start = std::time::Instant::now();
+        let prior_condition = bmf_linalg::condition_number(&early.cov)?;
+        let repaired = Cholesky::new_with_repair(&early.cov)?;
+        timings.prior_ns = stage_start.elapsed().as_nanos() as u64;
+        drop(prior_span);
+        let prior_repair = repaired.repair;
+        if self.mode == FailureMode::Strict && prior_repair.is_repaired() {
+            return Err(BmfError::InvalidMoments {
+                reason: format!(
+                    "strict mode: early-stage covariance needed repair ({prior_repair}), \
+                     condition = {prior_condition:.3e}"
+                ),
+            });
+        }
+        let effective_early = if prior_repair.is_repaired() {
+            MomentEstimate {
+                mean: early.mean.clone(),
+                cov: repaired.matrix,
+            }
+        } else {
+            early.clone()
+        };
+
+        // ── Stage 3: hyper-parameters (CV needs raw samples). ─────────
+        let d = early.dim() as f64;
+        let (kappa0, nu0) = match self.fixed_hypers {
+            Some(h) => h,
+            None => {
+                notes.push(
+                    "stats-only input: cross-validation unavailable; using default \
+                     hyper-parameters kappa0 = 1, nu0 = d + 2"
+                        .to_string(),
+                );
+                (1.0, d + 2.0)
+            }
+        };
+
+        // ── Stage 4: the ladder. MAP → MLE → early-only. ─────────────
+        let stage_start = std::time::Instant::now();
+        let map_span = bmf_obs::span("ladder.map");
+        let map_attempt = NormalWishartPrior::from_early_moments(&effective_early, kappa0, nu0)
+            .and_then(|prior| BmfEstimator::new(prior)?.estimate_from_stats(late));
+        drop(map_span);
+        let assess_health = |est: &MomentEstimate, notes: &mut Vec<String>| {
+            let _span = bmf_obs::span("pipeline.health");
+            match crate::health::assess_from_stats(
+                &effective_early,
+                late,
+                kappa0,
+                nu0,
+                None,
+                &dq,
+                est,
+            ) {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    notes.push(format!("health assessment unavailable: {e}"));
+                    None
+                }
+            }
+        };
+        let result = match map_attempt {
+            Ok(est) => {
+                let fallback = if prior_repair.is_repaired() {
+                    bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                    bmf_obs::event!(Info, "ladder.transition",
+                        "from": "map", "to": "map_repaired_prior",
+                        "cause": prior_repair.to_string());
+                    FallbackLevel::MapRepairedPrior
+                } else {
+                    FallbackLevel::Map
+                };
+                let health = assess_health(&est.map, &mut notes);
+                let report = FusionReport {
+                    data_quality: dq,
+                    prior_condition,
+                    prior_repair,
+                    selection: self.fixed_hypers,
+                    fallback,
+                    fallback_reason: if prior_repair.is_repaired() {
+                        Some(format!("prior covariance repaired: {prior_repair}"))
+                    } else {
+                        None
+                    },
+                    notes,
+                    timings: StageTimings::default(),
+                    counters: Vec::new(),
+                    health,
+                    run_id: None,
+                    shard,
+                };
+                Ok((est.map, report))
+            }
+            Err(map_err) => {
+                if self.mode == FailureMode::Strict {
+                    return Err(map_err);
+                }
+                bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                bmf_obs::event!(Warn, "ladder.transition",
+                    "from": "map", "to": "mle", "cause": map_err.to_string());
+                let mle_span = bmf_obs::span("ladder.mle");
+                let mle_attempt = MleEstimator::new().estimate_from_stats(late);
+                drop(mle_span);
+                match mle_attempt {
+                    Ok(mle) => {
+                        let health = assess_health(&mle, &mut notes);
+                        let report = FusionReport {
+                            data_quality: dq,
+                            prior_condition,
+                            prior_repair,
+                            selection: self.fixed_hypers,
+                            fallback: FallbackLevel::Mle,
+                            fallback_reason: Some(format!("MAP estimation failed: {map_err}")),
+                            notes,
+                            timings: StageTimings::default(),
+                            counters: Vec::new(),
+                            health,
+                            run_id: None,
+                            shard,
+                        };
+                        Ok((mle, report))
+                    }
+                    Err(mle_err) => {
+                        bmf_obs::counters::LADDER_RUNG_TRANSITIONS.incr();
+                        bmf_obs::event!(Error, "ladder.transition",
+                            "from": "mle", "to": "early_only", "cause": mle_err.to_string());
+                        let report = FusionReport {
+                            data_quality: dq,
+                            prior_condition,
+                            prior_repair,
+                            selection: self.fixed_hypers,
+                            fallback: FallbackLevel::EarlyOnly,
+                            fallback_reason: Some(format!(
+                                "MAP failed ({map_err}); MLE failed ({mle_err})"
+                            )),
+                            notes,
+                            timings: StageTimings::default(),
+                            counters: Vec::new(),
+                            health: None,
+                            run_id: None,
+                            shard,
+                        };
+                        Ok((early.clone(), report))
+                    }
+                }
+            }
+        };
+        timings.ladder_ns = stage_start.elapsed().as_nanos() as u64;
         result
     }
 
@@ -470,6 +753,7 @@ impl RobustPipeline {
                     counters: Vec::new(),
                     health: None,
                     run_id: None,
+                    shard: None,
                 };
                 return Ok((early.clone(), report));
             }
@@ -518,16 +802,26 @@ impl RobustPipeline {
         // ── Stage 3: hyper-parameter selection (absorb CV failure). ───
         let d = early.dim() as f64;
         let stage_start = std::time::Instant::now();
-        let selected = self
-            .cv
-            .select_seeded(&effective_early, &cleaned, self.seed, self.threads);
+        // Pinned hyper-parameters skip CV entirely — the only option on
+        // the stats-only path, and the way to make a sharded merge and a
+        // single-process run select identically.
+        let selected = match self.fixed_hypers {
+            Some(_) => None,
+            None => {
+                Some(
+                    self.cv
+                        .select_seeded(&effective_early, &cleaned, self.seed, self.threads),
+                )
+            }
+        };
         timings.cv_ns = stage_start.elapsed().as_nanos() as u64;
         // Keep the full selection (grid + per-point scores) alive for the
         // health assessment's CV-surface summary; the report only stores
         // the chosen (κ₀, ν₀) pair.
         let selection_full = match selected {
-            Ok(sel) => Some(sel),
-            Err(e) => {
+            None => None,
+            Some(Ok(sel)) => Some(sel),
+            Some(Err(e)) => {
                 if self.mode == FailureMode::Strict {
                     return Err(e);
                 }
@@ -538,7 +832,9 @@ impl RobustPipeline {
                 None
             }
         };
-        let selection = selection_full.as_ref().map(|sel| (sel.kappa0, sel.nu0));
+        let selection = self
+            .fixed_hypers
+            .or_else(|| selection_full.as_ref().map(|sel| (sel.kappa0, sel.nu0)));
         let (kappa0, nu0) = selection.unwrap_or((1.0, d + 2.0));
 
         // ── Stage 4: the ladder. MAP → MLE → early-only. ─────────────
@@ -596,6 +892,7 @@ impl RobustPipeline {
                     counters: Vec::new(),
                     health,
                     run_id: None,
+                    shard: None,
                 };
                 Ok((est.map, report))
             }
@@ -624,6 +921,7 @@ impl RobustPipeline {
                             counters: Vec::new(),
                             health,
                             run_id: None,
+                            shard: None,
                         };
                         Ok((mle, report))
                     }
@@ -645,6 +943,7 @@ impl RobustPipeline {
                             counters: Vec::new(),
                             health: None,
                             run_id: None,
+                            shard: None,
                         };
                         Ok((early.clone(), report))
                     }
@@ -846,6 +1145,96 @@ mod tests {
             .unwrap();
         assert_eq!(a.0, b.0);
         assert_eq!(a.1.selection, b.1.selection);
+    }
+
+    #[test]
+    fn stats_path_matches_sample_path_with_fixed_hypers() {
+        let late = clean_late(16, 14);
+        let stats = crate::suffstats::SufficientStats::from_samples(&late).unwrap();
+        let p = RobustPipeline::new().with_fixed_hypers(2.0, 8.0);
+        let (a, ra) = p.estimate(&early(), &late).unwrap();
+        let (b, rb) = p.estimate_from_stats(&early(), &stats, None).unwrap();
+        assert_eq!(a, b, "sample and stats paths must agree bit-for-bit");
+        assert_eq!(ra.fallback, rb.fallback);
+        assert_eq!(ra.selection, Some((2.0, 8.0)));
+        assert_eq!(rb.selection, Some((2.0, 8.0)));
+        assert!(rb.shard.is_none());
+        assert!(rb.health.is_some());
+        // Without pinned hypers the stats path falls back to defaults
+        // and says so.
+        let (_, r) = RobustPipeline::new()
+            .estimate_from_stats(&early(), &stats, None)
+            .unwrap();
+        assert!(r.selection.is_none());
+        assert!(r
+            .notes
+            .iter()
+            .any(|n| n.contains("cross-validation unavailable")));
+    }
+
+    #[test]
+    fn shard_coverage_is_reported_and_enforced() {
+        let late = clean_late(16, 15);
+        let stats = crate::suffstats::SufficientStats::from_samples(&late).unwrap();
+        let degraded = bmf_obs::ShardCoverage {
+            shard_count: 4,
+            merged: 3,
+            missing: vec![2],
+            corrupt: vec![],
+            duplicates: 0,
+            min_shards: 3,
+            planned_late: 20,
+            observed_late: 16,
+            inflation: 1.25,
+        };
+        let (est, report) = RobustPipeline::new()
+            .estimate_from_stats(&early(), &stats, Some(degraded.clone()))
+            .unwrap();
+        assert!(est.validate().is_ok());
+        assert_eq!(report.shard.as_ref().unwrap().merged, 3);
+        assert!(report.notes.iter().any(|n| n.contains("degraded merge")));
+        assert!(report.summary().contains("shards: 3/4 merged"));
+        let doc = bmf_obs::json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("shard")
+                .and_then(|s| s.get("merged"))
+                .and_then(bmf_obs::json::Value::as_f64),
+            Some(3.0)
+        );
+        // Strict mode refuses the incomplete merge...
+        let err = RobustPipeline::new()
+            .with_mode(FailureMode::Strict)
+            .with_fixed_hypers(1.0, 4.0)
+            .estimate_from_stats(&early(), &stats, Some(degraded))
+            .unwrap_err();
+        assert!(err.to_string().contains("shard coverage"), "{err}");
+        // ...but accepts a complete one.
+        let complete = bmf_obs::ShardCoverage {
+            shard_count: 4,
+            merged: 4,
+            missing: vec![],
+            corrupt: vec![],
+            duplicates: 0,
+            min_shards: 4,
+            planned_late: 16,
+            observed_late: 16,
+            inflation: 1.0,
+        };
+        let (_, report) = RobustPipeline::new()
+            .with_mode(FailureMode::Strict)
+            .with_fixed_hypers(1.0, 4.0)
+            .estimate_from_stats(&early(), &stats, Some(complete))
+            .unwrap();
+        assert_eq!(report.fallback, FallbackLevel::Map);
+        // Upstream drops are a strict-mode error too.
+        let mut dirty = stats.clone();
+        dirty.dropped = 2;
+        let err = RobustPipeline::new()
+            .with_mode(FailureMode::Strict)
+            .with_fixed_hypers(1.0, 4.0)
+            .estimate_from_stats(&early(), &dirty, None)
+            .unwrap_err();
+        assert!(err.to_string().contains("screened out upstream"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Sufficient statistics `(n, X̄, S)` as a first-class estimator input.
+//!
+//! Everything the BMF MAP update (Eq. 24–28) and the MLE baseline need
+//! from the late-stage samples is the accepted-row count, the sample
+//! mean and the scatter about it. A sharded study reduces its packets to
+//! exactly this triple (`bmf_circuits::shard`), so the estimators accept
+//! it directly: `estimate` on a sample matrix first forms the same
+//! triple and then delegates, which makes the two entry points
+//! bit-identical by construction when fed the same statistics.
+
+use crate::guard::DataQualityReport;
+use crate::{BmfError, Result};
+use bmf_linalg::{Matrix, Vector};
+use bmf_stats::descriptive;
+
+/// The `(n, X̄, S)` triple summarizing a late-stage sample set, plus the
+/// count of rows screened out upstream (a merge's data-quality residue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SufficientStats {
+    /// Accepted sample count `n`.
+    pub n: usize,
+    /// Rows dropped by upstream screening (non-finite entries) before
+    /// the statistics were formed. Zero for a clean study.
+    pub dropped: usize,
+    /// Sample mean `X̄` (length `d`).
+    pub mean: Vector,
+    /// Scatter `S = Σ (Xᵢ−X̄)(Xᵢ−X̄)ᵀ` (`d × d`). Scatter, not
+    /// covariance: the MAP update of Eq. 25 consumes `S` unnormalized.
+    pub scatter: Matrix,
+}
+
+impl SufficientStats {
+    /// Dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Validates shape, finiteness and counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] when `n == 0`, shapes
+    /// mismatch, or any entry is non-finite.
+    pub fn validate(&self) -> Result<()> {
+        if self.n == 0 {
+            return Err(BmfError::InvalidSamples {
+                reason: "sufficient statistics summarize zero samples".to_string(),
+            });
+        }
+        let d = self.mean.len();
+        if self.scatter.shape() != (d, d) {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "mean has length {d} but scatter is {}x{}",
+                    self.scatter.nrows(),
+                    self.scatter.ncols()
+                ),
+            });
+        }
+        if !self.mean.is_finite() || !self.scatter.is_finite() {
+            return Err(BmfError::InvalidSamples {
+                reason: "non-finite sufficient statistics".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Forms the triple from a sample matrix via the same
+    /// `descriptive` kernels `BmfEstimator::estimate` uses, so
+    /// `estimate(samples)` and `estimate_from_stats(from_samples(samples))`
+    /// agree bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmfError::InvalidSamples`] for an empty matrix or
+    /// non-finite entries.
+    pub fn from_samples(samples: &Matrix) -> Result<SufficientStats> {
+        if samples.nrows() == 0 || samples.ncols() == 0 {
+            return Err(BmfError::InvalidSamples {
+                reason: format!(
+                    "need at least one sample and one metric, got {}x{}",
+                    samples.nrows(),
+                    samples.ncols()
+                ),
+            });
+        }
+        if !samples.is_finite() {
+            return Err(BmfError::InvalidSamples {
+                reason: "sample matrix contains non-finite entries".to_string(),
+            });
+        }
+        let mean = descriptive::mean_vector(samples)?;
+        let scatter = descriptive::scatter_about(samples, &mean)?;
+        Ok(SufficientStats {
+            n: samples.nrows(),
+            dropped: 0,
+            mean,
+            scatter,
+        })
+    }
+
+    /// The data-quality view of a stats-only input: upstream screening
+    /// already removed `dropped` rows, so the report carries counts but
+    /// no per-row indices.
+    #[must_use]
+    pub fn data_quality(&self) -> DataQualityReport {
+        DataQualityReport {
+            rows_in: self.n + self.dropped,
+            rows_out: self.n,
+            ..DataQualityReport::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_samples_matches_hand_computation() {
+        let samples = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0], &[5.0, 4.0]]).unwrap();
+        let stats = SufficientStats::from_samples(&samples).unwrap();
+        assert_eq!(stats.n, 3);
+        assert_eq!(stats.dim(), 2);
+        assert_eq!(stats.mean.as_slice(), &[3.0, 4.0]);
+        assert!((stats.scatter[(0, 0)] - 8.0).abs() < 1e-12);
+        assert!((stats.scatter[(0, 1)] - 4.0).abs() < 1e-12);
+        assert!(stats.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_broken_stats() {
+        let good = SufficientStats {
+            n: 2,
+            dropped: 0,
+            mean: Vector::zeros(2),
+            scatter: Matrix::identity(2),
+        };
+        assert!(good.validate().is_ok());
+        assert!(SufficientStats {
+            n: 0,
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(SufficientStats {
+            scatter: Matrix::identity(3),
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        let mut nan_mean = good.clone();
+        nan_mean.mean[0] = f64::NAN;
+        assert!(nan_mean.validate().is_err());
+        assert!(SufficientStats::from_samples(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn data_quality_accounts_for_upstream_drops() {
+        let stats = SufficientStats {
+            n: 18,
+            dropped: 2,
+            mean: Vector::zeros(2),
+            scatter: Matrix::identity(2),
+        };
+        let dq = stats.data_quality();
+        assert_eq!(dq.rows_in, 20);
+        assert_eq!(dq.rows_out, 18);
+        assert!((dq.dropped_fraction() - 0.1).abs() < 1e-12);
+        assert!(!dq.is_clean());
+        assert!(stats.data_quality().summary().contains("20 -> 18"));
+    }
+}

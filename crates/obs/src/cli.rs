@@ -33,9 +33,10 @@
 use crate::dashboard::{self, DashboardData};
 use crate::event::Level;
 use crate::export::HardwareContext;
+use crate::fsio::atomic_write;
 use crate::health::{DriftTimeline, HealthReport};
+use crate::shard::ShardCoverage;
 use std::io;
-use std::io::Write as _;
 
 /// Filename the dashboard looks for (in the working directory) to
 /// populate its bench-history section.
@@ -65,6 +66,8 @@ pub struct ObsOptions {
     pub health: Option<HealthReport>,
     /// Drift timeline attached by the binary, rendered in the dashboard.
     pub drift: Option<DriftTimeline>,
+    /// Shard coverage attached by a merge, rendered in the dashboard.
+    pub shard: Option<ShardCoverage>,
 }
 
 /// Error raised when an observability flag is missing or has an
@@ -236,6 +239,11 @@ impl ObsOptions {
         self.drift = Some(drift);
     }
 
+    /// Attaches a merge's shard coverage for dashboard rendering.
+    pub fn attach_shard(&mut self, shard: ShardCoverage) {
+        self.shard = Some(shard);
+    }
+
     /// Derives and installs the process-wide [`crate::run::RunContext`]
     /// from the run's root seed and configuration description. Call once
     /// after argument parsing; the id is then stamped into every JSONL
@@ -259,7 +267,7 @@ impl ObsOptions {
         let hardware = HardwareContext::detect(self.threads_used);
         let run = crate::run::current();
         if let Some(path) = &self.trace_out {
-            std::fs::write(
+            atomic_write(
                 path,
                 crate::export::chrome_trace_json(&events, &hardware, run.as_ref()),
             )?;
@@ -272,13 +280,12 @@ impl ObsOptions {
                 body.push_str(&record.to_json(run_id));
                 body.push('\n');
             }
-            let mut file = std::fs::File::create(path)?;
-            file.write_all(body.as_bytes())?;
+            atomic_write(path, body)?;
             crate::info!("wrote event log ({} events) to {path}", records.len());
         }
         if let Some(path) = &self.metrics_out {
             let snapshot = crate::metrics::snapshot();
-            std::fs::write(
+            atomic_write(
                 path,
                 crate::export::metrics_json(&snapshot, &hardware, run.as_ref()),
             )?;
@@ -303,9 +310,10 @@ impl ObsOptions {
                 snapshot: &snapshot,
                 health: self.health.as_ref(),
                 drift: self.drift.as_ref(),
+                shard: self.shard.as_ref(),
                 bench_history_json: bench_history.as_deref(),
             });
-            std::fs::write(path, page)?;
+            atomic_write(path, page)?;
             crate::info!("wrote dashboard to {path}");
         }
         if self.profile {

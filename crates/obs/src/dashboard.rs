@@ -27,6 +27,7 @@ use crate::health::{DriftTimeline, HealthReport, Severity};
 use crate::json::{self, Value};
 use crate::metrics::MetricsSnapshot;
 use crate::run::RunContext;
+use crate::shard::ShardCoverage;
 use crate::span::SpanEvent;
 use std::fmt::Write as _;
 
@@ -54,6 +55,8 @@ pub struct DashboardData<'a> {
     pub health: Option<&'a HealthReport>,
     /// Drift timeline, when the run monitored drift.
     pub drift: Option<&'a DriftTimeline>,
+    /// Shard coverage, when the run was a packet merge.
+    pub shard: Option<&'a ShardCoverage>,
     /// Raw contents of `BENCH_history.json`, when available.
     pub bench_history_json: Option<&'a str>,
 }
@@ -412,6 +415,55 @@ fn health_section(data: &DashboardData) -> String {
     out
 }
 
+fn shard_section(data: &DashboardData) -> String {
+    let mut out = String::from("<section id=\"shard\"><h2>Shard coverage</h2>");
+    match data.shard {
+        None => out.push_str("<p class=\"muted\">Not a sharded merge.</p>"),
+        Some(s) => {
+            let _ = write!(
+                out,
+                "<p>Overall: {} \u{00b7} {}/{} shards merged, quorum {}</p>",
+                severity_badge(s.severity()),
+                s.merged,
+                s.shard_count,
+                s.min_shards
+            );
+            out.push_str("<table><thead><tr><th>field</th><th>value</th></tr></thead><tbody>");
+            let row = |out: &mut String, k: &str, v: String| {
+                let _ = write!(out, "<tr><td>{k}</td><td class=\"num\">{v}</td></tr>");
+            };
+            row(
+                &mut out,
+                "late samples",
+                format!("{} of {} planned", s.observed_late, s.planned_late),
+            );
+            row(
+                &mut out,
+                "missing shards",
+                if s.missing.is_empty() {
+                    "none".to_string()
+                } else {
+                    format!("{:?}", s.missing)
+                },
+            );
+            row(
+                &mut out,
+                "corrupt shards",
+                if s.corrupt.is_empty() {
+                    "none".to_string()
+                } else {
+                    format!("{:?}", s.corrupt)
+                },
+            );
+            row(&mut out, "duplicate packets", s.duplicates.to_string());
+            row(&mut out, "uncertainty inflation", fmt_sig(s.inflation));
+            out.push_str("</tbody></table>");
+        }
+    }
+    out.push_str("</section>");
+    out
+}
+
 fn drift_section(data: &DashboardData) -> String {
     let mut out = String::from("<section id=\"drift\"><h2>Drift timeline</h2>");
     match data.drift {
@@ -697,11 +749,13 @@ pub fn render(data: &DashboardData) -> String {
         );
     }
     out.push_str(
-        "<nav><a href=\"#health\">Health</a><a href=\"#drift\">Drift</a>\
+        "<nav><a href=\"#health\">Health</a><a href=\"#shard\">Shards</a>\
+         <a href=\"#drift\">Drift</a>\
          <a href=\"#events\">Events</a><a href=\"#profile\">Profile</a>\
          <a href=\"#metrics\">Metrics</a><a href=\"#bench\">Bench</a></nav></header>",
     );
     out.push_str(&health_section(data));
+    out.push_str(&shard_section(data));
     out.push_str(&drift_section(data));
     out.push_str(&events_section(data));
     out.push_str(&profile_section(data));
@@ -727,6 +781,14 @@ pub fn render(data: &DashboardData) -> String {
         out,
         "<script type=\"application/json\" id=\"drift-data\">{}</script>",
         embed_json(&drift_json)
+    );
+    let shard_json = data
+        .shard
+        .map_or_else(|| "null".to_string(), ShardCoverage::to_json);
+    let _ = write!(
+        out,
+        "<script type=\"application/json\" id=\"shard-data\">{}</script>",
+        embed_json(&shard_json)
     );
     let _ = write!(
         out,
@@ -881,6 +943,17 @@ mod tests {
             path: std::path::PathBuf::from("flight-abc.json"),
             events: 2,
         };
+        let shard = ShardCoverage {
+            shard_count: 4,
+            merged: 3,
+            missing: vec![2],
+            corrupt: vec![],
+            duplicates: 1,
+            min_shards: 2,
+            planned_late: 200,
+            observed_late: 150,
+            inflation: 200.0 / 150.0,
+        };
         let page = render(&DashboardData {
             title: "fig4 <smoke>",
             hardware: &hw(),
@@ -892,6 +965,7 @@ mod tests {
             snapshot: &snap,
             health: Some(&health),
             drift: Some(&drift),
+            shard: Some(&shard),
             bench_history_json: Some(bench),
         });
         assert!(page.starts_with("<!DOCTYPE html>"));
@@ -901,11 +975,13 @@ mod tests {
             "id=\"profile\"",
             "id=\"metrics\"",
             "id=\"health\"",
+            "id=\"shard\"",
             "id=\"drift\"",
             "id=\"events\"",
             "id=\"bench\"",
             "id=\"health-data\"",
             "id=\"drift-data\"",
+            "id=\"shard-data\"",
             "id=\"bench-data\"",
             "id=\"events-data\"",
         ] {
@@ -913,7 +989,7 @@ mod tests {
         }
         // Every nav href has a matching section id.
         for target in [
-            "#health", "#drift", "#events", "#profile", "#metrics", "#bench",
+            "#health", "#shard", "#drift", "#events", "#profile", "#metrics", "#bench",
         ] {
             assert!(page.contains(&format!("href=\"{target}\"")));
         }
@@ -992,10 +1068,12 @@ mod tests {
             snapshot: &snap,
             health: None,
             drift: None,
+            shard: None,
             bench_history_json: None,
         });
         for id in [
             "id=\"health\"",
+            "id=\"shard\"",
             "id=\"drift\"",
             "id=\"events\"",
             "id=\"bench\"",
@@ -1005,6 +1083,7 @@ mod tests {
             assert!(page.contains(id), "missing {id}");
         }
         assert!(page.contains("No health report"));
+        assert!(page.contains("Not a sharded merge"));
         assert!(page.contains("No structured events"));
         assert!(page.contains("No dump written"));
         assert!(page.contains(">null</script>"));

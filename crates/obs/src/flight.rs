@@ -103,7 +103,7 @@ pub fn dump(reason: &str) -> Option<DumpInfo> {
         .unwrap_or_else(|| PathBuf::from("."));
     let path = dir.join(format!("flight-{run_id}.json"));
     let body = render(reason, run.as_ref(), &events);
-    std::fs::write(&path, body).ok()?;
+    crate::fsio::atomic_write(&path, body).ok()?;
     let info = DumpInfo {
         reason: reason.to_string(),
         path,

@@ -90,18 +90,22 @@ pub mod dashboard;
 pub mod event;
 pub mod export;
 pub mod flight;
+pub mod fsio;
 pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod run;
+pub mod shard;
 pub mod span;
 
 pub use cli::{ObsOptions, BENCH_HISTORY_FILE};
 pub use event::{EventRecord, Heartbeat, Level, RateLimiter};
 pub use export::{chrome_trace_json, metrics_json, profile_json, profile_table, HardwareContext};
+pub use fsio::atomic_write;
 pub use health::{DriftTimeline, DriftWindow, HealthReport, Severity};
 pub use metrics::{counters, histograms, Counter, Histogram, MetricsSnapshot};
 pub use run::RunContext;
+pub use shard::ShardCoverage;
 pub use span::{span, take_events, Span, SpanEvent};
 
 /// Drains every recorded structured event (see [`mod@event`]).

@@ -273,8 +273,16 @@ pub mod counters {
     pub static DRIFT_WINDOWS: Counter = Counter::new("drift.windows");
     /// Drift windows classified `Warn` or worse.
     pub static DRIFT_ALERTS: Counter = Counter::new("drift.alerts");
+    /// Shard packets written by `bmf shard`.
+    pub static SHARD_PACKETS_WRITTEN: Counter = Counter::new("shard.packets_written");
+    /// Shard packets accepted by a merge.
+    pub static SHARD_PACKETS_MERGED: Counter = Counter::new("shard.packets_merged");
+    /// Duplicate shard packets dropped by a merge.
+    pub static SHARD_DUPLICATES: Counter = Counter::new("shard.duplicates");
+    /// Packets rejected by a merge (corrupt, incompatible, invalid).
+    pub static SHARD_REJECTS: Counter = Counter::new("shard.rejects");
 
-    static ALL: [&Counter; 17] = [
+    static ALL: [&Counter; 21] = [
         &MONTE_CARLO_SIMS,
         &MONTE_CARLO_RETRIES,
         &CHOLESKY_CALLS,
@@ -292,6 +300,10 @@ pub mod counters {
         &SPECTRUM_ANALYSES,
         &DRIFT_WINDOWS,
         &DRIFT_ALERTS,
+        &SHARD_PACKETS_WRITTEN,
+        &SHARD_PACKETS_MERGED,
+        &SHARD_DUPLICATES,
+        &SHARD_REJECTS,
     ];
 
     /// Every registered counter, in snapshot order.

@@ -23,8 +23,9 @@ pub struct RunContext {
     pub config_hash: u64,
 }
 
-/// FNV-1a, 64-bit.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a, 64-bit. Public because shard packets reuse it as their
+/// payload checksum — one hash, one implementation, everywhere.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);

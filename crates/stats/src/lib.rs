@@ -38,6 +38,7 @@
 
 pub mod descriptive;
 mod error;
+pub mod exact;
 pub mod lhs;
 mod mvn;
 mod normal_wishart;

@@ -11,6 +11,15 @@
 //!              --samples N --seed S [--out samples.csv]
 //!     Run the built-in circuit Monte Carlo and emit a sample CSV.
 //!
+//! bmf shard --circuit opamp|adc --n-early N --n-late M --index i/K \
+//!           --out packet.json [--seed S]
+//!     Run one shard of a two-stage study and write its sufficient-
+//!     statistic packet (checksummed, versioned, atomically renamed).
+//!
+//! bmf merge --packet p0.json --packet p1.json ... [--out moments.csv]
+//!     Reduce shard packets into the bit-exact study result; validates
+//!     version/checksum/config compatibility and shard coverage.
+//!
 //! bmf yield --moments moments.csv --spec "gain_db>=80" --spec "power_w<=1.2e-4" \
 //!           [--draws N]
 //!     Estimate parametric yield of the fitted Gaussian against spec
@@ -20,6 +29,16 @@
 //!     Data-quality report: moment summary, Mardia multivariate normality
 //!     test (the BMF modelling assumption), and PCA variance structure.
 //! ```
+//!
+//! # Exit codes
+//!
+//! | code | meaning                                                     |
+//! |------|-------------------------------------------------------------|
+//! | 0    | success                                                     |
+//! | 1    | runtime error (I/O, simulation, estimation, corrupt packet) |
+//! | 2    | configuration/usage error (bad flags or values)             |
+//! | 3    | strict-mode refusal (`--strict` anomaly, shard quorum)      |
+//! | 4    | degraded success (merge completed below full coverage)      |
 
 use bmf_ams::circuits::adc::AdcTestbench;
 use bmf_ams::circuits::fault::{FaultConfig, FaultInjector};
@@ -27,13 +46,18 @@ use bmf_ams::circuits::monte_carlo::{
     run_monte_carlo_seeded_with_policy, RetryPolicy, Stage, Testbench,
 };
 use bmf_ams::circuits::opamp::OpAmpTestbench;
+use bmf_ams::circuits::shard::{
+    merge_packet_texts, run_shard, MergeOutcome, MergePolicy, StageMoments, StudyConfig,
+};
+use bmf_ams::circuits::CircuitError;
 use bmf_ams::core::io::{
     read_moments_csv, read_samples_csv, write_moments_csv, write_samples_csv, LabelledSamples,
 };
 use bmf_ams::core::parallel::resolve_threads;
 use bmf_ams::core::prelude::*;
 use bmf_ams::core::yield_estimation::estimate_yield;
-use bmf_ams::linalg::Matrix;
+use bmf_ams::linalg::{Matrix, Vector};
+use bmf_ams::obs::atomic_write;
 use bmf_ams::stats::descriptive;
 use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
@@ -47,34 +71,105 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run 'bmf --help' for usage");
-            return ExitCode::FAILURE;
+            return CliError::Config(e.to_string()).exit_code();
         }
     };
     let result = match args.first().map(String::as_str) {
         Some("estimate") => cmd_estimate(&args[1..], &mut obs),
         Some("generate") => cmd_generate(&args[1..], &mut obs),
+        Some("shard") => cmd_shard(&args[1..], &mut obs),
+        Some("merge") => cmd_merge(&args[1..], &mut obs),
         Some("yield") => cmd_yield(&args[1..]),
         Some("diagnose") => cmd_diagnose(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
-            Ok(())
+            Ok(CliOk::Clean)
         }
-        Some(other) => Err(format!("unknown subcommand '{other}'").into()),
+        Some(other) => Err(CliError::Config(format!("unknown subcommand '{other}'"))),
     };
     // Telemetry is flushed even when the subcommand failed — a strict
     // failure is exactly when the event log matters; the subcommand's
     // error still wins the exit code.
-    let finish = obs.finish().map_err(Box::<dyn std::error::Error>::from);
-    let result = result.and(finish);
+    let finish = obs.finish();
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(ok) => match finish {
+            Ok(()) => ok.exit_code(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        },
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run 'bmf --help' for usage");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Config(_)) {
+                eprintln!("run 'bmf --help' for usage");
+            }
+            e.exit_code()
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Exit-code taxonomy
+// ---------------------------------------------------------------------------
+
+/// Successful subcommand outcomes; the variant picks the exit code.
+enum CliOk {
+    /// Everything the user asked for happened — exit 0.
+    Clean,
+    /// The result was produced but from degraded inputs (a quorate merge
+    /// below full shard coverage) — exit 4, so scripted callers can tell
+    /// "answer with caveats" from "clean answer" without parsing output.
+    Degraded,
+}
+
+impl CliOk {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliOk::Clean => ExitCode::SUCCESS,
+            CliOk::Degraded => ExitCode::from(4),
+        }
+    }
+}
+
+/// Typed subcommand failures; the variant picks the exit code.
+enum CliError {
+    /// I/O, simulation or estimation failure at runtime — exit 1.
+    Runtime(String),
+    /// Bad flags or configuration values — exit 2.
+    Config(String),
+    /// A strict-mode refusal: `--strict` turned an anomaly into an
+    /// error, or a merge fell below its shard quorum — exit 3.
+    Strict(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Runtime(_) => ExitCode::from(1),
+            CliError::Config(_) => ExitCode::from(2),
+            CliError::Strict(_) => ExitCode::from(3),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Runtime(m) | CliError::Config(m) | CliError::Strict(m) => m,
+        }
+    }
+}
+
+/// Maps an error into [`CliError::Config`] (bad flags/values — exit 2).
+fn cfg(e: impl std::fmt::Display) -> CliError {
+    CliError::Config(e.to_string())
+}
+
+/// Maps an error into [`CliError::Runtime`] (exit 1).
+fn rt(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+type CliResult = Result<CliOk, CliError>;
 
 fn print_usage() {
     println!("bmf — multivariate Bayesian model fusion for AMS circuits (DAC 2015)");
@@ -85,6 +180,12 @@ fn print_usage() {
     println!("  generate --circuit opamp|adc --stage schematic|postlayout");
     println!("           --samples <n> [--seed <u64>] [--threads <n>] [--out <csv>]");
     println!("           [--fault-rate <r>] [--retry-attempts <n>]");
+    println!("  shard    --circuit opamp|adc --n-early <n> --n-late <n> --index <i/K>");
+    println!("           --out <packet.json> [--seed <u64>] [--threads <n>]");
+    println!("           [--fault-rate <r>] [--retry-attempts <n>]");
+    println!("  merge    --packet <json> [--packet <json> ...] [--out <csv>]");
+    println!("           [--min-shards <q>] [--strict | --degrade] [--report <json-path|->]");
+    println!("           [--kappa0 <x> --nu0 <y>] [--threads <n>]");
     println!("  yield    --moments <csv> --spec \"<metric><=|>=<value>\" ... [--draws <n>]");
     println!("  diagnose --samples <csv>");
     println!();
@@ -92,17 +193,26 @@ fn print_usage() {
     println!("trace-event file (load in Perfetto / chrome://tracing), --profile prints");
     println!("an aggregated per-span profile, --metrics-out <json> writes a counter/");
     println!("histogram snapshot, --dashboard-out <html> writes a self-contained");
-    println!("HTML dashboard (profile, metrics, estimator health, drift timeline,");
-    println!("and bench history when BENCH_history.json is present — see the");
-    println!("bench_history bin), --events-out <jsonl> writes the structured event");
-    println!("log (one JSON object per line: retries, repairs, ladder transitions,");
-    println!("guard flags, drift alerts), each stamped with the run id that also");
-    println!("appears in the FusionReport and flight-recorder dumps. --log-level");
-    println!("error|warn|info|debug (or the BMF_LOG env var) sets console verbosity.");
-    println!("Recording never alters numeric results.");
+    println!("HTML dashboard (profile, metrics, estimator health, shard coverage,");
+    println!("drift timeline, and bench history when BENCH_history.json is present),");
+    println!("--events-out <jsonl> writes the structured event log (one JSON object");
+    println!("per line: retries, repairs, ladder transitions, guard flags, shard");
+    println!("merges/rejects), each stamped with the run id that also appears in the");
+    println!("FusionReport and flight-recorder dumps. --log-level error|warn|info|debug");
+    println!("(or the BMF_LOG env var) sets console verbosity. Recording never alters");
+    println!("numeric results. All file outputs are written atomically (temp + rename):");
+    println!("a crash mid-write never leaves a truncated artifact behind.");
     println!();
     println!("--threads defaults to the machine's available parallelism; results are");
     println!("bit-identical for every thread count (per-task seed derivation).");
+    println!();
+    println!("sharding: `bmf shard --index i/K` runs slice i of a K-way partition of");
+    println!("the study and writes a checksummed sufficient-statistic packet;");
+    println!("`bmf merge` reduces any complete packet set to the bit-exact result of");
+    println!("the single-process run. --min-shards <q> allows a degraded merge from");
+    println!("any q packets (exit code 4, inflation recorded in the FusionReport);");
+    println!("without it a missing shard is a quorum failure (exit code 3). A crashed");
+    println!("shard is re-run alone and merged — identical bits either way.");
     println!();
     println!("robustness: --degrade routes estimation through the self-healing pipeline");
     println!("(data-quality guard, SPD prior repair, MAP -> MLE -> early-only fallback");
@@ -112,9 +222,13 @@ fn print_usage() {
     println!("at r/5 (deterministic, seed-derived) to exercise the robustness path.");
     println!("--cv-naive scores the hyper-parameter grid with the naive per-candidate");
     println!("refit instead of the fast rank-structured path (equivalence oracle; slow).");
+    println!();
+    println!("exit codes: 0 success; 1 runtime error (I/O, simulation, estimation,");
+    println!("corrupt packet); 2 configuration/usage error; 3 strict-mode refusal");
+    println!("(--strict anomaly or shard quorum failure, with a flight-recorder dump");
+    println!("when --events-out is armed); 4 degraded success (merge below full");
+    println!("coverage under --min-shards).");
 }
-
-type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Flags that take no value (presence is the whole message).
 const BOOL_FLAGS: &[&str] = &["strict", "degrade", "cv-naive"];
@@ -144,11 +258,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, String> 
     Ok(map)
 }
 
-fn single<'a>(flags: &'a HashMap<String, Vec<String>>, key: &str) -> Result<&'a str, String> {
+fn single<'a>(flags: &'a HashMap<String, Vec<String>>, key: &str) -> Result<&'a str, CliError> {
     match flags.get(key).map(Vec::as_slice) {
         Some([v]) => Ok(v),
-        Some(_) => Err(format!("--{key} given more than once")),
-        None => Err(format!("missing required flag --{key}")),
+        Some(_) => Err(CliError::Config(format!("--{key} given more than once"))),
+        None => Err(CliError::Config(format!("missing required flag --{key}"))),
     }
 }
 
@@ -156,15 +270,38 @@ fn optional<'a>(flags: &'a HashMap<String, Vec<String>>, key: &str) -> Option<&'
     flags.get(key).and_then(|v| v.first()).map(String::as_str)
 }
 
+/// Parses an optional flag's value, mapping a parse failure to a
+/// config error naming the flag.
+fn parse_optional<T: std::str::FromStr>(
+    flags: &HashMap<String, Vec<String>>,
+    key: &str,
+    default: &str,
+) -> Result<T, CliError> {
+    let raw = optional(flags, key).unwrap_or(default);
+    raw.parse()
+        .map_err(|_| CliError::Config(format!("--{key} has unusable value '{raw}'")))
+}
+
+/// Parses a required flag's value, mapping a parse failure to a config
+/// error naming the flag.
+fn parse_required<T: std::str::FromStr>(
+    flags: &HashMap<String, Vec<String>>,
+    key: &str,
+) -> Result<T, CliError> {
+    let raw = single(flags, key)?;
+    raw.parse()
+        .map_err(|_| CliError::Config(format!("--{key} has unusable value '{raw}'")))
+}
+
 /// Parses `--threads`, defaulting to the machine's available parallelism.
-fn threads_flag(flags: &HashMap<String, Vec<String>>) -> Result<usize, String> {
+fn threads_flag(flags: &HashMap<String, Vec<String>>) -> Result<usize, CliError> {
     match optional(flags, "threads") {
         Some(raw) => {
-            let t: usize = raw
-                .parse()
-                .map_err(|_| format!("--threads must be a positive integer, got '{raw}'"))?;
+            let t: usize = raw.parse().map_err(|_| {
+                CliError::Config(format!("--threads must be a positive integer, got '{raw}'"))
+            })?;
             if t == 0 {
-                return Err("--threads must be at least 1".to_string());
+                return Err(CliError::Config("--threads must be at least 1".to_string()));
             }
             Ok(t)
         }
@@ -172,23 +309,70 @@ fn threads_flag(flags: &HashMap<String, Vec<String>>) -> Result<usize, String> {
     }
 }
 
+/// Resolves the `--strict`/`--degrade` pair (mutually exclusive).
+fn failure_mode(flags: &HashMap<String, Vec<String>>) -> Result<(bool, bool), CliError> {
+    let strict = flags.contains_key("strict");
+    let degrade = flags.contains_key("degrade");
+    if strict && degrade {
+        return Err(CliError::Config(
+            "--strict and --degrade are mutually exclusive".to_string(),
+        ));
+    }
+    Ok((strict, degrade))
+}
+
+/// Serializes moments to CSV and writes them atomically (or to stdout).
+fn emit_moments(
+    out: Option<&str>,
+    names: &[String],
+    moments: &MomentEstimate,
+) -> Result<(), CliError> {
+    match out {
+        Some(path) => {
+            let mut buf = Vec::new();
+            write_moments_csv(&mut buf, names, moments).map_err(rt)?;
+            atomic_write(path, buf).map_err(rt)?;
+            bmf_ams::obs::info!("moments written to {path}");
+        }
+        None => {
+            write_moments_csv(&mut std::io::stdout().lock(), names, moments).map_err(rt)?;
+        }
+    }
+    Ok(())
+}
+
+/// Handles `--report <path|->`: a path gets the FusionReport JSON
+/// (atomically), `-` prints the human summary to stderr.
+fn emit_report(report_path: Option<&str>, report: &FusionReport) -> Result<(), CliError> {
+    match report_path {
+        Some("-") => eprint!("{}", report.summary()),
+        Some(path) => {
+            atomic_write(path, report.to_json()).map_err(rt)?;
+            bmf_ams::obs::info!("fusion report written to {path}");
+        }
+        None => {}
+    }
+    Ok(())
+}
+
 fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args).map_err(cfg)?;
     let early_path = single(&flags, "early")?;
     let late_path = single(&flags, "late")?;
-    let seed: u64 = optional(&flags, "seed").unwrap_or("2015").parse()?;
+    let seed: u64 = parse_optional(&flags, "seed", "2015")?;
 
-    let early = read_samples_csv(&mut File::open(early_path)?)?;
-    let late = read_samples_csv(&mut File::open(late_path)?)?;
+    let early = read_samples_csv(&mut File::open(early_path).map_err(rt)?).map_err(rt)?;
+    let late = read_samples_csv(&mut File::open(late_path).map_err(rt)?).map_err(rt)?;
     if early.names != late.names {
-        return Err(format!(
+        return Err(rt(format!(
             "metric mismatch: early has {:?}, late has {:?}",
             early.names, late.names
-        )
-        .into());
+        )));
     }
     if early.samples.nrows() < 3 || late.samples.nrows() < 3 {
-        return Err("each stage needs the nominal row plus at least 2 samples".into());
+        return Err(rt(
+            "each stage needs the nominal row plus at least 2 samples",
+        ));
     }
 
     // Row 0 of each file is the nominal run (the shift anchor).
@@ -203,27 +387,23 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
         &(0..late.samples.ncols()).collect::<Vec<_>>(),
     );
 
-    let early_sd = descriptive::column_stddevs(&early_mc)?;
-    let early_t = ShiftScale::from_nominal_and_early_sd(&early_nominal, &early_sd)?;
-    let late_t = ShiftScale::from_nominal_and_early_sd(&late_nominal, &early_sd)?;
-    let early_norm = early_t.apply_samples(&early_mc)?;
-    let late_norm = late_t.apply_samples(&late_mc)?;
+    let early_sd = descriptive::column_stddevs(&early_mc).map_err(rt)?;
+    let early_t = ShiftScale::from_nominal_and_early_sd(&early_nominal, &early_sd).map_err(rt)?;
+    let late_t = ShiftScale::from_nominal_and_early_sd(&late_nominal, &early_sd).map_err(rt)?;
+    let early_norm = early_t.apply_samples(&early_mc).map_err(rt)?;
+    let late_norm = late_t.apply_samples(&late_mc).map_err(rt)?;
 
     let early_moments = MomentEstimate {
-        mean: descriptive::mean_vector(&early_norm)?,
-        cov: descriptive::covariance_mle(&early_norm)?,
+        mean: descriptive::mean_vector(&early_norm).map_err(rt)?,
+        cov: descriptive::covariance_mle(&early_norm).map_err(rt)?,
     };
 
     let threads = threads_flag(&flags)?;
     obs.set_threads(threads);
     let cv_seed = rand::rngs::StdRng::seed_from_u64(seed).next_u64();
 
-    let strict = flags.contains_key("strict");
-    let degrade = flags.contains_key("degrade");
+    let (strict, degrade) = failure_mode(&flags)?;
     let cv_naive = flags.contains_key("cv-naive");
-    if strict && degrade {
-        return Err("--strict and --degrade are mutually exclusive".into());
-    }
     // Thread count deliberately left out of the run config: the same
     // estimate at any parallelism is the same run (bit-identical output).
     obs.set_run(
@@ -247,7 +427,13 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
             .with_cv(CrossValidation::default().with_naive_scoring(cv_naive))
             .with_seed(cv_seed)
             .with_threads(threads);
-        let (est, report) = pipeline.estimate(&early_moments, &late_norm)?;
+        let (est, report) = pipeline.estimate(&early_moments, &late_norm).map_err(|e| {
+            if strict {
+                CliError::Strict(e.to_string())
+            } else {
+                rt(e)
+            }
+        })?;
         bmf_ams::obs::info!("robust pipeline: fusion level = {}", report.fallback);
         if let Some(reason) = &report.fallback_reason {
             bmf_ams::obs::warn!("robust pipeline: {reason}");
@@ -257,30 +443,28 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
                 "cross-validation selected kappa0 = {kappa0:.3}, nu0 = {nu0:.2} ({threads} thread(s))"
             );
         }
-        match report_path {
-            Some("-") => eprint!("{}", report.summary()),
-            Some(path) => {
-                std::fs::write(path, report.to_json())?;
-                bmf_ams::obs::info!("fusion report written to {path}");
-            }
-            None => {}
-        }
+        emit_report(report_path, &report)?;
         if let Some(health) = report.health.clone() {
             obs.attach_health(health);
         }
-        late_t.invert_moments(&est)?
+        late_t.invert_moments(&est).map_err(rt)?
     } else {
         let sel = CrossValidation::default()
             .with_naive_scoring(cv_naive)
-            .select_seeded(&early_moments, &late_norm, cv_seed, threads)?;
+            .select_seeded(&early_moments, &late_norm, cv_seed, threads)
+            .map_err(rt)?;
         bmf_ams::obs::info!(
             "cross-validation selected kappa0 = {:.3}, nu0 = {:.2} (score {:.4}, {threads} thread(s))",
             sel.kappa0, sel.nu0, sel.score
         );
 
-        let prior = NormalWishartPrior::from_early_moments(&early_moments, sel.kappa0, sel.nu0)?;
-        let est = BmfEstimator::new(prior)?.estimate(&late_norm)?;
-        late_t.invert_moments(&est.map)?
+        let prior = NormalWishartPrior::from_early_moments(&early_moments, sel.kappa0, sel.nu0)
+            .map_err(rt)?;
+        let est = BmfEstimator::new(prior)
+            .map_err(rt)?
+            .estimate(&late_norm)
+            .map_err(rt)?;
+        late_t.invert_moments(&est.map).map_err(rt)?
     };
 
     if obs.dashboard_out.is_some() {
@@ -294,51 +478,48 @@ fn cmd_estimate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
         }
     }
 
-    match optional(&flags, "out") {
-        Some(path) => {
-            write_moments_csv(&mut File::create(path)?, &early.names, &physical)?;
-            bmf_ams::obs::info!("moments written to {path}");
-        }
-        None => {
-            write_moments_csv(&mut std::io::stdout().lock(), &early.names, &physical)?;
-        }
-    }
-    Ok(())
+    emit_moments(optional(&flags, "out"), &early.names, &physical)?;
+    Ok(CliOk::Clean)
 }
 
 fn cmd_generate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args).map_err(cfg)?;
     let circuit = single(&flags, "circuit")?;
     let stage = match single(&flags, "stage")? {
         "schematic" => Stage::Schematic,
         "postlayout" | "post-layout" => Stage::PostLayout,
-        other => return Err(format!("unknown stage '{other}'").into()),
+        other => return Err(CliError::Config(format!("unknown stage '{other}'"))),
     };
-    let n: usize = single(&flags, "samples")?.parse()?;
-    let seed: u64 = optional(&flags, "seed").unwrap_or("1").parse()?;
-    let fault_rate: f64 = optional(&flags, "fault-rate").unwrap_or("0").parse()?;
-    let retry_attempts: usize = optional(&flags, "retry-attempts")
-        .unwrap_or("100")
-        .parse()?;
+    let n: usize = parse_required(&flags, "samples")?;
+    let seed: u64 = parse_optional(&flags, "seed", "1")?;
+    let fault_rate: f64 = parse_optional(&flags, "fault-rate", "0")?;
+    let retry_attempts: usize = parse_optional(&flags, "retry-attempts", "100")?;
 
     let tb: Box<dyn Testbench> = match circuit {
         "opamp" => Box::new(OpAmpTestbench::default_45nm()),
         "adc" => Box::new(AdcTestbench::default_180nm()),
-        other => return Err(format!("unknown circuit '{other}' (use opamp|adc)").into()),
+        other => {
+            return Err(CliError::Config(format!(
+                "unknown circuit '{other}' (use opamp|adc)"
+            )))
+        }
     };
     // Fault injection keeps the emitted CSV finite: failed sims are
     // retried away and outliers survive as (finite) corrupted rows, but
     // NaN corruption is off — the CSV reader rejects non-finite tokens by
     // design, so a generated file must always be readable back.
     let tb: Box<dyn Testbench> = if fault_rate > 0.0 {
-        Box::new(FaultInjector::new(
-            tb,
-            FaultConfig {
-                sim_failure_rate: fault_rate,
-                outlier_rate: fault_rate / 5.0,
-                ..FaultConfig::default()
-            },
-        )?)
+        Box::new(
+            FaultInjector::new(
+                tb,
+                FaultConfig {
+                    sim_failure_rate: fault_rate,
+                    outlier_rate: fault_rate / 5.0,
+                    ..FaultConfig::default()
+                },
+            )
+            .map_err(cfg)?,
+        )
     } else {
         tb
     };
@@ -352,7 +533,8 @@ fn cmd_generate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
     let policy = RetryPolicy {
         max_attempts: retry_attempts,
     };
-    let data = run_monte_carlo_seeded_with_policy(tb.as_ref(), stage, n, seed, threads, &policy)?;
+    let data = run_monte_carlo_seeded_with_policy(tb.as_ref(), stage, n, seed, threads, &policy)
+        .map_err(rt)?;
     if fault_rate > 0.0 {
         bmf_ams::obs::info!(
             "generated {n} samples on {threads} thread(s) (fault rate {fault_rate}, retry budget {retry_attempts})"
@@ -375,29 +557,297 @@ fn cmd_generate(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResul
     };
     match optional(&flags, "out") {
         Some(path) => {
-            write_samples_csv(&mut File::create(path)?, &labelled)?;
+            let mut buf = Vec::new();
+            write_samples_csv(&mut buf, &labelled).map_err(rt)?;
+            atomic_write(path, buf).map_err(rt)?;
             bmf_ams::obs::info!("{} samples (+ nominal row) written to {path}", n);
         }
-        None => write_samples_csv(&mut std::io::stdout().lock(), &labelled)?,
+        None => write_samples_csv(&mut std::io::stdout().lock(), &labelled).map_err(rt)?,
     }
-    Ok(())
+    Ok(CliOk::Clean)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded studies
+// ---------------------------------------------------------------------------
+
+/// Parses the `shard` flag set into a [`StudyConfig`] plus the shard
+/// index to run.
+fn study_config_from_flags(
+    flags: &HashMap<String, Vec<String>>,
+) -> Result<(StudyConfig, usize), CliError> {
+    // `--index i/K` carries both the slice and the partition size, the
+    // spelling the usage line advertises; `--index i --shards K` is the
+    // two-flag equivalent.
+    let index_raw = single(flags, "index")?;
+    let (index, shard_count): (usize, usize) = match index_raw.split_once('/') {
+        Some((i, k)) => {
+            let parse = |s: &str, what: &str| {
+                s.trim().parse::<usize>().map_err(|_| {
+                    CliError::Config(format!("--index {index_raw}: {what} is not an integer"))
+                })
+            };
+            (parse(i, "shard index")?, parse(k, "shard count")?)
+        }
+        None => {
+            let index = index_raw.parse::<usize>().map_err(|_| {
+                CliError::Config(format!(
+                    "--index must be <i/K> or an integer, got '{index_raw}'"
+                ))
+            })?;
+            (index, parse_required(flags, "shards")?)
+        }
+    };
+    let config = StudyConfig {
+        circuit: single(flags, "circuit")?.to_string(),
+        n_early: parse_required(flags, "n-early")?,
+        n_late: parse_required(flags, "n-late")?,
+        shard_count,
+        seed: parse_optional(flags, "seed", "2015")?,
+        max_attempts: parse_optional(flags, "retry-attempts", "100")?,
+        fault_rate: parse_optional(flags, "fault-rate", "0")?,
+    };
+    config.validate().map_err(cfg)?;
+    if index >= shard_count {
+        return Err(CliError::Config(format!(
+            "--index {index} out of range for {shard_count} shard(s)"
+        )));
+    }
+    Ok((config, index))
+}
+
+fn cmd_shard(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResult {
+    let flags = parse_flags(args).map_err(cfg)?;
+    let (config, index) = study_config_from_flags(&flags)?;
+    let out = single(&flags, "out")?;
+    let threads = threads_flag(&flags)?;
+    obs.set_threads(threads);
+    obs.set_run(config.seed, &config.canonical());
+
+    let packet = run_shard(&config, index, threads).map_err(rt)?;
+
+    // Chaos hook: BMF_SHARD_KILL=<index> simulates a crash in the window
+    // after the shard's simulation work but before the packet rename —
+    // the slot where an interrupted run must leave either nothing or a
+    // stale temp file, never a truncated packet. The kill-and-resume
+    // suite re-runs the shard without the variable and asserts the merge
+    // is bit-identical to an uninterrupted study.
+    if std::env::var("BMF_SHARD_KILL")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        == Some(index)
+    {
+        eprintln!("bmf shard: BMF_SHARD_KILL={index} — simulating crash before packet write");
+        std::process::abort();
+    }
+
+    atomic_write(out, packet.to_json()).map_err(rt)?;
+    bmf_ams::obs::counters::SHARD_PACKETS_WRITTEN.incr();
+    bmf_ams::obs::event!(Info, "shard.packet_written",
+        "index": index,
+        "shard_count": config.shard_count,
+        "path": out,
+        "retries": packet.retries);
+    bmf_ams::obs::info!(
+        "shard {index}/{} written to {out} (n_early = {}, n_late = {}, {} retries)",
+        config.shard_count,
+        packet.early.n,
+        packet.late.n,
+        packet.retries
+    );
+    Ok(CliOk::Clean)
+}
+
+/// Per-dimension σ from a stage's moments (unbiased, matching the
+/// `column_stddevs` the sample path scales by).
+fn stage_sd(moments: &StageMoments) -> Result<Vector, CliError> {
+    if moments.n < 2 {
+        return Err(rt(format!(
+            "need at least 2 merged samples to derive the early-stage scale, got {}",
+            moments.n
+        )));
+    }
+    let nm1 = (moments.n - 1) as f64;
+    Ok(Vector::from_fn(moments.mean.len(), |j| {
+        (moments.scatter[(j, j)] / nm1).max(0.0).sqrt()
+    }))
+}
+
+/// Normalizes the merged study into the estimator's shift/scale space:
+/// early moments plus late sufficient statistics, both centred on their
+/// stage nominal and scaled by the early-stage σ (§4.1 — the sample
+/// path's algebra applied to the reduced statistics).
+fn normalized_study(
+    outcome: &MergeOutcome,
+) -> Result<(MomentEstimate, SufficientStats, ShiftScale), CliError> {
+    let early_m = outcome.early.moments().map_err(rt)?;
+    let late_m = outcome.late.moments().map_err(rt)?;
+    let early_sd = stage_sd(&early_m)?;
+    let early_t =
+        ShiftScale::from_nominal_and_early_sd(&outcome.early.nominal, &early_sd).map_err(rt)?;
+    let late_t =
+        ShiftScale::from_nominal_and_early_sd(&outcome.late.nominal, &early_sd).map_err(rt)?;
+
+    let early_norm = early_t
+        .apply_moments(&MomentEstimate {
+            cov: &early_m.scatter / early_m.n as f64,
+            mean: early_m.mean,
+        })
+        .map_err(rt)?;
+
+    let d = late_m.mean.len();
+    let late_stats = SufficientStats {
+        n: late_m.n,
+        dropped: outcome.late.dropped,
+        mean: late_t.apply_vector(&late_m.mean).map_err(rt)?,
+        // Scatter is a sum of outer products, so it scales like a
+        // covariance: S'ᵢⱼ = Sᵢⱼ/(σᵢ σⱼ).
+        scatter: Matrix::from_fn(d, d, |i, j| {
+            late_m.scatter[(i, j)] / (early_sd[i] * early_sd[j])
+        }),
+    };
+    Ok((early_norm, late_stats, late_t))
+}
+
+fn cmd_merge(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResult {
+    let flags = parse_flags(args).map_err(cfg)?;
+    let packet_paths = flags
+        .get("packet")
+        .cloned()
+        .ok_or_else(|| CliError::Config("need at least one --packet <json>".to_string()))?;
+    let min_shards: Option<usize> = match optional(&flags, "min-shards") {
+        Some(raw) => {
+            let q: usize = raw.parse().map_err(|_| {
+                CliError::Config(format!(
+                    "--min-shards must be a positive integer, got '{raw}'"
+                ))
+            })?;
+            if q == 0 {
+                return Err(CliError::Config(
+                    "--min-shards must be at least 1".to_string(),
+                ));
+            }
+            Some(q)
+        }
+        None => None,
+    };
+    let (strict, _degrade) = failure_mode(&flags)?;
+    let kappa0: Option<f64> = match optional(&flags, "kappa0") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError::Config(format!("--kappa0 has unusable value '{raw}'")))?,
+        ),
+        None => None,
+    };
+    let nu0: Option<f64> = match optional(&flags, "nu0") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError::Config(format!("--nu0 has unusable value '{raw}'")))?,
+        ),
+        None => None,
+    };
+    if kappa0.is_some() != nu0.is_some() {
+        return Err(CliError::Config(
+            "--kappa0 and --nu0 must be given together".to_string(),
+        ));
+    }
+    let threads = threads_flag(&flags)?;
+    obs.set_threads(threads);
+
+    // Read every packet; an unreadable file is a runtime error (the
+    // caller named it explicitly), a *corrupt* one is handled by the
+    // merge's own validation so a quorum can still absorb it.
+    let mut texts = Vec::with_capacity(packet_paths.len());
+    for path in &packet_paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| rt(format!("cannot read packet {path}: {e}")))?;
+        texts.push((path.clone(), text));
+    }
+
+    let policy = MergePolicy { min_shards };
+    let outcome = merge_packet_texts(&texts, &policy).map_err(|e| match e {
+        // Too few shards survived: the refusal the quorum policy exists
+        // for. Capture the flight recorder — this is the "what happened
+        // to my study" moment.
+        CircuitError::ShardQuorum { .. } => {
+            bmf_ams::obs::flight::dump("shard_quorum_failure");
+            CliError::Strict(e.to_string())
+        }
+        other => rt(other),
+    })?;
+
+    // The merge's run identity is the study's, shared by every packet.
+    obs.set_run(outcome.config.seed, &outcome.config.canonical());
+    obs.attach_shard(outcome.coverage.clone());
+    bmf_ams::obs::info!("{}", outcome.coverage.summary());
+
+    let (early_norm, late_stats, late_t) = normalized_study(&outcome)?;
+    let mode = if strict {
+        FailureMode::Strict
+    } else {
+        FailureMode::Degrade
+    };
+    let mut pipeline = RobustPipeline::new().with_mode(mode).with_threads(threads);
+    if let (Some(k), Some(v)) = (kappa0, nu0) {
+        pipeline = pipeline.with_fixed_hypers(k, v);
+    }
+    let (est, report) = pipeline
+        .estimate_from_stats(&early_norm, &late_stats, Some(outcome.coverage.clone()))
+        .map_err(|e| {
+            if strict {
+                CliError::Strict(e.to_string())
+            } else {
+                rt(e)
+            }
+        })?;
+    bmf_ams::obs::info!("robust pipeline: fusion level = {}", report.fallback);
+    if let Some(reason) = &report.fallback_reason {
+        bmf_ams::obs::warn!("robust pipeline: {reason}");
+    }
+    emit_report(optional(&flags, "report"), &report)?;
+    if let Some(health) = report.health.clone() {
+        obs.attach_health(health);
+    }
+    let physical = late_t.invert_moments(&est).map_err(rt)?;
+
+    let names: Vec<String> = outcome
+        .config
+        .testbench()
+        .map_err(rt)?
+        .metric_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    emit_moments(optional(&flags, "out"), &names, &physical)?;
+
+    if outcome.coverage.is_complete() {
+        Ok(CliOk::Clean)
+    } else {
+        bmf_ams::obs::warn!(
+            "degraded merge: {} of {} shard(s); late-sample uncertainty inflated x{:.4} (exit code 4)",
+            outcome.coverage.merged,
+            outcome.coverage.shard_count,
+            outcome.coverage.inflation
+        );
+        Ok(CliOk::Degraded)
+    }
 }
 
 fn cmd_diagnose(args: &[String]) -> CliResult {
     use bmf_ams::core::diagnostics::mardia_test;
     use bmf_ams::stats::pca::Pca;
 
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args).map_err(cfg)?;
     let path = single(&flags, "samples")?;
-    let data = read_samples_csv(&mut File::open(path)?)?;
+    let data = read_samples_csv(&mut File::open(path).map_err(rt)?).map_err(rt)?;
     let (n, d) = data.samples.shape();
     println!("{path}: {n} samples x {d} metrics");
     println!();
 
-    let mean = descriptive::mean_vector(&data.samples)?;
-    let sd = descriptive::column_stddevs(&data.samples)?;
-    let skew = descriptive::column_skewness(&data.samples)?;
-    let kurt = descriptive::column_excess_kurtosis(&data.samples)?;
+    let mean = descriptive::mean_vector(&data.samples).map_err(rt)?;
+    let sd = descriptive::column_stddevs(&data.samples).map_err(rt)?;
+    let skew = descriptive::column_skewness(&data.samples).map_err(rt)?;
+    let kurt = descriptive::column_excess_kurtosis(&data.samples).map_err(rt)?;
     println!(
         "{:>18} | {:>12} | {:>12} | {:>8} | {:>8}",
         "metric", "mean", "sd", "skew", "ex.kurt"
@@ -428,9 +878,9 @@ fn cmd_diagnose(args: &[String]) -> CliResult {
 
     println!();
     // PCA on standardised data so units don't dominate.
-    let t = ShiftScale::new(mean, sd)?;
-    let norm = t.apply_samples(&data.samples)?;
-    let pca = Pca::fit(&norm)?;
+    let t = ShiftScale::new(mean, sd).map_err(rt)?;
+    let norm = t.apply_samples(&data.samples).map_err(rt)?;
+    let pca = Pca::fit(&norm).map_err(rt)?;
     let ratios = pca.explained_variance_ratio();
     print!("PCA variance ratios:");
     for k in 0..d {
@@ -441,19 +891,20 @@ fn cmd_diagnose(args: &[String]) -> CliResult {
         "-> {} component(s) explain 90% of the (standardised) variance",
         pca.components_for_variance(0.9)
     );
-    Ok(())
+    Ok(CliOk::Clean)
 }
 
 fn cmd_yield(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args).map_err(cfg)?;
     let moments_path = single(&flags, "moments")?;
-    let draws: usize = optional(&flags, "draws").unwrap_or("100000").parse()?;
-    let seed: u64 = optional(&flags, "seed").unwrap_or("7").parse()?;
-    let specs_raw = flags
-        .get("spec")
-        .ok_or("need at least one --spec \"<metric><=|>=<value>\"")?;
+    let draws: usize = parse_optional(&flags, "draws", "100000")?;
+    let seed: u64 = parse_optional(&flags, "seed", "7")?;
+    let specs_raw = flags.get("spec").ok_or_else(|| {
+        CliError::Config("need at least one --spec \"<metric><=|>=<value>\"".to_string())
+    })?;
 
-    let (names, moments) = read_moments_csv(&mut File::open(moments_path)?)?;
+    let (names, moments) =
+        read_moments_csv(&mut File::open(moments_path).map_err(rt)?).map_err(rt)?;
     let d = names.len();
     let mut lower = vec![None; d];
     let mut upper = vec![None; d];
@@ -463,28 +914,32 @@ fn cmd_yield(args: &[String]) -> CliResult {
         } else if let Some(p) = raw.find("<=") {
             (p, p, 2)
         } else {
-            return Err(format!("spec '{raw}' must contain >= or <=").into());
+            return Err(CliError::Config(format!(
+                "spec '{raw}' must contain >= or <="
+            )));
         };
         let metric = raw[..idx].trim();
-        let value: f64 = raw[op_pos + op_len..].trim().parse()?;
-        let j = names
-            .iter()
-            .position(|n| n == metric)
-            .ok_or_else(|| format!("unknown metric '{metric}' (have {names:?})"))?;
+        let value: f64 = raw[op_pos + op_len..]
+            .trim()
+            .parse()
+            .map_err(|_| CliError::Config(format!("spec '{raw}' has an unusable bound")))?;
+        let j = names.iter().position(|n| n == metric).ok_or_else(|| {
+            CliError::Config(format!("unknown metric '{metric}' (have {names:?})"))
+        })?;
         if raw[op_pos..].starts_with(">=") {
             lower[j] = Some(value);
         } else {
             upper[j] = Some(value);
         }
     }
-    let specs = SpecLimits::new(lower, upper)?;
+    let specs = SpecLimits::new(lower, upper).map_err(cfg)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let y = estimate_yield(&moments, &specs, draws, &mut rng)?;
+    let y = estimate_yield(&moments, &specs, draws, &mut rng).map_err(rt)?;
     println!(
         "yield = {:.3}% +- {:.3}% ({} draws)",
         y.yield_fraction * 100.0,
         y.std_error * 100.0,
         y.draws
     );
-    Ok(())
+    Ok(CliOk::Clean)
 }

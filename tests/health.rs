@@ -170,6 +170,7 @@ fn estimates_bit_identical_with_health_drift_and_dashboard_active() {
                     flight_dump: None,
                     snapshot: &snapshot,
                     health: report.health.as_ref(),
+                    shard: None,
                     drift: Some(&timeline),
                     bench_history_json: None,
                 });
@@ -257,6 +258,7 @@ fn dashboard_document_contains_every_section_and_blob() {
         flight_dump: None,
         snapshot: &snapshot,
         health: report.health.as_ref(),
+        shard: None,
         drift: Some(&timeline),
         bench_history_json: Some(bench),
     });
