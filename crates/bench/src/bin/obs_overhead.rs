@@ -22,6 +22,12 @@
 //!    insert), count the events the workload emits, and require
 //!    `events x per_event_cost / workload_time` inside the same budget —
 //!    so `--events-out` telemetry stays effectively free.
+//! 5. gate the *server-enabled* path directly: re-time the workload
+//!    back-to-back without and then with a live `--obs-listen` server
+//!    being scraped at Prometheus cadence (one `/metrics` + `/health`
+//!    pull every 100 ms), and require the best-of-N slowdown inside the
+//!    same budget — scrapes run on their own threads and must not
+//!    perturb the study.
 //!
 //! Usage: `cargo run --release -p bmf-bench --bin obs_overhead
 //!         [--budget-percent <f>]` (default budget: 2%).
@@ -147,4 +153,62 @@ fn main() {
         std::process::exit(1);
     }
     println!("OK: events-enabled overhead within budget");
+
+    // 5. Server-enabled path: measure the workload back-to-back without
+    //    and with a live observability server under a steady scrape
+    //    load, so both timings see the same machine state.
+    const SERVER_REPS: usize = 7;
+    let time_best = |cv: &CrossValidation, early: &MomentEstimate, late: &Matrix| {
+        let mut best = f64::INFINITY;
+        for _ in 0..SERVER_REPS {
+            let t0 = Instant::now();
+            cv.select_seeded(early, late, 6, 1).expect("cv select");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    bmf_obs::reset();
+    let baseline = time_best(&cv, &early, &late);
+
+    let mut server = bmf_obs::ObsServer::start("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let scraping = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let scraper = {
+        let scraping = std::sync::Arc::clone(&scraping);
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let mut pulls = 0u64;
+            while scraping.load(std::sync::atomic::Ordering::Relaxed) {
+                for target in ["/metrics", "/health"] {
+                    if let Ok(mut conn) = std::net::TcpStream::connect(addr) {
+                        let _ = conn.write_all(
+                            format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes(),
+                        );
+                        let mut sink = String::new();
+                        let _ = conn.read_to_string(&mut sink);
+                        pulls += 1;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            pulls
+        })
+    };
+    let with_server = time_best(&cv, &early, &late);
+    scraping.store(false, std::sync::atomic::Ordering::Relaxed);
+    let pulls = scraper.join().expect("scraper thread");
+    server.stop();
+
+    let server_overhead = (with_server - baseline).max(0.0) / baseline;
+    println!(
+        "obs_overhead: server-on: {:.1} ms vs {:.1} ms baseline under {pulls} scrape(s) -> {:.4}% (budget {budget_percent}%)",
+        with_server * 1e3,
+        baseline * 1e3,
+        server_overhead * 100.0
+    );
+    if server_overhead * 100.0 > budget_percent {
+        eprintln!("FAIL: server-enabled overhead exceeds the {budget_percent}% budget");
+        std::process::exit(1);
+    }
+    println!("OK: server-enabled overhead within budget");
 }

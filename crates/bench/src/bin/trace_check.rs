@@ -24,6 +24,14 @@
 //! * `--flight <path>` — the file must be a flight-recorder dump: a
 //!   `reason` string, `run_id`, numeric `captured`/`capacity`, and an
 //!   `events` array of well-formed events no longer than `capacity`.
+//! * `--prom <url-or-file>` — a Prometheus text-format exposition,
+//!   fetched live from an `http://` URL (the `--obs-listen` server's
+//!   `/metrics` endpoint) or read from a file, must pass the
+//!   text-format 0.0.4 conformance checks in
+//!   `bmf_obs::prom::validate_exposition`.
+//! * `--fleet <path>` — the `fleet-<run_id>.json` artifact `bmf merge`
+//!   writes must carry `run_id`, wall-clock aggregates, and per-shard
+//!   rows whose straggler flags agree with the `stragglers` list.
 //!
 //! Exits 0 when every requested check passes, 1 otherwise.
 
@@ -144,6 +152,96 @@ fn check_flight(doc: &Value) -> Result<(String, usize), String> {
     Ok((reason.to_string(), events.len()))
 }
 
+/// Fetches a Prometheus exposition: a one-shot `http://` GET against
+/// the live `--obs-listen` server, or a plain file read for anything
+/// else. The server closes every connection, so read-to-EOF frames the
+/// body.
+fn fetch_prom(source: &str) -> Result<String, String> {
+    let Some(rest) = source.strip_prefix("http://") else {
+        return std::fs::read_to_string(source).map_err(|e| format!("cannot read {source}: {e}"));
+    };
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/metrics"),
+    };
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(authority)
+        .map_err(|e| format!("cannot connect to {authority}: {e}"))?;
+    let timeout = Some(std::time::Duration::from_secs(5));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("cannot send request to {authority}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read response from {authority}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{source}: response has no header/body separator"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.starts_with("HTTP/1.1 200") {
+        return Err(format!("{source}: non-200 response: {status:?}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Validates a merged fleet-summary document (`FleetSummary::to_json`,
+/// the `fleet-<run_id>.json` artifact and the dashboard `fleet-data`
+/// blob): aggregates present, per-shard rows well-formed with strictly
+/// increasing indices, and the `stragglers` list agreeing with the
+/// per-row flags.
+fn check_fleet(doc: &Value) -> Result<(usize, usize), String> {
+    if doc.get("run_id").and_then(Value::as_str).is_none() {
+        return Err("fleet summary has no run_id string".to_string());
+    }
+    for key in ["median_wall_ns", "slowest_wall_ns", "straggler_ratio"] {
+        if doc.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("fleet summary has no numeric {key}"));
+        }
+    }
+    let stragglers = doc
+        .get("stragglers")
+        .and_then(Value::as_array)
+        .ok_or("fleet summary has no stragglers array")?;
+    let shards = doc
+        .get("shards")
+        .and_then(Value::as_array)
+        .ok_or("fleet summary has no shards array")?;
+    let mut flagged = Vec::new();
+    let mut last_index = -1.0f64;
+    for (i, row) in shards.iter().enumerate() {
+        for key in ["index", "wall_ns", "sims", "retries", "events"] {
+            if row.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("fleet shard {i} has no numeric {key}"));
+            }
+        }
+        let index = row.get("index").and_then(Value::as_f64).unwrap_or(-1.0);
+        if index <= last_index {
+            return Err(format!(
+                "fleet shard {i}: index {index} is not strictly increasing (previous {last_index})"
+            ));
+        }
+        last_index = index;
+        match row.get("straggler").and_then(Value::as_bool) {
+            Some(true) => flagged.push(index),
+            Some(false) => {}
+            None => return Err(format!("fleet shard {i} has no straggler bool")),
+        }
+    }
+    let listed: Vec<f64> = stragglers.iter().filter_map(Value::as_f64).collect();
+    if listed != flagged {
+        return Err(format!(
+            "stragglers list {listed:?} disagrees with the flagged rows {flagged:?}"
+        ));
+    }
+    Ok((shards.len(), flagged.len()))
+}
+
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     bmf_obs::json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
@@ -261,17 +359,21 @@ fn embedded_json(html: &str, id: &str) -> Result<Value, String> {
     bmf_obs::json::parse(&raw).map_err(|e| format!("blob {id} is not valid JSON: {e}"))
 }
 
-/// The ids the dashboard always renders: the six section anchors plus
-/// the four machine-readable JSON blobs.
-const DASHBOARD_IDS: [&str; 10] = [
+/// The ids the dashboard always renders: the eight section anchors
+/// plus the six machine-readable JSON blobs.
+const DASHBOARD_IDS: [&str; 14] = [
     "profile",
     "metrics",
     "health",
+    "shard",
+    "fleet",
     "drift",
     "events",
     "bench",
     "health-data",
     "drift-data",
+    "shard-data",
+    "fleet-data",
     "events-data",
     "bench-data",
 ];
@@ -328,6 +430,14 @@ fn check_dashboard(html: &str, expect_health: Option<&str>) -> Result<String, St
         Value::Null => "drift: absent".to_string(),
         obj => format!("drift: {} window(s)", check_drift_object(obj)?),
     };
+    let fleet = embedded_json(html, "fleet-data")?;
+    let fleet_desc = match &fleet {
+        Value::Null => "fleet: absent".to_string(),
+        obj => {
+            let (shards, stragglers) = check_fleet(obj)?;
+            format!("fleet: {shards} shard(s), {stragglers} straggler(s)")
+        }
+    };
     let bench = embedded_json(html, "bench-data")?;
     let bench_desc = match &bench {
         Value::Null => "bench history: absent".to_string(),
@@ -338,7 +448,9 @@ fn check_dashboard(html: &str, expect_health: Option<&str>) -> Result<String, St
                 .map_or(0, <[Value]>::len)
         ),
     };
-    Ok(format!("{health_desc}, {drift_desc}, {bench_desc}"))
+    Ok(format!(
+        "{health_desc}, {drift_desc}, {fleet_desc}, {bench_desc}"
+    ))
 }
 
 fn main() -> ExitCode {
@@ -353,6 +465,8 @@ fn main() -> ExitCode {
     let dashboard = grab("--dashboard");
     let events = grab("--events");
     let flight = grab("--flight");
+    let prom = grab("--prom");
+    let fleet = grab("--fleet");
     let expect_health = grab("--expect-health");
     if let Some(sev) = expect_health.as_deref() {
         if !matches!(sev, "ok" | "warn" | "critical") {
@@ -378,11 +492,14 @@ fn main() -> ExitCode {
         && dashboard.is_none()
         && events.is_none()
         && flight.is_none()
+        && prom.is_none()
+        && fleet.is_none()
     {
         bmf_obs::error!(
             "usage: trace_check [--trace <json>] [--metrics <json>] [--expect-counter <name>]... \
              [--dashboard <html>] [--expect-health <ok|warn|critical>] \
-             [--events <jsonl>] [--expect-event <kind>]... [--flight <json>]"
+             [--events <jsonl>] [--expect-event <kind>]... [--flight <json>] \
+             [--prom <url-or-file>] [--fleet <json>]"
         );
         return ExitCode::FAILURE;
     }
@@ -433,6 +550,30 @@ fn main() -> ExitCode {
         match check_flight(&doc) {
             Ok((reason, n)) => bmf_obs::outln!(
                 "trace_check: {path}: flight dump ({reason}), {n} event(s) within capacity"
+            ),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    if let Some(source) = prom {
+        let text = match fetch_prom(&source) {
+            Ok(text) => text,
+            Err(e) => return fail(&e),
+        };
+        match bmf_obs::prom::validate_exposition(&text) {
+            Ok(samples) => bmf_obs::outln!(
+                "trace_check: {source}: conformant Prometheus exposition, {samples} sample(s)"
+            ),
+            Err(e) => return fail(&format!("{source}: {e}")),
+        }
+    }
+    if let Some(path) = fleet {
+        let doc = match load(&path) {
+            Ok(doc) => doc,
+            Err(e) => return fail(&e),
+        };
+        match check_fleet(&doc) {
+            Ok((shards, stragglers)) => bmf_obs::outln!(
+                "trace_check: {path}: well-formed fleet summary, {shards} shard(s), {stragglers} straggler(s)"
             ),
             Err(e) => return fail(&format!("{path}: {e}")),
         }

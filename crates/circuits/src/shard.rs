@@ -34,12 +34,17 @@ use crate::{CircuitError, Result};
 use bmf_linalg::{Matrix, Vector};
 use bmf_obs::json::{self, Value};
 use bmf_obs::run::fnv1a;
-use bmf_obs::{RunContext, ShardCoverage};
+use bmf_obs::{FleetShardRow, FleetSummary, RunContext, ShardCoverage};
 
 /// Format marker every packet carries.
 pub const PACKET_FORMAT: &str = "bmf-shard-packet";
-/// Current packet schema version.
-pub const PACKET_VERSION: u64 = 1;
+/// Current packet schema version. Version 2 added the optional
+/// `telemetry` envelope; version-1 packets (no telemetry) still parse.
+pub const PACKET_VERSION: u64 = 2;
+/// Oldest packet version this build still reads.
+pub const PACKET_MIN_VERSION: u64 = 1;
+/// Longest event tail a packet ships (newest events win).
+pub const TELEMETRY_EVENT_TAIL: usize = 32;
 
 // ---------------------------------------------------------------------------
 // Study configuration
@@ -465,6 +470,219 @@ pub struct StageMoments {
 // Shard execution and packets
 // ---------------------------------------------------------------------------
 
+/// A compact ship-with-the-packet digest of one observability
+/// histogram: enough for fleet dashboards, nothing bucket-shaped.
+/// Empty-histogram percentiles are explicit `None`s (serialized as
+/// JSON `null`), never fabricated zeros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSketch {
+    /// Histogram name (e.g. `"cholesky.ns"`).
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest observation, nanoseconds.
+    pub min_ns: u64,
+    /// Largest observation, nanoseconds.
+    pub max_ns: u64,
+    /// Estimated median, absent when the histogram is empty.
+    pub p50_ns: Option<u64>,
+    /// Estimated 90th percentile, absent when empty.
+    pub p90_ns: Option<u64>,
+    /// Estimated 99th percentile, absent when empty.
+    pub p99_ns: Option<u64>,
+}
+
+/// Per-shard observability telemetry carried in a version-2 packet so a
+/// merge can build a fleet view without the shards' processes being
+/// alive. Captured only when recording was enabled in the shard's
+/// process (`--events-out`, `--obs-listen`, ...); a quiet shard ships
+/// `telemetry: None` and costs nothing.
+///
+/// Telemetry is measurement, not input: it never enters the checksum'd
+/// statistics the merge reduces, so two packets for one shard that
+/// differ only in telemetry still merge as duplicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Wall-clock time the shard spent running both stages, nanoseconds.
+    pub wall_ns: u64,
+    /// Counter increments observed during the shard run (non-zero only).
+    pub counters: Vec<(String, u64)>,
+    /// Histogram digests at shard completion (non-empty only).
+    pub histograms: Vec<HistogramSketch>,
+    /// Tail of the shard's structured event log, each entry one
+    /// pre-rendered JSON object line (newest last, at most
+    /// [`TELEMETRY_EVENT_TAIL`]).
+    pub events: Vec<String>,
+}
+
+impl ShardTelemetry {
+    /// The shard's `monte_carlo.sims` counter increment, `0` when the
+    /// counter never moved.
+    #[must_use]
+    pub fn sims(&self) -> u64 {
+        self.counters
+            .iter()
+            .find(|(name, _)| name == "monte_carlo.sims")
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Captures the delta between two metrics snapshots plus the event
+    /// tail visible to the calling thread.
+    fn capture(wall_ns: u64, before: &bmf_obs::MetricsSnapshot) -> ShardTelemetry {
+        let after = bmf_obs::metrics::snapshot();
+        let counters = after
+            .counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let base = before
+                    .counters
+                    .iter()
+                    .find(|(b, _)| b == name)
+                    .map_or(0, |(_, b)| *b);
+                let delta = v.saturating_sub(base);
+                (delta > 0).then(|| ((*name).to_string(), delta))
+            })
+            .collect();
+        let histograms = after
+            .histograms
+            .iter()
+            .filter(|h| h.count > 0)
+            .map(|h| HistogramSketch {
+                name: h.name.to_string(),
+                count: h.count,
+                sum_ns: h.sum_ns,
+                min_ns: h.min_ns,
+                max_ns: h.max_ns,
+                p50_ns: h.p50_ns(),
+                p90_ns: h.p90_ns(),
+                p99_ns: h.p99_ns(),
+            })
+            .collect();
+        let records = bmf_obs::event::peek_records();
+        let skip = records.len().saturating_sub(TELEMETRY_EVENT_TAIL);
+        let events = records[skip..].iter().map(|r| r.to_json(None)).collect();
+        ShardTelemetry {
+            wall_ns,
+            counters,
+            histograms,
+            events,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(name, v)| format!("[{},{v}]", json::string(name)))
+            .collect();
+        let pct = |p: Option<u64>| p.map_or_else(|| "null".to_string(), |v| v.to_string());
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"name\":{},\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                    json::string(&h.name),
+                    h.count,
+                    h.sum_ns,
+                    h.min_ns,
+                    h.max_ns,
+                    pct(h.p50_ns),
+                    pct(h.p90_ns),
+                    pct(h.p99_ns),
+                )
+            })
+            .collect();
+        // Event lines are embedded as strings, not objects: the tail
+        // round-trips byte-exactly without this parser owning the event
+        // schema.
+        let events: Vec<String> = self.events.iter().map(|e| json::string(e)).collect();
+        format!(
+            "{{\"wall_ns\":{},\"counters\":[{}],\"histograms\":[{}],\"events\":[{}]}}",
+            self.wall_ns,
+            counters.join(","),
+            histograms.join(","),
+            events.join(","),
+        )
+    }
+
+    fn from_value(v: &Value, label: &str) -> Result<ShardTelemetry> {
+        let corrupt = |reason: String| CircuitError::PacketCorrupt {
+            source: label.to_string(),
+            reason,
+        };
+        let nat = |v: &Value, what: &str| -> Result<u64> {
+            v.as_f64()
+                .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x < 2f64.powi(53))
+                .map(|x| x as u64)
+                .ok_or_else(|| corrupt(format!("telemetry field {what} missing or not a count")))
+        };
+        let wall_ns = nat(v.get("wall_ns").unwrap_or(&Value::Null), "wall_ns")?;
+        let counters = v
+            .get("counters")
+            .and_then(Value::as_array)
+            .ok_or_else(|| corrupt("telemetry field counters missing".to_string()))?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                    corrupt("telemetry counter is not a [name, value] pair".to_string())
+                })?;
+                let name = items[0]
+                    .as_str()
+                    .ok_or_else(|| corrupt("telemetry counter name is not a string".to_string()))?;
+                Ok((name.to_string(), nat(&items[1], "counter value")?))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let histograms = v
+            .get("histograms")
+            .and_then(Value::as_array)
+            .ok_or_else(|| corrupt("telemetry field histograms missing".to_string()))?
+            .iter()
+            .map(|h| {
+                let pct = |key: &str| -> Result<Option<u64>> {
+                    match h.get(key) {
+                        None | Some(Value::Null) => Ok(None),
+                        Some(x) => nat(x, key).map(Some),
+                    }
+                };
+                Ok(HistogramSketch {
+                    name: h
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| corrupt("telemetry histogram name missing".to_string()))?
+                        .to_string(),
+                    count: nat(h.get("count").unwrap_or(&Value::Null), "count")?,
+                    sum_ns: nat(h.get("sum_ns").unwrap_or(&Value::Null), "sum_ns")?,
+                    min_ns: nat(h.get("min_ns").unwrap_or(&Value::Null), "min_ns")?,
+                    max_ns: nat(h.get("max_ns").unwrap_or(&Value::Null), "max_ns")?,
+                    p50_ns: pct("p50_ns")?,
+                    p90_ns: pct("p90_ns")?,
+                    p99_ns: pct("p99_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let events = v
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or_else(|| corrupt("telemetry field events missing".to_string()))?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| corrupt("telemetry event line is not a string".to_string()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardTelemetry {
+            wall_ns,
+            counters,
+            histograms,
+            events,
+        })
+    }
+}
+
 /// One shard's result: the sufficient statistics of its early and late
 /// slices plus deterministic telemetry, ready for packet serialization.
 #[derive(Debug, Clone, PartialEq)]
@@ -480,6 +698,24 @@ pub struct ShardPacket {
     /// Total simulator redraws across both slices (deterministic: each
     /// sample retries within its own stream).
     pub retries: u64,
+    /// Observability telemetry of the producing process, captured only
+    /// when recording was enabled there. Never merged into statistics;
+    /// feeds the fleet view.
+    pub telemetry: Option<ShardTelemetry>,
+}
+
+impl ShardPacket {
+    /// Whether two packets describe the same shard result — the
+    /// statistics, not the telemetry. A shard re-run with observability
+    /// on reports different wall clocks but identical science.
+    #[must_use]
+    pub fn same_result(&self, other: &ShardPacket) -> bool {
+        self.config == other.config
+            && self.shard_index == other.shard_index
+            && self.early == other.early
+            && self.late == other.late
+            && self.retries == other.retries
+    }
 }
 
 /// Runs shard `index` of the study described by `config`: both stages'
@@ -503,6 +739,12 @@ pub fn run_shard(config: &StudyConfig, index: usize, threads: usize) -> Result<S
     let policy = RetryPolicy {
         max_attempts: config.max_attempts,
     };
+    // Telemetry baseline: only when the producing process records.
+    // Recording never perturbs the statistics (the crate invariant), so
+    // a telemetry-bearing packet is bit-identical in its payload science
+    // to a quiet one — only the envelope grows.
+    let baseline =
+        bmf_obs::is_enabled().then(|| (std::time::Instant::now(), bmf_obs::metrics::snapshot()));
     let mut retries = 0u64;
     let mut run_stage = |stage: Stage, total: usize| -> Result<StageSuffStats> {
         let (start, len) = StudyConfig::slice(total, index, config.shard_count);
@@ -522,20 +764,27 @@ pub fn run_shard(config: &StudyConfig, index: usize, threads: usize) -> Result<S
     };
     let early = run_stage(Stage::Schematic, config.n_early)?;
     let late = run_stage(Stage::PostLayout, config.n_late)?;
+    let telemetry = baseline
+        .map(|(t0, before)| ShardTelemetry::capture(t0.elapsed().as_nanos() as u64, &before));
     Ok(ShardPacket {
         config: config.clone(),
         shard_index: index,
         early,
         late,
         retries,
+        telemetry,
     })
 }
 
 impl ShardPacket {
     fn payload_json(&self) -> String {
         let run = self.config.run_context();
+        let telemetry = self
+            .telemetry
+            .as_ref()
+            .map_or_else(String::new, |t| format!(",\"telemetry\":{}", t.to_json()));
         format!(
-            "{{\"run_id\":{},\"config_hash\":\"{:016x}\",\"config\":{},\"shard_index\":{},\"retries\":{},\"early\":{},\"late\":{}}}",
+            "{{\"run_id\":{},\"config_hash\":\"{:016x}\",\"config\":{},\"shard_index\":{},\"retries\":{},\"early\":{},\"late\":{}{telemetry}}}",
             json::string(&run.run_id),
             run.config_hash,
             self.config.config_json(),
@@ -592,10 +841,12 @@ pub fn parse_packet(text: &str, label: &str) -> Result<ShardPacket> {
         None => return Err(corrupt("format marker missing".to_string())),
     }
     match doc.get("version").and_then(Value::as_f64) {
-        Some(v) if v == PACKET_VERSION as f64 => {}
+        Some(v)
+            if v.fract() == 0.0
+                && (PACKET_MIN_VERSION as f64..=PACKET_VERSION as f64).contains(&v) => {}
         Some(v) => {
             return Err(corrupt(format!(
-                "version {v}, this build reads {PACKET_VERSION}"
+                "version {v}, this build reads {PACKET_MIN_VERSION}..={PACKET_VERSION}"
             )));
         }
         None => return Err(corrupt("version missing".to_string())),
@@ -686,12 +937,18 @@ pub fn parse_packet(text: &str, label: &str) -> Result<ShardPacket> {
             .ok_or_else(|| corrupt("late stage missing".to_string()))?,
         label,
     )?;
+    // Version-1 packets (and quiet version-2 shards) have no telemetry.
+    let telemetry = match payload.get("telemetry") {
+        None | Some(Value::Null) => None,
+        Some(t) => Some(ShardTelemetry::from_value(t, label)?),
+    };
     Ok(ShardPacket {
         config,
         shard_index,
         early,
         late,
         retries,
+        telemetry,
     })
 }
 
@@ -724,6 +981,9 @@ pub struct MergeOutcome {
     pub coverage: ShardCoverage,
     /// Total simulator redraws across merged shards.
     pub retries: u64,
+    /// Fleet telemetry view folded from packets that carried telemetry;
+    /// `None` when every merged shard ran quiet.
+    pub fleet: Option<FleetSummary>,
 }
 
 /// Reduces parsed packets into one study under `policy`. Duplicate
@@ -831,17 +1091,25 @@ fn merge_validated(
         }
     }
 
-    // Dedupe: identical duplicates collapse, conflicting ones reject.
+    // Dedupe: identical *results* collapse, conflicting ones reject.
+    // Equality is structural (stats + retries), not checksum: a shard
+    // re-run with observability on carries different telemetry wall
+    // clocks but the same science, and must still count as a duplicate.
     let mut by_index: Vec<Option<&ShardPacket>> = vec![None; shard_count];
     let mut duplicates = 0usize;
     for p in packets {
         match by_index[p.shard_index] {
             None => by_index[p.shard_index] = Some(p),
             Some(kept) => {
-                if kept.checksum() == p.checksum() {
+                if kept.same_result(p) {
                     duplicates += 1;
                     bmf_obs::counters::SHARD_DUPLICATES.incr();
                     bmf_obs::event!(Warn, "shard.duplicate", "index": p.shard_index);
+                    // Keep the telemetry-bearing copy: a fleet view is
+                    // worth more than arrival order.
+                    if kept.telemetry.is_none() && p.telemetry.is_some() {
+                        by_index[p.shard_index] = Some(p);
+                    }
                 } else {
                     return Err(CircuitError::PacketIncompatible {
                         reason: format!(
@@ -939,6 +1207,35 @@ fn merge_validated(
             "shard_count": shard_count,
             "inflation": coverage.inflation);
     }
+
+    // Fold per-shard telemetry into the fleet view. Quiet shards are
+    // simply absent from the table; an all-quiet merge has no fleet.
+    let fleet_rows: Vec<FleetShardRow> = merged_indices
+        .iter()
+        .filter_map(|&i| {
+            let p = by_index[i].expect("merged index has a packet");
+            p.telemetry.as_ref().map(|t| FleetShardRow {
+                index: i,
+                wall_ns: t.wall_ns,
+                sims: t.sims(),
+                retries: p.retries,
+                events: t.events.len(),
+                straggler: false, // recomputed against the median below
+            })
+        })
+        .collect();
+    let fleet = if fleet_rows.is_empty() {
+        None
+    } else {
+        let summary = FleetSummary::from_rows(&run.run_id, fleet_rows);
+        for &i in &summary.stragglers() {
+            bmf_obs::event!(Warn, "fleet.straggler",
+                "index": i,
+                "ratio": summary.straggler_ratio);
+        }
+        Some(summary)
+    };
+
     Ok(MergeOutcome {
         early: early.expect("quorum >= 1 guarantees a packet"),
         late: late.expect("quorum >= 1 guarantees a packet"),
@@ -946,6 +1243,7 @@ fn merge_validated(
         run,
         coverage,
         retries,
+        fleet,
     })
 }
 
@@ -1065,9 +1363,74 @@ mod tests {
         let err = parse_packet(&good[..good.len() / 2], "truncated").unwrap_err();
         assert!(matches!(err, CircuitError::PacketCorrupt { .. }));
         // Wrong version.
-        let wrong_version = good.replacen("\"version\":1", "\"version\":99", 1);
+        let wrong_version = good.replacen("\"version\":2", "\"version\":99", 1);
         let err = parse_packet(&wrong_version, "future").unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn version_1_packets_still_parse_as_telemetry_free() {
+        // A v1 document is exactly a v2 quiet packet with the old
+        // version number — this build must keep reading it.
+        let p = run_shard(&config(), 0, 1).unwrap();
+        assert!(p.telemetry.is_none(), "recording off → quiet packet");
+        let v1_payload = p.payload_json();
+        let v1 = format!(
+            "{{\"format\":\"{PACKET_FORMAT}\",\"version\":1,\"checksum\":\"{:016x}\",\"payload\":{v1_payload}}}",
+            bmf_obs::run::fnv1a(v1_payload.as_bytes()),
+        );
+        let back = parse_packet(&v1, "legacy").unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn telemetry_rides_the_packet_and_feeds_the_fleet_view() {
+        // Serializes access to the process-wide obs switch against any
+        // future recording test in this binary.
+        static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        bmf_obs::reset();
+        let cfg = StudyConfig {
+            shard_count: 2,
+            ..config()
+        };
+        // Shard 0 runs quiet; shard 1 runs with recording on.
+        let quiet = run_shard(&cfg, 0, 1).unwrap();
+        assert!(quiet.telemetry.is_none());
+        bmf_obs::enable();
+        let loud = run_shard(&cfg, 1, 1).unwrap();
+        bmf_obs::reset();
+        let t = loud.telemetry.as_ref().expect("recording on → telemetry");
+        assert!(t.sims() > 0, "sims counter moved: {:?}", t.counters);
+        // Telemetry survives the JSON round trip byte-exactly.
+        let text = loud.to_json();
+        let back = parse_packet(&text, "telemetry-roundtrip").unwrap();
+        assert_eq!(back, loud);
+        assert_eq!(back.to_json(), text);
+        // The loud shard's science equals a quiet re-run's bits:
+        // telemetry observes, never perturbs.
+        let quiet_rerun = run_shard(&cfg, 1, 1).unwrap();
+        assert!(quiet_rerun.same_result(&loud));
+        assert_ne!(quiet_rerun, loud, "telemetry differs, science does not");
+        // Merge folds the one telemetry-bearing shard into a fleet view.
+        let merged =
+            merge_packets(&[quiet.clone(), loud.clone()], &MergePolicy::default()).unwrap();
+        let fleet = merged.fleet.expect("one loud shard → fleet view");
+        assert_eq!(fleet.shards.len(), 1);
+        assert_eq!(fleet.shards[0].index, 1);
+        assert!(fleet.shards[0].wall_ns > 0);
+        // Duplicate with different telemetry still dedupes, and the
+        // telemetry-bearing copy wins.
+        let merged =
+            merge_packets(&[quiet.clone(), quiet_rerun, loud], &MergePolicy::default()).unwrap();
+        assert_eq!(merged.coverage.duplicates, 1);
+        assert!(merged.fleet.is_some(), "telemetry copy kept over quiet one");
+        // An all-quiet merge has no fleet view.
+        let quiet_b = run_shard(&cfg, 1, 1).unwrap();
+        let merged = merge_packets(&[quiet, quiet_b], &MergePolicy::default()).unwrap();
+        assert!(merged.fleet.is_none());
     }
 
     #[test]

@@ -236,6 +236,12 @@ impl DriftMonitor {
             cov_frob,
             severity,
         });
+        // Live view: a scraper polling /health mid-run sees the drift
+        // state as of the last closed window, not just at exit. Gated so
+        // the recording-off path stays a single relaxed load.
+        if bmf_obs::is_enabled() {
+            bmf_obs::serve::publish_drift(&self.timeline);
+        }
     }
 
     /// `(KL, mean distance, relative Frobenius drift)` of one window

@@ -597,7 +597,10 @@ impl RobustPipeline {
                 &dq,
                 est,
             ) {
-                Ok(h) => Some(h),
+                Ok(h) => {
+                    bmf_obs::serve::publish_health(&h);
+                    Some(h)
+                }
                 Err(e) => {
                     notes.push(format!("health assessment unavailable: {e}"));
                     None
@@ -857,7 +860,10 @@ impl RobustPipeline {
                 &dq,
                 est,
             ) {
-                Ok(h) => Some(h),
+                Ok(h) => {
+                    bmf_obs::serve::publish_health(&h);
+                    Some(h)
+                }
                 Err(e) => {
                     notes.push(format!("health assessment unavailable: {e}"));
                     None

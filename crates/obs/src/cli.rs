@@ -11,6 +11,11 @@
 //!   bench history)
 //! * `--events-out <path>` — write the structured event log as JSONL
 //!   (one JSON object per line) and arm the flight-recorder panic hook
+//! * `--obs-listen <addr>` — serve live observability over HTTP while
+//!   the run is in flight (`/metrics`, `/health`, `/events`,
+//!   `/progress`, `/flight` and a live dashboard at `/`); port `0`
+//!   picks a free port, and the bound address is printed (and written
+//!   to `$BMF_OBS_ADDR_FILE` when set) so scripts can find it
 //! * `--log-level <error|warn|info|debug>` — console verbosity for the
 //!   [`crate::error!`]/[`crate::warn!`]/[`crate::info!`]/[`crate::outln!`]
 //!   macros; `--log-level error` makes a binary fully quiet. Unlike the
@@ -35,7 +40,7 @@ use crate::event::Level;
 use crate::export::HardwareContext;
 use crate::fsio::atomic_write;
 use crate::health::{DriftTimeline, HealthReport};
-use crate::shard::ShardCoverage;
+use crate::shard::{FleetSummary, ShardCoverage};
 use std::io;
 
 /// Filename the dashboard looks for (in the working directory) to
@@ -55,6 +60,8 @@ pub struct ObsOptions {
     pub dashboard_out: Option<String>,
     /// Destination for the JSONL event log, if requested.
     pub events_out: Option<String>,
+    /// Listen address for the live observability HTTP server, if given.
+    pub obs_listen: Option<String>,
     /// Console level from `--log-level`, if given (applied at extract).
     pub log_level: Option<Level>,
     /// Worker thread count recorded in exports; bins set this after
@@ -68,6 +75,8 @@ pub struct ObsOptions {
     pub drift: Option<DriftTimeline>,
     /// Shard coverage attached by a merge, rendered in the dashboard.
     pub shard: Option<ShardCoverage>,
+    /// Fleet telemetry attached by a merge, rendered in the dashboard.
+    pub fleet: Option<FleetSummary>,
 }
 
 /// Error raised when an observability flag is missing or has an
@@ -156,6 +165,13 @@ impl ObsOptions {
                         break;
                     }
                 },
+                "--obs-listen" => match iter.next() {
+                    Some(addr) => options.obs_listen = Some(addr),
+                    None => {
+                        error = Some(ObsFlagError::missing_value("--obs-listen"));
+                        break;
+                    }
+                },
                 "--log-level" => match iter.next() {
                     Some(level) => level_arg = Some(level),
                     None => {
@@ -172,6 +188,8 @@ impl ObsOptions {
                         options.dashboard_out = Some(path.to_string());
                     } else if let Some(path) = arg.strip_prefix("--events-out=") {
                         options.events_out = Some(path.to_string());
+                    } else if let Some(addr) = arg.strip_prefix("--obs-listen=") {
+                        options.obs_listen = Some(addr.to_string());
                     } else if let Some(level) = arg.strip_prefix("--log-level=") {
                         level_arg = Some(level.to_string());
                     } else {
@@ -206,42 +224,77 @@ impl ObsOptions {
         if options.events_out.is_some() {
             crate::flight::install_panic_hook();
         }
+        if let Some(addr) = &options.obs_listen {
+            match crate::serve::start_global(addr) {
+                Ok(bound) => {
+                    crate::serve::set_live_context(&options.title, options.threads_used);
+                    crate::info!("observability server listening on http://{bound}/");
+                }
+                Err(e) => {
+                    return Err(ObsFlagError {
+                        flag: "--obs-listen",
+                        message: format!("cannot listen on {addr:?}: {e}"),
+                    })
+                }
+            }
+        }
         Ok(options)
     }
 
     /// Whether any observability output was requested (`--log-level`
     /// deliberately does not count: it filters, it does not record).
+    /// `--obs-listen` counts: a live scraper needs live data.
     pub fn any(&self) -> bool {
         self.trace_out.is_some()
             || self.profile
             || self.metrics_out.is_some()
             || self.dashboard_out.is_some()
             || self.events_out.is_some()
+            || self.obs_listen.is_some()
     }
 
     /// Records the worker thread count for export hardware context.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads_used = threads.max(1);
+        if self.obs_listen.is_some() {
+            crate::serve::set_live_context(&self.title, self.threads_used);
+        }
     }
 
     /// Overrides the dashboard page title.
     pub fn set_title(&mut self, title: impl Into<String>) {
         self.title = title.into();
+        if self.obs_listen.is_some() {
+            crate::serve::set_live_context(&self.title, self.threads_used);
+        }
     }
 
-    /// Attaches the run's health report for dashboard rendering.
+    /// Attaches the run's health report for dashboard rendering (and
+    /// publishes it to the live `/health` endpoint when serving).
     pub fn attach_health(&mut self, health: HealthReport) {
+        crate::serve::publish_health(&health);
         self.health = Some(health);
     }
 
-    /// Attaches the run's drift timeline for dashboard rendering.
+    /// Attaches the run's drift timeline for dashboard rendering (and
+    /// publishes it to the live `/health` endpoint when serving).
     pub fn attach_drift(&mut self, drift: DriftTimeline) {
+        crate::serve::publish_drift(&drift);
         self.drift = Some(drift);
     }
 
-    /// Attaches a merge's shard coverage for dashboard rendering.
+    /// Attaches a merge's shard coverage for dashboard rendering (and
+    /// publishes it to the live dashboard when serving).
     pub fn attach_shard(&mut self, shard: ShardCoverage) {
+        crate::serve::publish_shard(&shard);
         self.shard = Some(shard);
+    }
+
+    /// Attaches a merge's fleet telemetry view for dashboard rendering
+    /// (and publishes it to the live dashboard when serving).
+    pub fn attach_fleet(&mut self, fleet: FleetSummary) {
+        crate::serve::publish_fleet(&fleet);
+        self.fleet = Some(fleet);
     }
 
     /// Derives and installs the process-wide [`crate::run::RunContext`]
@@ -261,6 +314,9 @@ impl ObsOptions {
         if !self.any() {
             return Ok(());
         }
+        // Stop serving before draining: a scrape racing the drain would
+        // see a half-empty registry.
+        crate::serve::stop_global();
         crate::disable();
         let events = crate::span::take_events();
         let records = crate::event::take_records();
@@ -311,6 +367,7 @@ impl ObsOptions {
                 health: self.health.as_ref(),
                 drift: self.drift.as_ref(),
                 shard: self.shard.as_ref(),
+                fleet: self.fleet.as_ref(),
                 bench_history_json: bench_history.as_deref(),
             });
             atomic_write(path, page)?;
@@ -461,6 +518,42 @@ mod tests {
             );
         }
         let _ = std::fs::remove_file(&out);
+        crate::reset();
+    }
+
+    #[test]
+    fn obs_listen_starts_the_live_server_and_finish_stops_it() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&[
+            "bmf",
+            "--obs-listen=127.0.0.1:0",
+            "--log-level",
+            "error", // keep the status line quiet under the test runner
+            "estimate",
+        ]);
+        let options = ObsOptions::extract(&mut args).unwrap();
+        assert_eq!(args, argv(&["bmf", "estimate"]));
+        assert_eq!(options.obs_listen.as_deref(), Some("127.0.0.1:0"));
+        assert!(options.any(), "--obs-listen requests live output");
+        assert!(crate::is_enabled());
+        let addr = crate::serve::global_addr().expect("server is running");
+        assert_ne!(addr.port(), 0, "port 0 resolves to a real port");
+        options.finish().unwrap();
+        assert!(
+            crate::serve::global_addr().is_none(),
+            "finish stops the server"
+        );
+        crate::reset();
+    }
+
+    #[test]
+    fn obs_listen_rejects_unbindable_addresses() {
+        let _g = test_lock();
+        crate::reset();
+        let mut args = argv(&["bmf", "--obs-listen", "not-an-address"]);
+        let err = ObsOptions::extract(&mut args).unwrap_err();
+        assert_eq!(err.flag, "--obs-listen");
         crate::reset();
     }
 

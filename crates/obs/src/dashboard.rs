@@ -27,7 +27,7 @@ use crate::health::{DriftTimeline, HealthReport, Severity};
 use crate::json::{self, Value};
 use crate::metrics::MetricsSnapshot;
 use crate::run::RunContext;
-use crate::shard::ShardCoverage;
+use crate::shard::{FleetSummary, ShardCoverage};
 use crate::span::SpanEvent;
 use std::fmt::Write as _;
 
@@ -57,6 +57,8 @@ pub struct DashboardData<'a> {
     pub drift: Option<&'a DriftTimeline>,
     /// Shard coverage, when the run was a packet merge.
     pub shard: Option<&'a ShardCoverage>,
+    /// Fleet telemetry view, when the merged packets carried telemetry.
+    pub fleet: Option<&'a FleetSummary>,
     /// Raw contents of `BENCH_history.json`, when available.
     pub bench_history_json: Option<&'a str>,
 }
@@ -331,6 +333,7 @@ fn metrics_section(data: &DashboardData) -> String {
              <th class=\"num\">p50</th><th class=\"num\">p90</th><th class=\"num\">p99</th>\
              </tr></thead><tbody>",
         );
+        let fmt_pct = |p: Option<u64>| p.map_or_else(|| "\u{2014}".to_string(), fmt_ns);
         for h in &recorded {
             let _ = write!(
                 out,
@@ -338,9 +341,9 @@ fn metrics_section(data: &DashboardData) -> String {
                  <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
                 html_escape(h.name),
                 h.count,
-                fmt_ns(h.p50_ns()),
-                fmt_ns(h.p90_ns()),
-                fmt_ns(h.p99_ns()),
+                fmt_pct(h.p50_ns()),
+                fmt_pct(h.p90_ns()),
+                fmt_pct(h.p99_ns()),
             );
         }
         out.push_str("</tbody></table>");
@@ -457,6 +460,56 @@ fn shard_section(data: &DashboardData) -> String {
             );
             row(&mut out, "duplicate packets", s.duplicates.to_string());
             row(&mut out, "uncertainty inflation", fmt_sig(s.inflation));
+            out.push_str("</tbody></table>");
+        }
+    }
+    out.push_str("</section>");
+    out
+}
+
+fn fleet_section(data: &DashboardData) -> String {
+    let mut out = String::from("<section id=\"fleet\"><h2>Fleet telemetry</h2>");
+    match data.fleet {
+        None => out.push_str(
+            "<p class=\"muted\">No per-shard telemetry \
+             (shards recorded with observability off, or single-process run).</p>",
+        ),
+        Some(f) => {
+            let _ = write!(
+                out,
+                "<p>{} shard(s) reporting \u{00b7} median wall {} \u{00b7} slowest {} ({}\u{00d7})</p>",
+                f.shards.len(),
+                fmt_ns(f.median_wall_ns),
+                fmt_ns(f.slowest_wall_ns),
+                fmt_sig(f.straggler_ratio),
+            );
+            out.push_str(
+                "<table><thead><tr><th class=\"num\">shard</th><th class=\"num\">wall</th>\
+                 <th class=\"num\">sims</th><th class=\"num\">retries</th>\
+                 <th class=\"num\">events</th><th>status</th></tr></thead><tbody>",
+            );
+            for row in &f.shards {
+                let _ = write!(
+                    out,
+                    "<tr><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td>{}</td></tr>",
+                    row.index,
+                    fmt_ns(row.wall_ns),
+                    row.sims,
+                    row.retries,
+                    row.events,
+                    if row.straggler {
+                        "<span class=\"badge status-warning\">\
+                         <span class=\"icon\">\u{26a0}</span> straggler</span>"
+                            .to_string()
+                    } else {
+                        "<span class=\"badge status-good\">\
+                         <span class=\"icon\">\u{2713}</span> ok</span>"
+                            .to_string()
+                    },
+                );
+            }
             out.push_str("</tbody></table>");
         }
     }
@@ -750,12 +803,13 @@ pub fn render(data: &DashboardData) -> String {
     }
     out.push_str(
         "<nav><a href=\"#health\">Health</a><a href=\"#shard\">Shards</a>\
-         <a href=\"#drift\">Drift</a>\
+         <a href=\"#fleet\">Fleet</a><a href=\"#drift\">Drift</a>\
          <a href=\"#events\">Events</a><a href=\"#profile\">Profile</a>\
          <a href=\"#metrics\">Metrics</a><a href=\"#bench\">Bench</a></nav></header>",
     );
     out.push_str(&health_section(data));
     out.push_str(&shard_section(data));
+    out.push_str(&fleet_section(data));
     out.push_str(&drift_section(data));
     out.push_str(&events_section(data));
     out.push_str(&profile_section(data));
@@ -789,6 +843,14 @@ pub fn render(data: &DashboardData) -> String {
         out,
         "<script type=\"application/json\" id=\"shard-data\">{}</script>",
         embed_json(&shard_json)
+    );
+    let fleet_json = data
+        .fleet
+        .map_or_else(|| "null".to_string(), FleetSummary::to_json);
+    let _ = write!(
+        out,
+        "<script type=\"application/json\" id=\"fleet-data\">{}</script>",
+        embed_json(&fleet_json)
     );
     let _ = write!(
         out,
@@ -847,6 +909,7 @@ mod tests {
                     b
                 },
             }],
+            process: None,
         }
     }
 
@@ -954,6 +1017,35 @@ mod tests {
             observed_late: 150,
             inflation: 200.0 / 150.0,
         };
+        let fleet = FleetSummary::from_rows(
+            "deadbeef",
+            vec![
+                crate::shard::FleetShardRow {
+                    index: 0,
+                    wall_ns: 1_000_000,
+                    sims: 50,
+                    retries: 0,
+                    events: 3,
+                    straggler: false,
+                },
+                crate::shard::FleetShardRow {
+                    index: 1,
+                    wall_ns: 9_000_000,
+                    sims: 50,
+                    retries: 2,
+                    events: 7,
+                    straggler: false,
+                },
+                crate::shard::FleetShardRow {
+                    index: 2,
+                    wall_ns: 1_100_000,
+                    sims: 50,
+                    retries: 0,
+                    events: 3,
+                    straggler: false,
+                },
+            ],
+        );
         let page = render(&DashboardData {
             title: "fig4 <smoke>",
             hardware: &hw(),
@@ -966,6 +1058,7 @@ mod tests {
             health: Some(&health),
             drift: Some(&drift),
             shard: Some(&shard),
+            fleet: Some(&fleet),
             bench_history_json: Some(bench),
         });
         assert!(page.starts_with("<!DOCTYPE html>"));
@@ -976,12 +1069,14 @@ mod tests {
             "id=\"metrics\"",
             "id=\"health\"",
             "id=\"shard\"",
+            "id=\"fleet\"",
             "id=\"drift\"",
             "id=\"events\"",
             "id=\"bench\"",
             "id=\"health-data\"",
             "id=\"drift-data\"",
             "id=\"shard-data\"",
+            "id=\"fleet-data\"",
             "id=\"bench-data\"",
             "id=\"events-data\"",
         ] {
@@ -989,7 +1084,7 @@ mod tests {
         }
         // Every nav href has a matching section id.
         for target in [
-            "#health", "#shard", "#drift", "#events", "#profile", "#metrics", "#bench",
+            "#health", "#shard", "#fleet", "#drift", "#events", "#profile", "#metrics", "#bench",
         ] {
             assert!(page.contains(&format!("href=\"{target}\"")));
         }
@@ -1049,6 +1144,20 @@ mod tests {
         // Charts rendered.
         assert!(page.contains("<svg"));
         assert!(page.contains("polyline"));
+        // Fleet table flags the slow shard and the blob re-parses.
+        assert!(page.contains("straggler"));
+        let fleet_v = json::parse(&extract("fleet-data")).expect("fleet blob parses");
+        assert_eq!(
+            fleet_v.get("run_id").and_then(Value::as_str),
+            Some("deadbeef")
+        );
+        assert_eq!(
+            fleet_v
+                .get("stragglers")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(1)
+        );
     }
 
     #[test]
@@ -1056,6 +1165,7 @@ mod tests {
         let snap = MetricsSnapshot {
             counters: vec![],
             histograms: vec![],
+            process: None,
         };
         let page = render(&DashboardData {
             title: "empty run",
@@ -1069,21 +1179,25 @@ mod tests {
             health: None,
             drift: None,
             shard: None,
+            fleet: None,
             bench_history_json: None,
         });
         for id in [
             "id=\"health\"",
             "id=\"shard\"",
+            "id=\"fleet\"",
             "id=\"drift\"",
             "id=\"events\"",
             "id=\"bench\"",
             "id=\"health-data\"",
+            "id=\"fleet-data\"",
             "id=\"events-data\"",
         ] {
             assert!(page.contains(id), "missing {id}");
         }
         assert!(page.contains("No health report"));
         assert!(page.contains("Not a sharded merge"));
+        assert!(page.contains("No per-shard telemetry"));
         assert!(page.contains("No structured events"));
         assert!(page.contains("No dump written"));
         assert!(page.contains(">null</script>"));

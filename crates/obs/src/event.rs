@@ -404,6 +404,20 @@ pub fn take_records() -> Vec<EventRecord> {
     records
 }
 
+/// Copies the recorded events without draining them: the global sink
+/// plus the calling thread's buffer, sorted by emission sequence. Built
+/// for live scrapers (`GET /events`, the on-demand dashboard) that must
+/// not steal records from the exit-time artifact writers. Worker
+/// threads' *unflushed* thread-local buffers are invisible here — their
+/// records appear once the thread's outermost span closes, which is the
+/// same visibility the sink itself guarantees.
+pub fn peek_records() -> Vec<EventRecord> {
+    let mut records: Vec<EventRecord> = SINK.lock().map(|sink| sink.clone()).unwrap_or_default();
+    RECORDS.with(|r| records.extend(r.borrow().0.iter().cloned()));
+    records.sort_by_key(|r| r.seq);
+    records
+}
+
 /// Discards buffered records and rewinds the sequence counter.
 pub(crate) fn clear() {
     if let Ok(mut sink) = SINK.lock() {
@@ -411,6 +425,9 @@ pub(crate) fn clear() {
     }
     RECORDS.with(|r| r.borrow_mut().0.clear());
     NEXT_SEQ.store(0, Ordering::Relaxed);
+    if let Ok(mut tasks) = PROGRESS.lock() {
+        tasks.clear();
+    }
 }
 
 /// A lock-free minimum-interval limiter: [`RateLimiter::allow`] returns
@@ -449,6 +466,72 @@ impl RateLimiter {
 
 /// Minimum interval between heartbeat pulses (500 ms).
 pub const HEARTBEAT_INTERVAL_NS: u64 = 500_000_000;
+
+/// Latest state of one heartbeat-labelled loop, kept for live scrapers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEntry {
+    /// Heartbeat label, e.g. `"monte_carlo.post_layout"`.
+    pub label: &'static str,
+    /// Units completed at the last pulse.
+    pub done: u64,
+    /// Planned units.
+    pub total: u64,
+    /// Completion rate at the last pulse (units/second).
+    pub per_sec: f64,
+    /// Estimated seconds to completion at the last pulse.
+    pub eta_s: f64,
+    /// Whether the loop pulsed its final unit.
+    pub finished: bool,
+    /// Trace-epoch timestamp of the last pulse.
+    pub updated_ns: u64,
+}
+
+impl ProgressEntry {
+    /// Completion fraction in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.done as f64 / self.total as f64).min(1.0)
+    }
+
+    /// Serializes this entry as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":{},\"done\":{},\"total\":{},\"fraction\":{},\"per_sec\":{},\"eta_s\":{},\"finished\":{},\"updated_ns\":{}}}",
+            crate::json::string(self.label),
+            self.done,
+            self.total,
+            crate::json::number(self.fraction()),
+            crate::json::number(self.per_sec),
+            crate::json::number(self.eta_s),
+            self.finished,
+            self.updated_ns,
+        )
+    }
+}
+
+/// Live per-label progress registry fed by [`Heartbeat`] pulses. Pulses
+/// are already rate-limited to one per [`HEARTBEAT_INTERVAL_NS`], so the
+/// mutex here is touched at most ~2/s per loop — never per tick.
+static PROGRESS: Mutex<Vec<ProgressEntry>> = Mutex::new(Vec::new());
+
+/// Point-in-time copy of every live progress entry, in first-pulse order.
+#[must_use]
+pub fn progress_snapshot() -> Vec<ProgressEntry> {
+    PROGRESS.lock().map(|t| t.clone()).unwrap_or_default()
+}
+
+fn progress_update(entry: ProgressEntry) {
+    if let Ok(mut tasks) = PROGRESS.lock() {
+        match tasks.iter_mut().find(|t| t.label == entry.label) {
+            Some(slot) => *slot = entry,
+            None => tasks.push(entry),
+        }
+    }
+}
 
 /// Progress heartbeat for long Monte Carlo / sweep loops.
 ///
@@ -529,6 +612,15 @@ impl Heartbeat {
         push_field(&mut fields, "per_sec", &rate);
         push_field(&mut fields, "eta_s", &eta_s);
         emit(Level::Info, "progress", fields);
+        progress_update(ProgressEntry {
+            label: self.label,
+            done,
+            total: self.total,
+            per_sec: rate,
+            eta_s,
+            finished,
+            updated_ns: now_ns,
+        });
         if self.ticker && !finished {
             let mut err = std::io::stderr().lock();
             let _ = write!(
@@ -737,6 +829,56 @@ mod tests {
         assert!(last.fields.contains("\"done\":7"));
         assert!(last.fields.contains("\"total\":7"));
         crate::reset();
+    }
+
+    #[test]
+    fn peek_does_not_drain_and_matches_take() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        crate::event!(Info, "first");
+        crate::event!(Warn, "second");
+        let peeked = peek_records();
+        assert_eq!(peeked.len(), 2);
+        let peeked_again = peek_records();
+        assert_eq!(peeked, peeked_again, "peek must not consume records");
+        crate::disable();
+        let taken = take_records();
+        assert_eq!(taken, peeked, "take sees everything peek saw");
+        assert!(take_records().is_empty(), "take drains");
+        crate::reset();
+    }
+
+    #[test]
+    fn heartbeat_pulses_feed_the_progress_registry() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let hb = Heartbeat::new("test.progress", 5);
+            for _ in 0..5 {
+                hb.tick();
+            }
+        }
+        let tasks = progress_snapshot();
+        let entry = tasks
+            .iter()
+            .find(|t| t.label == "test.progress")
+            .expect("final tick always pulses");
+        assert_eq!(entry.done, 5);
+        assert_eq!(entry.total, 5);
+        assert!(entry.finished);
+        assert_eq!(entry.fraction(), 1.0);
+        let v = crate::json::parse(&entry.to_json()).expect("progress JSON parses");
+        assert_eq!(
+            v.get("fraction").and_then(crate::json::Value::as_f64),
+            Some(1.0)
+        );
+        crate::reset();
+        assert!(
+            progress_snapshot().is_empty(),
+            "reset clears the progress registry"
+        );
     }
 
     #[test]

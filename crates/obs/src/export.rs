@@ -231,15 +231,16 @@ pub fn profile_table(
             "\n{:<hist_width$}  {:>8}  {:>12}  {:>12}  {:>12}",
             "histogram", "count", "p50", "p90", "p99"
         );
+        let fmt_pct = |p: Option<u64>| p.map_or_else(|| "-".to_string(), fmt_ns);
         for h in &recorded {
             let _ = writeln!(
                 out,
                 "{:<hist_width$}  {:>8}  {:>12}  {:>12}  {:>12}",
                 h.name,
                 h.count,
-                fmt_ns(h.p50_ns()),
-                fmt_ns(h.p90_ns()),
-                fmt_ns(h.p99_ns()),
+                fmt_pct(h.p50_ns()),
+                fmt_pct(h.p90_ns()),
+                fmt_pct(h.p99_ns()),
             );
         }
     }
@@ -280,6 +281,9 @@ pub fn metrics_json(
         } else {
             h.sum_ns as f64 / h.count as f64
         };
+        // Empty histograms get explicit nulls: a literal 0 here reads
+        // as a real sub-nanosecond measurement downstream.
+        let pct = |p: Option<u64>| p.map_or_else(|| "null".to_string(), |v| v.to_string());
         let _ = write!(
             out,
             "{}:{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\
@@ -290,9 +294,9 @@ pub fn metrics_json(
             json::number(mean),
             h.min_ns,
             h.max_ns,
-            h.p50_ns(),
-            h.p90_ns(),
-            h.p99_ns(),
+            pct(h.p50_ns()),
+            pct(h.p90_ns()),
+            pct(h.p99_ns()),
             h.buckets
                 .iter()
                 .map(|b| b.to_string())
@@ -300,7 +304,12 @@ pub fn metrics_json(
                 .join(","),
         );
     }
-    out.push_str("}}");
+    if let Some(p) = &snapshot.process {
+        let _ = write!(out, "}},\"process\":{}", p.to_json());
+        out.push('}');
+    } else {
+        out.push_str("},\"process\":null}");
+    }
     out
 }
 
@@ -389,6 +398,7 @@ mod tests {
         let snapshot = MetricsSnapshot {
             counters: vec![("monte_carlo.sims", 1)],
             histograms: vec![],
+            process: None,
         };
         let doc = metrics_json(&snapshot, &hw(), Some(&run));
         let v = parse(&doc).expect("metrics must be valid JSON");
@@ -458,6 +468,7 @@ mod tests {
                 max_ns: 200,
                 buckets: [0; HISTOGRAM_BUCKETS],
             }],
+            process: crate::metrics::ProcessStats::sample(),
         };
         let doc = metrics_json(&snapshot, &hw(), None);
         let v = parse(&doc).expect("metrics must be valid JSON");
@@ -478,5 +489,35 @@ mod tests {
                 "missing {key}"
             );
         }
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_export_as_null() {
+        use crate::metrics::{HistogramStats, HISTOGRAM_BUCKETS};
+        let snapshot = MetricsSnapshot {
+            counters: vec![],
+            histograms: vec![HistogramStats {
+                name: "eigen.ns",
+                count: 0,
+                sum_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                buckets: [0; HISTOGRAM_BUCKETS],
+            }],
+            process: None,
+        };
+        let doc = metrics_json(&snapshot, &hw(), None);
+        let v = parse(&doc).expect("metrics must be valid JSON");
+        let hist = v.get("histograms").and_then(|h| h.get("eigen.ns")).unwrap();
+        for key in ["p50_ns", "p90_ns", "p99_ns"] {
+            let val = hist.get(key).expect("percentile key present");
+            assert!(
+                matches!(val, Value::Null),
+                "{key} must be null on an empty histogram, got {}",
+                val.to_json()
+            );
+            assert!(val.as_f64().is_none(), "{key} must not read as a number");
+        }
+        assert!(v.get("process").is_some(), "process key always present");
     }
 }

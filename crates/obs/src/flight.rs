@@ -115,6 +115,21 @@ pub fn dump(reason: &str) -> Option<DumpInfo> {
     Some(info)
 }
 
+/// Renders the current ring as the same black-box JSON document [`dump`]
+/// writes, without touching the filesystem or [`last_dump`] — the live
+/// `GET /flight` endpoint, so a hung run can be black-boxed without
+/// killing it. Unlike [`dump`], an empty ring still renders (as an empty
+/// `events` array): a scraper asking "what happened lately" deserves a
+/// well-formed answer, not a 404.
+#[must_use]
+pub fn render_current(reason: &str) -> String {
+    let events: Vec<EventRecord> = RING
+        .lock()
+        .map(|ring| ring.iter().cloned().collect())
+        .unwrap_or_default();
+    render(reason, crate::run::current().as_ref(), &events)
+}
+
 /// Renders the black-box JSON document.
 fn render(reason: &str, run: Option<&crate::run::RunContext>, events: &[EventRecord]) -> String {
     let mut out = String::with_capacity(128 + events.len() * 96);
@@ -221,6 +236,35 @@ mod tests {
         crate::reset();
         assert_eq!(dump("nothing"), None);
         assert_eq!(last_dump(), None);
+        crate::reset();
+    }
+
+    #[test]
+    fn render_current_serves_the_ring_without_dumping() {
+        let _g = test_lock();
+        crate::reset();
+        // Empty ring still renders a well-formed document.
+        let v = crate::json::parse(&render_current("live")).unwrap();
+        assert_eq!(
+            v.get("captured").and_then(crate::json::Value::as_f64),
+            Some(0.0)
+        );
+        crate::enable();
+        crate::event!(Warn, "live.peek", "i": 1u64);
+        crate::disable();
+        let body = render_current("live");
+        let v = crate::json::parse(&body).unwrap();
+        assert_eq!(
+            v.get("reason").and_then(crate::json::Value::as_str),
+            Some("live")
+        );
+        assert_eq!(
+            v.get("captured").and_then(crate::json::Value::as_f64),
+            Some(1.0)
+        );
+        // No file written, no dump recorded, ring untouched.
+        assert_eq!(last_dump(), None);
+        assert_eq!(occupancy(), 1);
         crate::reset();
     }
 

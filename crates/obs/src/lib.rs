@@ -94,18 +94,21 @@ pub mod fsio;
 pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod run;
+pub mod serve;
 pub mod shard;
 pub mod span;
 
 pub use cli::{ObsOptions, BENCH_HISTORY_FILE};
-pub use event::{EventRecord, Heartbeat, Level, RateLimiter};
+pub use event::{EventRecord, Heartbeat, Level, ProgressEntry, RateLimiter};
 pub use export::{chrome_trace_json, metrics_json, profile_json, profile_table, HardwareContext};
 pub use fsio::atomic_write;
 pub use health::{DriftTimeline, DriftWindow, HealthReport, Severity};
-pub use metrics::{counters, histograms, Counter, Histogram, MetricsSnapshot};
+pub use metrics::{counters, histograms, Counter, Histogram, MetricsSnapshot, ProcessStats};
 pub use run::RunContext;
-pub use shard::ShardCoverage;
+pub use serve::ObsServer;
+pub use shard::{FleetShardRow, FleetSummary, ShardCoverage};
 pub use span::{span, take_events, Span, SpanEvent};
 
 /// Drains every recorded structured event (see [`mod@event`]).
@@ -148,6 +151,7 @@ pub fn reset() {
     flight::clear();
     run::clear();
     metrics::reset_all();
+    serve::clear_live();
 }
 
 #[cfg(test)]

@@ -185,11 +185,13 @@ impl HistogramStats {
     /// the target rank. Bucket `i` covers `[2^i, 2^(i+1))` (bucket 0
     /// covers `[0, 2)`); within a bucket the mass is assumed uniform.
     /// The estimate is clamped to the exact `[min_ns, max_ns]` range,
-    /// which also makes single-observation histograms exact. Returns 0
-    /// for an empty histogram.
-    pub fn percentile_ns(&self, q: f64) -> u64 {
+    /// which also makes single-observation histograms exact. Returns
+    /// `None` for an empty histogram — a 0 here would read as a real
+    /// (and absurdly fast) measurement in exported JSON and the
+    /// Prometheus exposition.
+    pub fn percentile_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // Rank in [0, count): the index (in sorted order) whose value
@@ -210,26 +212,94 @@ impl HistogramStats {
                 let frac = (rank - cumulative) as f64 / b as f64;
                 let est = lo + frac * (hi - lo);
                 let est = est.clamp(self.min_ns as f64, self.max_ns as f64);
-                return est.round() as u64;
+                return Some(est.round() as u64);
             }
             cumulative += b;
         }
-        self.max_ns
+        Some(self.max_ns)
     }
 
     /// Median estimate (see [`HistogramStats::percentile_ns`]).
-    pub fn p50_ns(&self) -> u64 {
+    pub fn p50_ns(&self) -> Option<u64> {
         self.percentile_ns(0.50)
     }
 
     /// 90th-percentile estimate.
-    pub fn p90_ns(&self) -> u64 {
+    pub fn p90_ns(&self) -> Option<u64> {
         self.percentile_ns(0.90)
     }
 
     /// 99th-percentile estimate.
-    pub fn p99_ns(&self) -> u64 {
+    pub fn p99_ns(&self) -> Option<u64> {
         self.percentile_ns(0.99)
+    }
+}
+
+/// Point-in-time process self-metrics read from `/proc/self` on Linux.
+/// On platforms without procfs (or when any file fails to parse) the
+/// sample is simply absent — callers emit nothing rather than zeros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Resident set size in bytes (`VmRSS` from `/proc/self/status`).
+    pub rss_bytes: u64,
+    /// User-mode CPU time in milliseconds (`utime` ticks at `USER_HZ`).
+    pub user_cpu_ms: u64,
+    /// Kernel-mode CPU time in milliseconds (`stime` ticks).
+    pub sys_cpu_ms: u64,
+    /// Process uptime in milliseconds (boot uptime minus `starttime`).
+    pub uptime_ms: u64,
+    /// Open file descriptors (entries in `/proc/self/fd`).
+    pub open_fds: u64,
+}
+
+/// Kernel `USER_HZ`: the unit of the `utime`/`stime`/`starttime` fields
+/// in `/proc/<pid>/stat`. Fixed at 100 on every Linux ABI in use (the
+/// kernel scales internally so userspace always sees 100 ticks/second).
+const USER_HZ: u64 = 100;
+
+impl ProcessStats {
+    /// Samples `/proc/self`; `None` anywhere procfs is absent or odd.
+    pub fn sample() -> Option<ProcessStats> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let rss_kb: u64 = status
+            .lines()
+            .find_map(|l| l.strip_prefix("VmRSS:"))
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())?;
+
+        // /proc/self/stat: the command field (2) may contain spaces, so
+        // split on the closing paren; utime/stime/starttime are fields
+        // 14/15/22, i.e. 11/12/19 in the post-paren remainder.
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        let rest = stat.rsplit_once(')')?.1;
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let tick_field = |i: usize| -> Option<u64> { fields.get(i)?.parse().ok() };
+        let utime = tick_field(11)?;
+        let stime = tick_field(12)?;
+        let start_ticks = tick_field(19)?;
+
+        let uptime_text = std::fs::read_to_string("/proc/uptime").ok()?;
+        let boot_uptime_s: f64 = uptime_text.split_whitespace().next()?.parse().ok()?;
+        let boot_uptime_ms = (boot_uptime_s * 1000.0) as u64;
+        let start_ms = start_ticks * 1000 / USER_HZ;
+
+        let open_fds = std::fs::read_dir("/proc/self/fd").ok()?.count() as u64;
+
+        Some(ProcessStats {
+            rss_bytes: rss_kb * 1024,
+            user_cpu_ms: utime * 1000 / USER_HZ,
+            sys_cpu_ms: stime * 1000 / USER_HZ,
+            uptime_ms: boot_uptime_ms.saturating_sub(start_ms),
+            open_fds,
+        })
+    }
+
+    /// Serializes the sample as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rss_bytes\":{},\"user_cpu_ms\":{},\"sys_cpu_ms\":{},\"uptime_ms\":{},\"open_fds\":{}}}",
+            self.rss_bytes, self.user_cpu_ms, self.sys_cpu_ms, self.uptime_ms, self.open_fds
+        )
     }
 }
 
@@ -338,6 +408,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// Per-histogram stats, in registry order.
     pub histograms: Vec<HistogramStats>,
+    /// Process self-metrics; `None` where `/proc/self` is unavailable.
+    pub process: Option<ProcessStats>,
 }
 
 impl MetricsSnapshot {
@@ -359,6 +431,7 @@ pub fn snapshot() -> MetricsSnapshot {
             .map(|c| (c.name(), c.get()))
             .collect(),
         histograms: histograms::all().iter().map(|h| h.stats()).collect(),
+        process: ProcessStats::sample(),
     }
 }
 
@@ -448,9 +521,12 @@ mod tests {
             max_ns: 0,
             buckets: [0; HISTOGRAM_BUCKETS],
         };
-        // Empty histogram: all percentiles are zero.
-        assert_eq!(stats.p50_ns(), 0);
-        assert_eq!(stats.p99_ns(), 0);
+        // Empty histogram: percentiles are explicitly absent, never 0.
+        assert_eq!(stats.p50_ns(), None);
+        assert_eq!(stats.p90_ns(), None);
+        assert_eq!(stats.p99_ns(), None);
+        assert_eq!(stats.percentile_ns(0.0), None);
+        assert_eq!(stats.percentile_ns(1.0), None);
 
         // Single observation: clamping to [min, max] makes it exact.
         stats.count = 1;
@@ -458,8 +534,8 @@ mod tests {
         stats.min_ns = 700;
         stats.max_ns = 700;
         stats.buckets[Histogram::bucket_index(700)] = 1;
-        assert_eq!(stats.p50_ns(), 700);
-        assert_eq!(stats.p99_ns(), 700);
+        assert_eq!(stats.p50_ns(), Some(700));
+        assert_eq!(stats.p99_ns(), Some(700));
 
         // 100 observations evenly split between bucket 4 ([16,32)) and
         // bucket 10 ([1024,2048)): p50 falls at the start of the upper
@@ -475,13 +551,13 @@ mod tests {
         };
         stats.buckets[4] = 50;
         stats.buckets[10] = 50;
-        let p50 = stats.p50_ns();
+        let p50 = stats.p50_ns().unwrap();
         assert!((1024..1100).contains(&p50), "p50 = {p50}");
-        let p90 = stats.p90_ns();
+        let p90 = stats.p90_ns().unwrap();
         assert!((1500..=1945).contains(&p90), "p90 = {p90}");
         assert!(p50 <= p90);
         // p99 interpolates past max_ns=1500, so the clamp holds it there.
-        assert_eq!(stats.p99_ns(), 1500);
+        assert_eq!(stats.p99_ns(), Some(1500));
         // Monotone in q even with the clamp.
         assert!(stats.percentile_ns(0.10) <= stats.percentile_ns(0.49));
         assert!(stats.percentile_ns(0.49) <= stats.percentile_ns(0.51));
@@ -498,6 +574,32 @@ mod tests {
         assert_eq!(snap.counter("drift.windows"), 3);
         assert_eq!(snap.counter("drift.alerts"), 1);
         crate::reset();
+    }
+
+    #[test]
+    fn process_stats_sample_is_sane_on_linux() {
+        // Only assert substance where procfs exists; elsewhere the
+        // graceful-absence contract is the whole test.
+        match ProcessStats::sample() {
+            Some(p) => {
+                assert!(p.rss_bytes > 0, "a live process has resident pages");
+                assert!(p.open_fds > 0, "stdio alone keeps fds open");
+                let v = crate::json::parse(&p.to_json()).expect("process JSON parses");
+                assert!(
+                    v.get("rss_bytes")
+                        .and_then(crate::json::Value::as_f64)
+                        .unwrap()
+                        > 0.0
+                );
+                assert!(v.get("open_fds").is_some());
+                assert!(v.get("uptime_ms").is_some());
+            }
+            None => {
+                if cfg!(target_os = "linux") {
+                    panic!("procfs expected on Linux");
+                }
+            }
+        }
     }
 
     #[test]

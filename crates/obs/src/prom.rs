@@ -1,0 +1,564 @@
+//! Prometheus text exposition (format version 0.0.4), hand-rolled like
+//! [`crate::json`].
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into the scrape body served at
+//! `GET /metrics`: every registered counter becomes a `_total` counter,
+//! every duration histogram becomes both a summary (interpolated
+//! p50/p90/p99 from the existing [`HistogramStats`]) and an explicit
+//! `_log2` histogram family exposing the power-of-two buckets, and the
+//! run identity plus hardware context ride along as labels on a
+//! `bmf_run_info` gauge and a `run_id` label on every sample. Process
+//! self-metrics ([`crate::metrics::ProcessStats`]) are appended when the
+//! platform provides them.
+//!
+//! Empty histograms follow the crate's explicit-absence rule: their
+//! quantile lines are *omitted* (never rendered as 0, which a scraper
+//! would read as a real sub-nanosecond latency); `_sum`/`_count` still
+//! render as honest zeros because zero observations is a real count.
+//!
+//! [`validate_exposition`] is the conformance checker behind
+//! `trace_check --prom`: metric/label name charsets, `HELP`/`TYPE`
+//! placement, sample-line syntax, and histogram bucket monotonicity.
+
+use crate::export::HardwareContext;
+use crate::metrics::MetricsSnapshot;
+use crate::run::RunContext;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Prefix for every exported metric name.
+const PREFIX: &str = "bmf_";
+
+/// Mangles a dot-namespaced registry name (`"monte_carlo.sims"`) into a
+/// Prometheus metric name (`"bmf_monte_carlo_sims"`).
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `{...}` label block: the shared labels plus `extra`
+/// key/value pairs. Empty when there is nothing to say.
+fn labels(shared: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if shared.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = Vec::with_capacity(shared.len() + extra.len());
+    for (k, v) in shared {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders the full scrape body from a metrics snapshot.
+#[must_use]
+pub fn render(
+    snapshot: &MetricsSnapshot,
+    hardware: &HardwareContext,
+    run: Option<&RunContext>,
+) -> String {
+    let shared: Vec<(String, String)> = run
+        .map(|r| vec![("run_id".to_string(), r.run_id.clone())])
+        .unwrap_or_default();
+    let mut out = String::with_capacity(4096);
+
+    // Identity/info gauge: run + hardware context as labels, value 1.
+    {
+        let mut info: Vec<(String, String)> = shared.clone();
+        if let Some(r) = run {
+            info.push(("config_hash".to_string(), format!("{:016x}", r.config_hash)));
+            info.push(("root_seed".to_string(), r.root_seed.to_string()));
+        }
+        info.push((
+            "detected_cores".to_string(),
+            hardware.detected_cores.to_string(),
+        ));
+        info.push((
+            "threads_used".to_string(),
+            hardware.threads_used.to_string(),
+        ));
+        out.push_str("# HELP bmf_run_info Run identity and hardware context carried as labels.\n");
+        out.push_str("# TYPE bmf_run_info gauge\n");
+        let _ = writeln!(out, "bmf_run_info{} 1", labels(&info, &[]));
+    }
+
+    for (name, value) in &snapshot.counters {
+        let metric = format!("{}_total", mangle(name));
+        let _ = writeln!(out, "# HELP {metric} Value of the `{name}` counter.");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric}{} {value}", labels(&shared, &[]));
+    }
+
+    for h in &snapshot.histograms {
+        let base = mangle(h.name);
+        // Summary family: interpolated quantiles, omitted when empty.
+        let _ = writeln!(
+            out,
+            "# HELP {base} Nanosecond latency summary of `{}`.",
+            h.name
+        );
+        let _ = writeln!(out, "# TYPE {base} summary");
+        for (q, p) in [
+            ("0.5", h.p50_ns()),
+            ("0.9", h.p90_ns()),
+            ("0.99", h.p99_ns()),
+        ] {
+            if let Some(v) = p {
+                let _ = writeln!(out, "{base}{} {v}", labels(&shared, &[("quantile", q)]));
+            }
+        }
+        let _ = writeln!(out, "{base}_sum{} {}", labels(&shared, &[]), h.sum_ns);
+        let _ = writeln!(out, "{base}_count{} {}", labels(&shared, &[]), h.count);
+
+        // Explicit histogram family: cumulative power-of-two buckets up
+        // to the last occupied one, then +Inf.
+        let fam = format!("{base}_log2");
+        let _ = writeln!(
+            out,
+            "# HELP {fam} Power-of-two nanosecond buckets of `{}`.",
+            h.name
+        );
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        let last_occupied = h.buckets.iter().rposition(|&b| b > 0);
+        let mut cumulative = 0u64;
+        if let Some(last) = last_occupied {
+            for (i, &b) in h.buckets.iter().enumerate().take(last + 1) {
+                cumulative += b;
+                let le = if i + 1 >= 64 {
+                    "+Inf".to_string()
+                } else {
+                    (1u128 << (i + 1)).to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "{fam}_bucket{} {cumulative}",
+                    labels(&shared, &[("le", &le)])
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{fam}_bucket{} {}",
+            labels(&shared, &[("le", "+Inf")]),
+            h.count
+        );
+        let _ = writeln!(out, "{fam}_sum{} {}", labels(&shared, &[]), h.sum_ns);
+        let _ = writeln!(out, "{fam}_count{} {}", labels(&shared, &[]), h.count);
+    }
+
+    if let Some(p) = &snapshot.process {
+        let g = |out: &mut String, name: &str, kind: &str, help: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name}{} {value}", labels(&shared, &[]));
+        };
+        g(
+            &mut out,
+            "bmf_process_resident_memory_bytes",
+            "gauge",
+            "Resident set size in bytes.",
+            p.rss_bytes.to_string(),
+        );
+        g(
+            &mut out,
+            "bmf_process_cpu_user_seconds_total",
+            "counter",
+            "User-mode CPU time in seconds.",
+            format!("{:.3}", p.user_cpu_ms as f64 / 1000.0),
+        );
+        g(
+            &mut out,
+            "bmf_process_cpu_system_seconds_total",
+            "counter",
+            "Kernel-mode CPU time in seconds.",
+            format!("{:.3}", p.sys_cpu_ms as f64 / 1000.0),
+        );
+        g(
+            &mut out,
+            "bmf_process_uptime_seconds",
+            "gauge",
+            "Process uptime in seconds.",
+            format!("{:.3}", p.uptime_ms as f64 / 1000.0),
+        );
+        g(
+            &mut out,
+            "bmf_process_open_fds",
+            "gauge",
+            "Open file descriptors.",
+            p.open_fds.to_string(),
+        );
+    }
+
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(v: &str) -> bool {
+    matches!(v, "+Inf" | "-Inf" | "NaN") || v.parse::<f64>().is_ok()
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses `name{k="v",...} value [timestamp]`; `Err` with a reason on
+/// any syntax violation.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name, rest) = match line.find(['{', ' ', '\t']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return Err(format!("sample line without value: {line:?}")),
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        let close = body
+            .find('}')
+            .ok_or_else(|| format!("unclosed label block: {line:?}"))?;
+        let block = &body[..close];
+        let mut cursor = block;
+        while !cursor.is_empty() {
+            let eq = cursor
+                .find('=')
+                .ok_or_else(|| format!("label without '=': {block:?}"))?;
+            let key = cursor[..eq].trim();
+            if !valid_label_name(key) {
+                return Err(format!("invalid label name {key:?}"));
+            }
+            let after = &cursor[eq + 1..];
+            let after = after
+                .strip_prefix('"')
+                .ok_or_else(|| format!("unquoted label value for {key:?}"))?;
+            // Find the closing quote, skipping escaped characters.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in after.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+            labels.push((key.to_string(), after[..end].to_string()));
+            cursor = after[end + 1..].trim_start_matches(',').trim_start();
+        }
+        &body[close + 1..]
+    } else {
+        rest
+    };
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| format!("missing value: {line:?}"))?;
+    if !valid_value(value) {
+        return Err(format!("invalid sample value {value:?}"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("invalid timestamp {ts:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!("trailing garbage on sample line: {line:?}"));
+    }
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse::<f64>().unwrap(),
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Base family name of a sample: strips the `_bucket`/`_sum`/`_count`
+/// suffix conventions so samples can be matched to their TYPE line.
+fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count", "_total"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.contains_key(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Validates a Prometheus text-exposition document: name charsets,
+/// `HELP`/`TYPE` lines, sample syntax, and histogram bucket
+/// monotonicity. Returns the number of sample lines on success.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashMap<String, ()> = HashMap::new();
+    let mut seen_sample_for: HashMap<String, ()> = HashMap::new();
+    // (family, non-le labels) → cumulative bucket counts in line order.
+    let mut buckets: Vec<(String, String, f64, f64)> = Vec::new(); // family, le, count, order
+    let mut samples = 0usize;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !valid_metric_name(name) {
+                return Err(at(format!("invalid metric name in HELP: {name:?}")));
+            }
+            if helps.insert(name.to_string(), ()).is_some() {
+                return Err(at(format!("duplicate HELP for {name:?}")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(at(format!("invalid metric name in TYPE: {name:?}")));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(at(format!("unknown metric type {kind:?}")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(at(format!("duplicate TYPE for {name:?}")));
+            }
+            if seen_sample_for.contains_key(name) {
+                return Err(at(format!("TYPE for {name:?} after its samples")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let sample = parse_sample(line).map_err(at)?;
+        samples += 1;
+        for (k, _) in &sample.labels {
+            if k.starts_with("__") {
+                return Err(format!("reserved label name {k:?}"));
+            }
+        }
+        let family = family_of(&sample.name, &types).to_string();
+        seen_sample_for.insert(family.clone(), ());
+        if types.get(&family).map(String::as_str) == Some("counter")
+            && !(sample.name.ends_with("_total") || sample.name == family)
+        {
+            return Err(format!(
+                "counter sample {:?} must end in _total",
+                sample.name
+            ));
+        }
+        if types.get(&family).map(String::as_str) == Some("histogram")
+            && sample.name.ends_with("_bucket")
+        {
+            let le = sample
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("histogram bucket without le label: {}", sample.name))?;
+            buckets.push((family.clone(), le, sample.value, buckets.len() as f64));
+        }
+    }
+
+    // Histogram conformance per family: counts non-decreasing in le
+    // order, +Inf bucket present.
+    let families: std::collections::HashSet<String> =
+        buckets.iter().map(|(f, _, _, _)| f.clone()).collect();
+    for fam in families {
+        let fam_buckets: Vec<&(String, String, f64, f64)> =
+            buckets.iter().filter(|(f, _, _, _)| f == &fam).collect();
+        let mut bounds: Vec<(f64, f64)> = Vec::new();
+        let mut has_inf = false;
+        for (_, le, count, _) in &fam_buckets {
+            let bound = if le == "+Inf" {
+                has_inf = true;
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("{fam}: non-numeric le {le:?}"))?
+            };
+            if bound.is_nan() {
+                return Err(format!("{fam}: NaN le bound"));
+            }
+            bounds.push((bound, *count));
+        }
+        if !has_inf {
+            return Err(format!("{fam}: histogram missing +Inf bucket"));
+        }
+        bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for pair in bounds.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(format!("{fam}: duplicate le bound {}", pair[0].0));
+            }
+            if pair[0].1 > pair[1].1 {
+                return Err(format!(
+                    "{fam}: bucket counts not monotone ({} > {} at le {})",
+                    pair[0].1, pair[1].1, pair[1].0
+                ));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramStats, ProcessStats, HISTOGRAM_BUCKETS};
+
+    fn hw() -> HardwareContext {
+        HardwareContext {
+            detected_cores: 8,
+            threads_used: 2,
+        }
+    }
+
+    fn snapshot_with(count: u64) -> MetricsSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        if count > 0 {
+            buckets[6] = count; // [64, 128)
+        }
+        MetricsSnapshot {
+            counters: vec![("monte_carlo.sims", 42), ("cv.fold_evals", 7)],
+            histograms: vec![HistogramStats {
+                name: "cholesky.ns",
+                count,
+                sum_ns: count * 100,
+                min_ns: if count > 0 { 70 } else { 0 },
+                max_ns: if count > 0 { 120 } else { 0 },
+                buckets,
+            }],
+            process: Some(ProcessStats {
+                rss_bytes: 1 << 20,
+                user_cpu_ms: 1500,
+                sys_cpu_ms: 250,
+                uptime_ms: 60_000,
+                open_fds: 12,
+            }),
+        }
+    }
+
+    #[test]
+    fn render_passes_its_own_validator_and_carries_labels() {
+        let run = RunContext::derive(2015, "prom test");
+        let body = render(&snapshot_with(5), &hw(), Some(&run));
+        let n = validate_exposition(&body).expect("self-rendered exposition validates");
+        assert!(
+            n > 10,
+            "expected a substantial scrape body, got {n} samples"
+        );
+        assert!(body.contains("bmf_monte_carlo_sims_total"));
+        assert!(body.contains(&format!("run_id=\"{}\"", run.run_id)));
+        assert!(body.contains("quantile=\"0.99\""));
+        assert!(body.contains("bmf_cholesky_ns_log2_bucket"));
+        assert!(body.contains("le=\"+Inf\""));
+        assert!(body.contains("bmf_process_resident_memory_bytes"));
+        assert!(body.contains("detected_cores=\"8\""));
+    }
+
+    #[test]
+    fn empty_histogram_omits_quantiles_but_keeps_counts() {
+        let body = render(&snapshot_with(0), &hw(), None);
+        validate_exposition(&body).expect("validates");
+        assert!(
+            !body.contains("quantile="),
+            "empty histogram must omit quantile samples:\n{body}"
+        );
+        assert!(body.contains("bmf_cholesky_ns_count 0"));
+        assert!(body.contains("bmf_cholesky_ns_log2_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        let bad_name = "# TYPE bmf.dots counter\n";
+        assert!(validate_exposition(bad_name).is_err());
+
+        let bad_value = "bmf_good_total{run_id=\"x\"} notanumber\n";
+        assert!(validate_exposition(bad_value).is_err());
+
+        let bad_label = "bmf_good_total{9bad=\"x\"} 1\n";
+        assert!(validate_exposition(bad_label).is_err());
+
+        let unclosed = "bmf_good_total{run_id=\"x} 1\n";
+        assert!(validate_exposition(unclosed).is_err());
+
+        let non_monotone = "# TYPE bmf_h histogram\n\
+                            bmf_h_bucket{le=\"2\"} 5\n\
+                            bmf_h_bucket{le=\"4\"} 3\n\
+                            bmf_h_bucket{le=\"+Inf\"} 5\n";
+        let err = validate_exposition(non_monotone).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+
+        let no_inf = "# TYPE bmf_h histogram\n\
+                      bmf_h_bucket{le=\"2\"} 5\n";
+        assert!(validate_exposition(no_inf).unwrap_err().contains("+Inf"));
+
+        let dup_type = "# TYPE bmf_x counter\n# TYPE bmf_x counter\n";
+        assert!(validate_exposition(dup_type).is_err());
+    }
+
+    #[test]
+    fn mangle_prefixes_and_cleans() {
+        assert_eq!(mangle("monte_carlo.sims"), "bmf_monte_carlo_sims");
+        assert_eq!(mangle("cv.fold-evals"), "bmf_cv_fold_evals");
+        assert!(valid_metric_name(&mangle("weird name!")));
+    }
+}

@@ -206,6 +206,18 @@ pub fn take_events() -> Vec<SpanEvent> {
     events
 }
 
+/// Copies the recorded events without draining them, sorted like
+/// [`take_events`]. For live scrapers (the on-demand dashboard): the
+/// exit-time exporters still see every event afterwards. Events on
+/// still-running *other* threads stay invisible until their outermost
+/// span closes, exactly as for [`take_events`].
+pub fn peek_events() -> Vec<SpanEvent> {
+    let mut events: Vec<SpanEvent> = SINK.lock().map(|sink| sink.clone()).unwrap_or_default();
+    BUFFER.with(|b| events.extend(b.borrow().events.iter().cloned()));
+    events.sort_by_key(|e| (e.start_ns, e.tid, std::cmp::Reverse(e.dur_ns)));
+    events
+}
+
 /// Discards all recorded events (sink + current thread buffer).
 pub(crate) fn clear() {
     if let Ok(mut sink) = SINK.lock() {
@@ -280,6 +292,23 @@ mod tests {
         // Distinct worker threads got distinct tids.
         let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 3);
+        crate::reset();
+    }
+
+    #[test]
+    fn peek_events_does_not_drain() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let _s = span("peeked");
+        }
+        crate::disable();
+        let peeked = peek_events();
+        assert_eq!(peeked.len(), 1);
+        assert_eq!(peek_events(), peeked, "peek must not consume events");
+        assert_eq!(take_events(), peeked, "take still sees the events");
+        assert!(take_events().is_empty());
         crate::reset();
     }
 

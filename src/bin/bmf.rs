@@ -198,10 +198,20 @@ fn print_usage() {
     println!("--events-out <jsonl> writes the structured event log (one JSON object");
     println!("per line: retries, repairs, ladder transitions, guard flags, shard");
     println!("merges/rejects), each stamped with the run id that also appears in the");
-    println!("FusionReport and flight-recorder dumps. --log-level error|warn|info|debug");
+    println!("FusionReport and flight-recorder dumps. --obs-listen <addr> serves the");
+    println!("run live over HTTP while it executes: GET /metrics (Prometheus text),");
+    println!("/health (200/503 keyed on severity), /events?level=&n= (JSONL tail),");
+    println!("/progress (heartbeat fractions + ETA), /flight (flight-recorder ring),");
+    println!("and / (the live dashboard); port 0 picks a free port, printed at start");
+    println!("and written to $BMF_OBS_ADDR_FILE when set. --log-level error|warn|info|debug");
     println!("(or the BMF_LOG env var) sets console verbosity. Recording never alters");
     println!("numeric results. All file outputs are written atomically (temp + rename):");
     println!("a crash mid-write never leaves a truncated artifact behind.");
+    println!();
+    println!("a merge of packets whose shards ran with recording on (any observability");
+    println!("flag) folds their telemetry into a fleet view: per-shard wall clock,");
+    println!("sims, retries and straggler flags (slowest/median >= 1.5x), written to");
+    println!("fleet-<run_id>.json and rendered in the dashboard's Fleet section.");
     println!();
     println!("--threads defaults to the machine's available parallelism; results are");
     println!("bit-identical for every thread count (per-task seed derivation).");
@@ -780,6 +790,18 @@ fn cmd_merge(args: &[String], obs: &mut bmf_ams::obs::ObsOptions) -> CliResult {
     obs.set_run(outcome.config.seed, &outcome.config.canonical());
     obs.attach_shard(outcome.coverage.clone());
     bmf_ams::obs::info!("{}", outcome.coverage.summary());
+
+    // Fleet view: present when any merged packet carried telemetry.
+    // The artifact lands next to the moments so a post-mortem can ask
+    // "which shard was slow" without the shard processes being alive.
+    if let Some(fleet) = &outcome.fleet {
+        let fleet_path = format!("fleet-{}.json", outcome.run.run_id);
+        bmf_ams::obs::atomic_write(&fleet_path, fleet.to_json())
+            .map_err(|e| rt(format!("cannot write fleet summary {fleet_path}: {e}")))?;
+        bmf_ams::obs::info!("{}", fleet.summary());
+        bmf_ams::obs::info!("wrote fleet summary to {fleet_path}");
+        obs.attach_fleet(fleet.clone());
+    }
 
     let (early_norm, late_stats, late_t) = normalized_study(&outcome)?;
     let mode = if strict {

@@ -171,6 +171,7 @@ fn estimates_bit_identical_with_health_drift_and_dashboard_active() {
                     snapshot: &snapshot,
                     health: report.health.as_ref(),
                     shard: None,
+                    fleet: None,
                     drift: Some(&timeline),
                     bench_history_json: None,
                 });
@@ -259,6 +260,7 @@ fn dashboard_document_contains_every_section_and_blob() {
         snapshot: &snapshot,
         health: report.health.as_ref(),
         shard: None,
+        fleet: None,
         drift: Some(&timeline),
         bench_history_json: Some(bench),
     });
