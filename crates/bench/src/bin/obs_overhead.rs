@@ -211,4 +211,43 @@ fn main() {
         std::process::exit(1);
     }
     println!("OK: server-enabled overhead within budget");
+
+    // 6. Sampler+alerts path: the marginal cost of the time-series
+    //    sampler ticking and the alert engine evaluating rules while the
+    //    workload runs. Both timings run with recording enabled (the
+    //    configuration that ships with `--alerts`), back-to-back, so the
+    //    diff isolates the sampler thread and rule evaluation.
+    bmf_obs::reset();
+    bmf_obs::enable();
+    let enabled_baseline = time_best(&cv, &early, &late);
+
+    let rules = bmf_obs::alert::parse_rules(
+        r#"{"rules":[
+            {"name":"fold_evals_hot","kind":"threshold","series":"cv.fold_evals",
+             "op":">","value":1e18,"severity":"warn","for_ms":100},
+            {"name":"sim_rate","kind":"rate","series":"monte_carlo.sims",
+             "op":">","value":1e18,"window_ms":500,"severity":"warn"},
+            {"name":"health_bad","kind":"health","at_least":"critical","severity":"critical"}
+        ]}"#,
+    )
+    .expect("calibration rules parse");
+    bmf_obs::alert::install(rules);
+    bmf_obs::tsdb::start_global(10); // 10 ms cadence: 10x the default load
+    let with_sampler = time_best(&cv, &early, &late);
+    bmf_obs::tsdb::stop_global();
+    let series = bmf_obs::tsdb::snapshot().len();
+    bmf_obs::reset();
+
+    let sampler_overhead = (with_sampler - enabled_baseline).max(0.0) / enabled_baseline;
+    println!(
+        "obs_overhead: sampler+alerts-on: {:.1} ms vs {:.1} ms baseline ({series} series sampled at 10 ms) -> {:.4}% (budget {budget_percent}%)",
+        with_sampler * 1e3,
+        enabled_baseline * 1e3,
+        sampler_overhead * 100.0
+    );
+    if sampler_overhead * 100.0 > budget_percent {
+        eprintln!("FAIL: sampler+alerts overhead exceeds the {budget_percent}% budget");
+        std::process::exit(1);
+    }
+    println!("OK: sampler+alerts overhead within budget");
 }

@@ -39,12 +39,22 @@ use bmf_obs::{FleetShardRow, FleetSummary, RunContext, ShardCoverage};
 /// Format marker every packet carries.
 pub const PACKET_FORMAT: &str = "bmf-shard-packet";
 /// Current packet schema version. Version 2 added the optional
-/// `telemetry` envelope; version-1 packets (no telemetry) still parse.
-pub const PACKET_VERSION: u64 = 2;
+/// `telemetry` envelope; version 3 added the compact span summary,
+/// time-series digest and wall-clock bounds inside it. Version-1
+/// (no telemetry) and version-2 (no trace/digest) packets still parse.
+pub const PACKET_VERSION: u64 = 3;
 /// Oldest packet version this build still reads.
 pub const PACKET_MIN_VERSION: u64 = 1;
 /// Longest event tail a packet ships (newest events win).
 pub const TELEMETRY_EVENT_TAIL: usize = 32;
+/// Most spans a packet's trace summary ships (longest spans win).
+pub const TELEMETRY_SPAN_CAP: usize = 64;
+/// Deepest span nesting the trace summary keeps: stage-level work only.
+pub const TELEMETRY_SPAN_DEPTH: u32 = 1;
+/// Most series a packet's time-series digest carries.
+pub const TELEMETRY_SERIES_CAP: usize = 32;
+/// Most (newest) points each digested series keeps.
+pub const TELEMETRY_SERIES_TAIL: usize = 16;
 
 // ---------------------------------------------------------------------------
 // Study configuration
@@ -494,6 +504,36 @@ pub struct HistogramSketch {
     pub p99_ns: Option<u64>,
 }
 
+/// One completed span in a packet's compact trace summary: just enough
+/// to reconstruct a stage-level timeline track for the shard in a
+/// stitched fleet trace. Timestamps are nanoseconds since the producing
+/// process's trace epoch; [`fleet_trace_json`] aligns shards against
+/// each other via the packet's wall-clock bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span name (e.g. `"monte_carlo.schematic"`).
+    pub name: String,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+    /// Open time, nanoseconds since the shard process's trace epoch.
+    pub start_ns: u64,
+    /// Wall time from open to close, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Tail digest of one in-process time-series ring, shipped with the
+/// packet so the merge can chart the fleet's recent behaviour. Values
+/// are stored as `f64` bit patterns: the digest round-trips through
+/// JSON byte-exactly and the type stays `Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesDigest {
+    /// Series name (charset as in `bmf_obs::tsdb`).
+    pub name: String,
+    /// Newest `(timestamp_ms, value_bits)` points, oldest first, at
+    /// most [`TELEMETRY_SERIES_TAIL`].
+    pub points: Vec<(u64, u64)>,
+}
+
 /// Per-shard observability telemetry carried in a version-2 packet so a
 /// merge can build a fleet view without the shards' processes being
 /// alive. Captured only when recording was enabled in the shard's
@@ -515,6 +555,20 @@ pub struct ShardTelemetry {
     /// pre-rendered JSON object line (newest last, at most
     /// [`TELEMETRY_EVENT_TAIL`]).
     pub events: Vec<String>,
+    /// Compact trace summary: spans of depth ≤
+    /// [`TELEMETRY_SPAN_DEPTH`] recorded during the shard run, the
+    /// [`TELEMETRY_SPAN_CAP`] longest, in start order. Added in packet
+    /// v3; older packets parse with an empty list.
+    pub spans: Vec<SpanSummary>,
+    /// Time-series tail digest at shard completion. Added in v3.
+    pub timeseries: Vec<SeriesDigest>,
+    /// Unix wall clock when the shard run started, milliseconds
+    /// (`0` = unknown, e.g. a pre-v3 packet). Observability only —
+    /// never merged into statistics.
+    pub start_unix_ms: u64,
+    /// Unix wall clock when the shard run finished, milliseconds
+    /// (`0` = unknown).
+    pub end_unix_ms: u64,
 }
 
 impl ShardTelemetry {
@@ -529,8 +583,16 @@ impl ShardTelemetry {
     }
 
     /// Captures the delta between two metrics snapshots plus the event
-    /// tail visible to the calling thread.
-    fn capture(wall_ns: u64, before: &bmf_obs::MetricsSnapshot) -> ShardTelemetry {
+    /// tail, span summary and time-series digest visible to the calling
+    /// thread. `trace_t0_ns` windows the span summary to spans opened
+    /// during the shard run; `start_unix_ms` anchors the stitched fleet
+    /// timeline.
+    fn capture(
+        wall_ns: u64,
+        before: &bmf_obs::MetricsSnapshot,
+        trace_t0_ns: u64,
+        start_unix_ms: u64,
+    ) -> ShardTelemetry {
         let after = bmf_obs::metrics::snapshot();
         let counters = after
             .counters
@@ -563,11 +625,43 @@ impl ShardTelemetry {
         let records = bmf_obs::event::peek_records();
         let skip = records.len().saturating_sub(TELEMETRY_EVENT_TAIL);
         let events = records[skip..].iter().map(|r| r.to_json(None)).collect();
+        // Span summary: stage-level spans opened during this run, the
+        // longest first for the cap, then start order for the timeline.
+        let mut spans: Vec<SpanSummary> = bmf_obs::span::peek_events()
+            .into_iter()
+            .filter(|e| e.start_ns >= trace_t0_ns && e.depth <= TELEMETRY_SPAN_DEPTH)
+            .map(|e| SpanSummary {
+                name: e.name.to_string(),
+                depth: e.depth,
+                start_ns: e.start_ns,
+                dur_ns: e.dur_ns,
+            })
+            .collect();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.dur_ns));
+        spans.truncate(TELEMETRY_SPAN_CAP);
+        spans.sort_by(|a, b| (a.start_ns, &a.name).cmp(&(b.start_ns, &b.name)));
+        let timeseries = bmf_obs::tsdb::snapshot()
+            .into_iter()
+            .take(TELEMETRY_SERIES_CAP)
+            .map(|s| SeriesDigest {
+                name: s.name,
+                points: s
+                    .points
+                    .iter()
+                    .skip(s.points.len().saturating_sub(TELEMETRY_SERIES_TAIL))
+                    .map(|&(t, v)| (t, v.to_bits()))
+                    .collect(),
+            })
+            .collect();
         ShardTelemetry {
             wall_ns,
             counters,
             histograms,
             events,
+            spans,
+            timeseries,
+            start_unix_ms,
+            end_unix_ms: unix_ms_now(),
         }
     }
 
@@ -599,12 +693,45 @@ impl ShardTelemetry {
         // round-trips byte-exactly without this parser owning the event
         // schema.
         let events: Vec<String> = self.events.iter().map(|e| json::string(e)).collect();
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                    json::string(&s.name),
+                    s.depth,
+                    s.start_ns,
+                    s.dur_ns,
+                )
+            })
+            .collect();
+        let timeseries: Vec<String> = self
+            .timeseries
+            .iter()
+            .map(|d| {
+                let points: Vec<String> = d
+                    .points
+                    .iter()
+                    .map(|(t, bits)| format!("[{t},\"{bits:016x}\"]"))
+                    .collect();
+                format!(
+                    "{{\"name\":{},\"points\":[{}]}}",
+                    json::string(&d.name),
+                    points.join(","),
+                )
+            })
+            .collect();
         format!(
-            "{{\"wall_ns\":{},\"counters\":[{}],\"histograms\":[{}],\"events\":[{}]}}",
+            "{{\"wall_ns\":{},\"counters\":[{}],\"histograms\":[{}],\"events\":[{}],\"spans\":[{}],\"timeseries\":[{}],\"start_unix_ms\":{},\"end_unix_ms\":{}}}",
             self.wall_ns,
             counters.join(","),
             histograms.join(","),
             events.join(","),
+            spans.join(","),
+            timeseries.join(","),
+            self.start_unix_ms,
+            self.end_unix_ms,
         )
     }
 
@@ -674,11 +801,85 @@ impl ShardTelemetry {
                     .ok_or_else(|| corrupt("telemetry event line is not a string".to_string()))
             })
             .collect::<Result<Vec<_>>>()?;
+        // The v3 additions: absent (or null) in older packets.
+        let spans = match v.get("spans") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| corrupt("telemetry field spans is not an array".to_string()))?
+                .iter()
+                .map(|s| {
+                    Ok(SpanSummary {
+                        name: s
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| corrupt("telemetry span name missing".to_string()))?
+                            .to_string(),
+                        depth: u32::try_from(nat(
+                            s.get("depth").unwrap_or(&Value::Null),
+                            "span depth",
+                        )?)
+                        .map_err(|_| corrupt("telemetry span depth overflows".to_string()))?,
+                        start_ns: nat(s.get("start_ns").unwrap_or(&Value::Null), "span start_ns")?,
+                        dur_ns: nat(s.get("dur_ns").unwrap_or(&Value::Null), "span dur_ns")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+        };
+        let timeseries = match v.get("timeseries") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| corrupt("telemetry field timeseries is not an array".to_string()))?
+                .iter()
+                .map(|d| {
+                    let points = d
+                        .get("points")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| corrupt("telemetry series points missing".to_string()))?
+                        .iter()
+                        .map(|p| {
+                            let pair = p.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                                corrupt(
+                                    "telemetry series point is not a [ts, bits] pair".to_string(),
+                                )
+                            })?;
+                            let ts = nat(&pair[0], "series point timestamp")?;
+                            let bits = pair[1]
+                                .as_str()
+                                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                                .ok_or_else(|| {
+                                    corrupt("telemetry series value is not 64-bit hex".to_string())
+                                })?;
+                            Ok((ts, bits))
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    Ok(SeriesDigest {
+                        name: d
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| corrupt("telemetry series name missing".to_string()))?
+                            .to_string(),
+                        points,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+        };
+        let opt_ms = |key: &str| -> Result<u64> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(0),
+                Some(x) => nat(x, key),
+            }
+        };
         Ok(ShardTelemetry {
             wall_ns,
             counters,
             histograms,
             events,
+            spans,
+            timeseries,
+            start_unix_ms: opt_ms("start_unix_ms")?,
+            end_unix_ms: opt_ms("end_unix_ms")?,
         })
     }
 }
@@ -718,6 +919,14 @@ impl ShardPacket {
     }
 }
 
+/// Unix wall clock in milliseconds; `0` if the system clock is before
+/// the epoch (observability-only data, never worth a panic).
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
 /// Runs shard `index` of the study described by `config`: both stages'
 /// slices at `threads` worker threads, accumulated into exact
 /// sufficient statistics.
@@ -743,8 +952,14 @@ pub fn run_shard(config: &StudyConfig, index: usize, threads: usize) -> Result<S
     // Recording never perturbs the statistics (the crate invariant), so
     // a telemetry-bearing packet is bit-identical in its payload science
     // to a quiet one — only the envelope grows.
-    let baseline =
-        bmf_obs::is_enabled().then(|| (std::time::Instant::now(), bmf_obs::metrics::snapshot()));
+    let baseline = bmf_obs::is_enabled().then(|| {
+        (
+            std::time::Instant::now(),
+            bmf_obs::metrics::snapshot(),
+            bmf_obs::span::now_ns(),
+            unix_ms_now(),
+        )
+    });
     let mut retries = 0u64;
     let mut run_stage = |stage: Stage, total: usize| -> Result<StageSuffStats> {
         let (start, len) = StudyConfig::slice(total, index, config.shard_count);
@@ -764,8 +979,14 @@ pub fn run_shard(config: &StudyConfig, index: usize, threads: usize) -> Result<S
     };
     let early = run_stage(Stage::Schematic, config.n_early)?;
     let late = run_stage(Stage::PostLayout, config.n_late)?;
-    let telemetry = baseline
-        .map(|(t0, before)| ShardTelemetry::capture(t0.elapsed().as_nanos() as u64, &before));
+    let telemetry = baseline.map(|(t0, before, trace_t0_ns, start_unix_ms)| {
+        ShardTelemetry::capture(
+            t0.elapsed().as_nanos() as u64,
+            &before,
+            trace_t0_ns,
+            start_unix_ms,
+        )
+    });
     Ok(ShardPacket {
         config: config.clone(),
         shard_index: index,
@@ -984,6 +1205,11 @@ pub struct MergeOutcome {
     /// Fleet telemetry view folded from packets that carried telemetry;
     /// `None` when every merged shard ran quiet.
     pub fleet: Option<FleetSummary>,
+    /// Raw per-shard telemetry retained from telemetry-bearing packets
+    /// (`(shard_index, telemetry)`, ascending index) so downstream
+    /// tooling — the stitched fleet trace — can see the spans and
+    /// time-series digests, not just the folded summary.
+    pub telemetry: Vec<(usize, ShardTelemetry)>,
 }
 
 /// Reduces parsed packets into one study under `policy`. Duplicate
@@ -1228,13 +1454,31 @@ fn merge_validated(
         None
     } else {
         let summary = FleetSummary::from_rows(&run.run_id, fleet_rows);
-        for &i in &summary.stragglers() {
-            bmf_obs::event!(Warn, "fleet.straggler",
-                "index": i,
-                "ratio": summary.straggler_ratio);
+        // Straggler warnings repeat verbatim on every re-merge of the
+        // same packets (watch loops, live re-scrapes): one batch per
+        // interval carries all the information.
+        static STRAGGLER_WARNS: std::sync::LazyLock<bmf_obs::RateLimiter> =
+            std::sync::LazyLock::new(|| bmf_obs::RateLimiter::new(5_000_000_000));
+        let stragglers = summary.stragglers();
+        if !stragglers.is_empty() && STRAGGLER_WARNS.allow(bmf_obs::span::now_ns()) {
+            for &i in &stragglers {
+                bmf_obs::event!(Warn, "fleet.straggler",
+                    "index": i,
+                    "ratio": summary.straggler_ratio);
+            }
         }
         Some(summary)
     };
+    let telemetry: Vec<(usize, ShardTelemetry)> = merged_indices
+        .iter()
+        .filter_map(|&i| {
+            by_index[i]
+                .expect("merged index has a packet")
+                .telemetry
+                .clone()
+                .map(|t| (i, t))
+        })
+        .collect();
 
     Ok(MergeOutcome {
         early: early.expect("quorum >= 1 guarantees a packet"),
@@ -1244,7 +1488,72 @@ fn merge_validated(
         coverage,
         retries,
         fleet,
+        telemetry,
     })
+}
+
+/// Stitches the merged packets' span summaries into one Chrome
+/// trace-event document (loadable in Perfetto / `chrome://tracing`):
+/// one track per telemetry-bearing shard (`tid` = shard index, named
+/// `"shard N"`), clock-aligned across machines via each packet's Unix
+/// wall-clock start. Within a track, span timestamps are relative to
+/// that shard's earliest summarized span; across tracks, each shard is
+/// offset by its start relative to the earliest-starting shard. Shards
+/// whose packets predate v3 (no span summary) simply contribute no
+/// track. `otherData` carries the hardware context, the run identity
+/// and the stitch coverage.
+#[must_use]
+pub fn fleet_trace_json(outcome: &MergeOutcome, hardware: &bmf_obs::HardwareContext) -> String {
+    let tracks: Vec<&(usize, ShardTelemetry)> = outcome
+        .telemetry
+        .iter()
+        .filter(|(_, t)| !t.spans.is_empty())
+        .collect();
+    let min_start = tracks
+        .iter()
+        .map(|(_, t)| t.start_unix_ms)
+        .filter(|&ms| ms > 0)
+        .min()
+        .unwrap_or(0);
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (index, t) in &tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{index},\
+             \"args\":{{\"name\":{}}}}}",
+            json::string(&format!("shard {index}")),
+        ));
+        // A pre-epoch or missing wall clock aligns at the fleet origin.
+        let base_us = t.start_unix_ms.saturating_sub(min_start) * 1000;
+        let t0_ns = t
+            .spans
+            .iter()
+            .map(|s| s.start_ns)
+            .min()
+            .expect("track has spans");
+        for s in &t.spans {
+            out.push_str(&format!(
+                ",{{\"name\":{},\"cat\":\"shard\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":1,\"tid\":{index},\"args\":{{\"depth\":{}}}}}",
+                json::string(&s.name),
+                base_us as f64 + (s.start_ns - t0_ns) as f64 / 1000.0,
+                s.dur_ns as f64 / 1000.0,
+                s.depth,
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{{},{},\"shards\":{},\"stitched\":{}}}}}",
+        hardware.json_fields(),
+        outcome.run.json_fields(),
+        outcome.config.shard_count,
+        tracks.len(),
+    ));
+    out
 }
 
 /// Builds the single-process reference statistics from an in-memory
@@ -1363,7 +1672,7 @@ mod tests {
         let err = parse_packet(&good[..good.len() / 2], "truncated").unwrap_err();
         assert!(matches!(err, CircuitError::PacketCorrupt { .. }));
         // Wrong version.
-        let wrong_version = good.replacen("\"version\":2", "\"version\":99", 1);
+        let wrong_version = good.replacen("\"version\":3", "\"version\":99", 1);
         let err = parse_packet(&wrong_version, "future").unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }
@@ -1381,6 +1690,129 @@ mod tests {
         );
         let back = parse_packet(&v1, "legacy").unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn version_2_telemetry_packets_parse_without_trace_fields() {
+        // A v2 producer wrote telemetry but none of the v3 trace fields
+        // (spans / timeseries / wall-clock bounds); they must parse as
+        // empty / unknown.
+        let cfg = StudyConfig {
+            shard_count: 2,
+            ..config()
+        };
+        let mut p = run_shard(&cfg, 0, 1).unwrap();
+        p.telemetry = Some(ShardTelemetry {
+            wall_ns: 1234,
+            counters: vec![("monte_carlo.sims".to_string(), 7)],
+            histograms: Vec::new(),
+            events: Vec::new(),
+            spans: Vec::new(),
+            timeseries: Vec::new(),
+            start_unix_ms: 0,
+            end_unix_ms: 0,
+        });
+        let payload = p.payload_json();
+        let v2_payload = payload.replacen(
+            ",\"spans\":[],\"timeseries\":[],\"start_unix_ms\":0,\"end_unix_ms\":0",
+            "",
+            1,
+        );
+        assert_ne!(v2_payload, payload, "trace fields were present to strip");
+        let v2 = format!(
+            "{{\"format\":\"{PACKET_FORMAT}\",\"version\":2,\"checksum\":\"{:016x}\",\"payload\":{v2_payload}}}",
+            fnv1a(v2_payload.as_bytes()),
+        );
+        let back = parse_packet(&v2, "legacy-v2").unwrap();
+        assert_eq!(back, p, "missing trace fields read back as defaults");
+    }
+
+    #[test]
+    fn fleet_trace_stitches_one_clock_aligned_track_per_shard() {
+        let cfg = StudyConfig {
+            shard_count: 2,
+            ..config()
+        };
+        let mut a = run_shard(&cfg, 0, 1).unwrap();
+        let mut b = run_shard(&cfg, 1, 1).unwrap();
+        let telem = |start_unix_ms: u64, spans: Vec<SpanSummary>| ShardTelemetry {
+            wall_ns: 10,
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            events: Vec::new(),
+            spans,
+            timeseries: Vec::new(),
+            start_unix_ms,
+            end_unix_ms: start_unix_ms + 1,
+        };
+        // Shard 0 started 2 s before shard 1; each shard's spans sit at
+        // an arbitrary offset from its own (independent) trace epoch.
+        a.telemetry = Some(telem(
+            1_000,
+            vec![SpanSummary {
+                name: "stage.early".to_string(),
+                depth: 0,
+                start_ns: 500_000,
+                dur_ns: 2_000,
+            }],
+        ));
+        b.telemetry = Some(telem(
+            3_000,
+            vec![SpanSummary {
+                name: "stage.late".to_string(),
+                depth: 0,
+                start_ns: 9_000_000,
+                dur_ns: 4_000,
+            }],
+        ));
+        let merged = merge_packets(&[a, b], &MergePolicy::default()).unwrap();
+        assert_eq!(merged.telemetry.len(), 2);
+        let trace = fleet_trace_json(&merged, &bmf_obs::HardwareContext::detect(1));
+        let v = json::parse(&trace).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let metas: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        let xs: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(metas.len(), 2, "one thread_name track per shard");
+        assert_eq!(
+            metas[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("shard 0")
+        );
+        assert_eq!(xs.len(), 2);
+        // Shard 0 is the fleet origin; its span starts at ts = 0. Shard
+        // 1 is offset by the 2 s wall-clock gap, not by its own (larger)
+        // trace-epoch offset.
+        let ts = |e: &Value| e.get("ts").and_then(Value::as_f64).unwrap();
+        assert_eq!(ts(xs[0]), 0.0);
+        assert_eq!(ts(xs[1]), 2_000_000.0);
+        assert_eq!(xs[1].get("tid").and_then(Value::as_f64), Some(1.0));
+        let other = v.get("otherData").expect("otherData present");
+        assert_eq!(other.get("shards").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(other.get("stitched").and_then(Value::as_f64), Some(2.0));
+        assert!(other.get("run_id").is_some(), "run identity rides along");
+        // Quiet packets contribute no track but the document stays valid.
+        let mut c = run_shard(&cfg, 0, 1).unwrap();
+        c.telemetry = None;
+        let d = run_shard(&cfg, 1, 1).unwrap();
+        let merged = merge_packets(&[c, d], &MergePolicy::default()).unwrap();
+        let trace = fleet_trace_json(&merged, &bmf_obs::HardwareContext::detect(1));
+        let v = json::parse(&trace).unwrap();
+        assert!(v.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+        assert_eq!(
+            v.get("otherData")
+                .unwrap()
+                .get("stitched")
+                .and_then(Value::as_f64),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,800 @@
+//! Declarative SLO alert engine evaluated on the sampler tick.
+//!
+//! Rules come from a JSON file (`--alerts <rules.json>`) and watch the
+//! [`crate::tsdb`] series the background sampler maintains, plus the
+//! live health/drift severities the estimator publishes. Three rule
+//! kinds exist:
+//!
+//! * **`threshold`** — the newest value of a series compared against a
+//!   bound, with optional *hysteresis*: a separate `clear` level the
+//!   value must cross back over before the alert resolves, so a series
+//!   hovering at the bound cannot flap.
+//! * **`rate`** — the mean rate of change of a series (units/second)
+//!   over a sliding `window_ms`, compared against a bound.
+//! * **`health` / `drift`** — fires while the live health report or
+//!   drift timeline severity is at least `at_least`.
+//!
+//! Every rule supports *for-duration debouncing* (`for_ms`): the breach
+//! must hold that long before the alert fires. Firing emits a typed
+//! `alert.fired` event (and, for critical rules, arms a flight-recorder
+//! dump — the same guarantee a strict failure gets); resolving emits
+//! `alert.resolved`. Repeated firings of the same rule are rate-limited
+//! through [`RateLimiter`] so a flapping series cannot flood the event
+//! log or the flight-recorder ring. Current state is published at
+//! `GET /alerts`, and any firing critical rule flips `/health` to 503.
+//!
+//! Like everything in this crate, the engine only *observes*: no rule
+//! outcome is ever read back into a numeric computation.
+
+use crate::event::{emit, push_field, stream_on, Level, RateLimiter};
+use crate::health::Severity;
+use crate::json::{self, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Minimum interval between emitted `alert.fired` events (and critical
+/// flight-recorder dumps) of one rule; refires inside the window are
+/// counted in the rule's `suppressed` tally instead.
+pub const REFIRE_INTERVAL_NS: u64 = 5_000_000_000;
+
+/// Rules files and alert lists larger than this are rejected outright.
+pub const MAX_RULES: usize = 64;
+
+/// Comparison operator of a threshold/rate rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl Comparison {
+    fn parse(s: &str) -> Option<Comparison> {
+        match s {
+            ">" => Some(Comparison::Gt),
+            ">=" => Some(Comparison::Ge),
+            "<" => Some(Comparison::Lt),
+            "<=" => Some(Comparison::Le),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+        }
+    }
+
+    fn holds(self, value: f64, bound: f64) -> bool {
+        match self {
+            Comparison::Gt => value > bound,
+            Comparison::Ge => value >= bound,
+            Comparison::Lt => value < bound,
+            Comparison::Le => value <= bound,
+        }
+    }
+}
+
+/// What a rule watches and when it breaches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleKind {
+    /// Newest value of `series` vs `value`; resolves only once the
+    /// value fails the same comparison against `clear` (hysteresis).
+    Threshold {
+        op: Comparison,
+        value: f64,
+        clear: f64,
+    },
+    /// Mean rate of change of `series` (units/second) over the trailing
+    /// `window_ms`, compared against `value`.
+    Rate {
+        op: Comparison,
+        value: f64,
+        window_ms: u64,
+    },
+    /// Live health-report severity at least `at_least`.
+    Health { at_least: Severity },
+    /// Live drift-timeline severity at least `at_least`.
+    Drift { at_least: Severity },
+}
+
+impl RuleKind {
+    fn label(&self) -> &'static str {
+        match self {
+            RuleKind::Threshold { .. } => "threshold",
+            RuleKind::Rate { .. } => "rate",
+            RuleKind::Health { .. } => "health",
+            RuleKind::Drift { .. } => "drift",
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Unique rule name, stamped into every fired/resolved event.
+    pub name: String,
+    /// Watched series (empty for health/drift rules).
+    pub series: String,
+    /// Severity of the alert *when firing* (`warn` or `critical`;
+    /// critical flips `/health` to 503 and arms a flight dump).
+    pub severity: Severity,
+    /// Debounce: the breach must hold this long before firing.
+    pub for_ms: u64,
+    pub kind: RuleKind,
+}
+
+/// Per-rule state machine: `Ok -> Pending (for_ms) -> Firing -> Ok`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Ok,
+    /// Breached, waiting out `for_ms`; the payload is the tick the
+    /// breach started.
+    Pending(u64),
+    /// Fired; the payload is the tick it fired.
+    Firing(u64),
+}
+
+impl State {
+    fn label(self) -> &'static str {
+        match self {
+            State::Ok => "ok",
+            State::Pending(_) => "pending",
+            State::Firing(_) => "firing",
+        }
+    }
+}
+
+struct RuleState {
+    rule: Rule,
+    state: State,
+    last_value: Option<f64>,
+    fired_count: u64,
+    resolved_count: u64,
+    /// Refires swallowed by the rate limiter.
+    suppressed: u64,
+    limiter: RateLimiter,
+    /// Whether the most recent fire actually emitted its event (so the
+    /// matching resolve is emitted iff the fire was).
+    last_fire_emitted: bool,
+}
+
+static ENGINE: Mutex<Vec<RuleState>> = Mutex::new(Vec::new());
+
+/// Cheap flag for `/health`: true while any critical rule is firing.
+static CRITICAL_FIRING: AtomicBool = AtomicBool::new(false);
+
+fn parse_severity(s: &str) -> Option<Severity> {
+    match s {
+        "ok" => Some(Severity::Ok),
+        "warn" | "warning" => Some(Severity::Warn),
+        "critical" => Some(Severity::Critical),
+        _ => None,
+    }
+}
+
+/// Parses an alert rules document:
+///
+/// ```json
+/// {"rules": [
+///   {"name": "retry-storm", "kind": "threshold",
+///    "series": "monte_carlo.retries", "op": ">=", "value": 5,
+///    "clear": 1, "severity": "critical", "for_ms": 0},
+///   {"name": "throughput-sag", "kind": "rate",
+///    "series": "monte_carlo.sims", "op": "<", "value": 100,
+///    "window_ms": 2000, "severity": "warn", "for_ms": 500},
+///   {"name": "estimator-degraded", "kind": "health",
+///    "at_least": "warn", "severity": "warn"}
+/// ]}
+/// ```
+///
+/// Unknown keys are rejected so a typoed rule cannot silently watch
+/// nothing.
+pub fn parse_rules(text: &str) -> Result<Vec<Rule>, String> {
+    let doc = json::parse(text).map_err(|e| format!("rules file: {e}"))?;
+    let list = doc
+        .get("rules")
+        .and_then(Value::as_array)
+        .ok_or("rules file: top level must be an object with a \"rules\" array")?;
+    if list.len() > MAX_RULES {
+        return Err(format!(
+            "rules file: {} rules exceeds the limit of {MAX_RULES}",
+            list.len()
+        ));
+    }
+    let mut rules = Vec::with_capacity(list.len());
+    for (i, item) in list.iter().enumerate() {
+        rules.push(parse_rule(item).map_err(|e| format!("rules file: rule #{i}: {e}"))?);
+    }
+    for (i, r) in rules.iter().enumerate() {
+        if rules[..i].iter().any(|o: &Rule| o.name == r.name) {
+            return Err(format!("rules file: duplicate rule name {:?}", r.name));
+        }
+    }
+    Ok(rules)
+}
+
+fn parse_rule(item: &Value) -> Result<Rule, String> {
+    let Value::Object(map) = item else {
+        return Err("must be an object".to_string());
+    };
+    const KNOWN: [&str; 10] = [
+        "name",
+        "kind",
+        "series",
+        "op",
+        "value",
+        "clear",
+        "window_ms",
+        "severity",
+        "for_ms",
+        "at_least",
+    ];
+    if let Some(unknown) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
+        return Err(format!("unknown key {unknown:?}"));
+    }
+    let str_key = |key: &str| item.get(key).and_then(Value::as_str);
+    let num_key = |key: &str| item.get(key).and_then(Value::as_f64);
+
+    let name = str_key("name")
+        .filter(|s| !s.is_empty())
+        .ok_or("needs a non-empty string \"name\"")?
+        .to_string();
+    let severity = match str_key("severity") {
+        None => Severity::Warn,
+        Some(s) => match parse_severity(s) {
+            Some(Severity::Ok) | None => {
+                return Err(format!("\"severity\" must be warn|critical, got {s:?}"))
+            }
+            Some(sev) => sev,
+        },
+    };
+    let for_ms = match item.get("for_ms") {
+        None => 0,
+        Some(v) => match v.as_f64() {
+            Some(ms) if ms >= 0.0 && ms.fract() == 0.0 => ms as u64,
+            _ => return Err("\"for_ms\" must be a non-negative integer".to_string()),
+        },
+    };
+    let series_key = || -> Result<String, String> {
+        let s = str_key("series").ok_or("needs a string \"series\"")?;
+        if !crate::tsdb::valid_series_name(s) {
+            return Err(format!("series name {s:?} is outside the metric charset"));
+        }
+        Ok(s.to_string())
+    };
+    let op_key = || -> Result<Comparison, String> {
+        let raw = str_key("op").unwrap_or(">=");
+        Comparison::parse(raw).ok_or(format!("\"op\" must be one of > >= < <=, got {raw:?}"))
+    };
+    let at_least_key = || -> Result<Severity, String> {
+        let raw = str_key("at_least").unwrap_or("critical");
+        match parse_severity(raw) {
+            Some(Severity::Ok) | None => {
+                Err(format!("\"at_least\" must be warn|critical, got {raw:?}"))
+            }
+            Some(sev) => Ok(sev),
+        }
+    };
+
+    let kind = match str_key("kind").unwrap_or("threshold") {
+        "threshold" => {
+            let op = op_key()?;
+            let value = num_key("value").ok_or("threshold rule needs a numeric \"value\"")?;
+            let clear = num_key("clear").unwrap_or(value);
+            RuleKind::Threshold { op, value, clear }
+        }
+        "rate" => {
+            let op = op_key()?;
+            let value = num_key("value").ok_or("rate rule needs a numeric \"value\"")?;
+            let window_ms = match num_key("window_ms") {
+                None => 1_000,
+                Some(ms) if ms >= 1.0 && ms.fract() == 0.0 => ms as u64,
+                Some(_) => return Err("\"window_ms\" must be a positive integer".to_string()),
+            };
+            RuleKind::Rate {
+                op,
+                value,
+                window_ms,
+            }
+        }
+        "health" => RuleKind::Health {
+            at_least: at_least_key()?,
+        },
+        "drift" => RuleKind::Drift {
+            at_least: at_least_key()?,
+        },
+        other => {
+            return Err(format!(
+                "\"kind\" must be threshold|rate|health|drift, got {other:?}"
+            ))
+        }
+    };
+    let series = match kind {
+        RuleKind::Threshold { .. } | RuleKind::Rate { .. } => series_key()?,
+        RuleKind::Health { .. } | RuleKind::Drift { .. } => String::new(),
+    };
+    Ok(Rule {
+        name,
+        series,
+        severity,
+        for_ms,
+        kind,
+    })
+}
+
+/// Installs `rules`, replacing any previous set and resetting all state.
+pub fn install(rules: Vec<Rule>) {
+    let mut engine = ENGINE.lock().unwrap_or_else(|e| e.into_inner());
+    *engine = rules
+        .into_iter()
+        .map(|rule| RuleState {
+            rule,
+            state: State::Ok,
+            last_value: None,
+            fired_count: 0,
+            resolved_count: 0,
+            suppressed: 0,
+            limiter: RateLimiter::new(REFIRE_INTERVAL_NS),
+            last_fire_emitted: false,
+        })
+        .collect();
+    CRITICAL_FIRING.store(false, Ordering::Relaxed);
+}
+
+/// Whether any rules are installed.
+pub fn installed() -> bool {
+    !ENGINE.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+}
+
+/// Removes every rule and resets the critical flag.
+pub fn clear() {
+    install(Vec::new());
+}
+
+/// True while any critical-severity rule is firing: the `/health`
+/// endpoint folds this into its 200/503 decision with one relaxed load.
+pub fn any_critical_firing() -> bool {
+    CRITICAL_FIRING.load(Ordering::Relaxed)
+}
+
+/// Evaluates every rule against the tick that just landed in the tsdb
+/// (called by [`crate::tsdb::tick`]). A rule whose input is unavailable
+/// this tick (empty series, no live health yet) keeps its state.
+pub fn evaluate(now_ms: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let (health_sev, drift_sev) = crate::serve::live_severities();
+    let mut engine = ENGINE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut any_critical = false;
+    for rs in engine.iter_mut() {
+        step(rs, now_ms, health_sev, drift_sev);
+        if rs.rule.severity == Severity::Critical && matches!(rs.state, State::Firing(_)) {
+            any_critical = true;
+        }
+    }
+    CRITICAL_FIRING.store(any_critical, Ordering::Relaxed);
+}
+
+/// Advances one rule's state machine by one tick.
+fn step(rs: &mut RuleState, now_ms: u64, health: Option<Severity>, drift: Option<Severity>) {
+    // (observed value, breach now?, clear condition met?)
+    let observed: Option<(f64, bool, bool)> = match &rs.rule.kind {
+        RuleKind::Threshold { op, value, clear } => crate::tsdb::latest(&rs.rule.series)
+            .map(|(_, v)| (v, op.holds(v, *value), !op.holds(v, *clear))),
+        RuleKind::Rate {
+            op,
+            value,
+            window_ms,
+        } => crate::tsdb::rate_per_sec(&rs.rule.series, now_ms.saturating_sub(*window_ms))
+            .map(|r| (r, op.holds(r, *value), !op.holds(r, *value))),
+        RuleKind::Health { at_least } => health.map(|sev| {
+            let rank = sev as i32 as f64;
+            (rank, sev >= *at_least, sev < *at_least)
+        }),
+        RuleKind::Drift { at_least } => drift.map(|sev| {
+            let rank = sev as i32 as f64;
+            (rank, sev >= *at_least, sev < *at_least)
+        }),
+    };
+    let Some((value, breached, cleared)) = observed else {
+        return; // no data this tick: no decision
+    };
+    rs.last_value = Some(value);
+    match rs.state {
+        State::Ok if breached => {
+            if rs.rule.for_ms == 0 {
+                fire(rs, now_ms, value);
+            } else {
+                rs.state = State::Pending(now_ms);
+            }
+        }
+        State::Pending(since) if breached && now_ms.saturating_sub(since) >= rs.rule.for_ms => {
+            fire(rs, now_ms, value);
+        }
+        State::Pending(_) if !breached => rs.state = State::Ok,
+        State::Firing(_) if cleared => resolve(rs, now_ms, value),
+        _ => {}
+    }
+}
+
+fn fire(rs: &mut RuleState, now_ms: u64, value: f64) {
+    rs.state = State::Firing(now_ms);
+    rs.fired_count += 1;
+    // Satellite invariant: a flapping rule cannot flood the event log or
+    // the flight ring — refires inside the window are only counted.
+    let emit_now = rs.limiter.allow(crate::span::now_ns());
+    rs.last_fire_emitted = emit_now;
+    if !emit_now {
+        rs.suppressed += 1;
+        return;
+    }
+    let level = if rs.rule.severity == Severity::Critical {
+        Level::Error
+    } else {
+        Level::Warn
+    };
+    if stream_on(level) {
+        let mut fields = String::new();
+        push_field(&mut fields, "name", &rs.rule.name.as_str());
+        // "rule_kind", not "kind": the record itself already renders a
+        // top-level "kind":"alert.fired" key and JSONL consumers keep
+        // the last duplicate.
+        push_field(&mut fields, "rule_kind", &rs.rule.kind.label());
+        push_field(&mut fields, "series", &rs.rule.series.as_str());
+        push_field(&mut fields, "severity", &rs.rule.severity.label());
+        push_field(&mut fields, "value", &value);
+        push_field(&mut fields, "fired_count", &rs.fired_count);
+        emit(level, "alert.fired", fields);
+    }
+    if rs.rule.severity == Severity::Critical {
+        // Same guarantee as a strict failure: the moments before a
+        // critical alert are worth keeping.
+        crate::flight::dump(&format!("alert_critical:{}", rs.rule.name));
+    }
+}
+
+fn resolve(rs: &mut RuleState, now_ms: u64, value: f64) {
+    let since = match rs.state {
+        State::Firing(t) => t,
+        _ => now_ms,
+    };
+    rs.state = State::Ok;
+    rs.resolved_count += 1;
+    // Emit the resolve iff its fire was emitted, so the log always
+    // holds matched fired/resolved pairs.
+    if rs.last_fire_emitted && stream_on(Level::Info) {
+        let mut fields = String::new();
+        push_field(&mut fields, "name", &rs.rule.name.as_str());
+        push_field(&mut fields, "series", &rs.rule.series.as_str());
+        push_field(&mut fields, "severity", &rs.rule.severity.label());
+        push_field(&mut fields, "value", &value);
+        push_field(&mut fields, "firing_ms", &now_ms.saturating_sub(since));
+        emit(Level::Info, "alert.resolved", fields);
+    }
+}
+
+/// Renders the engine state as the `/alerts` JSON document.
+pub fn render_json() -> String {
+    let engine = ENGINE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut firing = 0usize;
+    let mut out = String::from("{\"rules\":[");
+    for (i, rs) in engine.iter().enumerate() {
+        if matches!(rs.state, State::Firing(_)) {
+            firing += 1;
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        let since_ms = match rs.state {
+            State::Pending(t) | State::Firing(t) => Some(t),
+            State::Ok => None,
+        };
+        out.push_str(&format!(
+            "{{\"name\":{},\"kind\":{},\"series\":{},\"severity\":{},\"state\":{},\"op\":{},\"for_ms\":{},\"since_ms\":{},\"last_value\":{},\"fired_count\":{},\"resolved_count\":{},\"suppressed\":{}}}",
+            json::string(&rs.rule.name),
+            json::string(rs.rule.kind.label()),
+            json::string(&rs.rule.series),
+            json::string(rs.rule.severity.label()),
+            json::string(rs.state.label()),
+            json::string(match &rs.rule.kind {
+                RuleKind::Threshold { op, .. } | RuleKind::Rate { op, .. } => op.label(),
+                _ => "",
+            }),
+            rs.rule.for_ms,
+            since_ms.map_or_else(|| "null".to_string(), |t| t.to_string()),
+            rs.last_value
+                .map_or_else(|| "null".to_string(), json::number),
+            rs.fired_count,
+            rs.resolved_count,
+            rs.suppressed,
+        ));
+    }
+    out.push_str(&format!(
+        "],\"firing\":{firing},\"critical_firing\":{}}}",
+        any_critical_firing()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_lock;
+
+    fn threshold_rule(name: &str, value: f64, clear: f64, for_ms: u64, sev: Severity) -> Rule {
+        Rule {
+            name: name.to_string(),
+            series: "t.series".to_string(),
+            severity: sev,
+            for_ms,
+            kind: RuleKind::Threshold {
+                op: Comparison::Ge,
+                value,
+                clear,
+            },
+        }
+    }
+
+    fn state_of(name: &str) -> String {
+        let doc = json::parse(&render_json()).expect("alerts JSON parses");
+        let rules = doc.get("rules").and_then(Value::as_array).unwrap();
+        rules
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|r| r.get("state"))
+            .and_then(Value::as_str)
+            .unwrap_or("missing")
+            .to_string()
+    }
+
+    #[test]
+    fn rules_parse_with_defaults_and_reject_garbage() {
+        let text = r#"{"rules":[
+            {"name":"a","series":"m.x","value":5},
+            {"name":"b","kind":"rate","series":"m.x","op":"<","value":1.5,"window_ms":2000,"severity":"critical","for_ms":250},
+            {"name":"c","kind":"health","at_least":"warn"},
+            {"name":"d","kind":"drift"}
+        ]}"#;
+        let rules = parse_rules(text).expect("valid rules");
+        assert_eq!(rules.len(), 4);
+        assert_eq!(
+            rules[0].kind,
+            RuleKind::Threshold {
+                op: Comparison::Ge,
+                value: 5.0,
+                clear: 5.0
+            }
+        );
+        assert_eq!(rules[0].severity, Severity::Warn);
+        assert_eq!(rules[1].for_ms, 250);
+        assert_eq!(
+            rules[2].kind,
+            RuleKind::Health {
+                at_least: Severity::Warn
+            }
+        );
+        assert_eq!(
+            rules[3].kind,
+            RuleKind::Drift {
+                at_least: Severity::Critical
+            }
+        );
+
+        for bad in [
+            "not json",
+            "[]",
+            r#"{"rules":[{"series":"m.x","value":1}]}"#, // no name
+            r#"{"rules":[{"name":"a","value":1}]}"#,     // threshold without series
+            r#"{"rules":[{"name":"a","series":"bad name","value":1}]}"#,
+            r#"{"rules":[{"name":"a","series":"m.x"}]}"#, // no value
+            r#"{"rules":[{"name":"a","series":"m.x","value":1,"op":"=="}]}"#,
+            r#"{"rules":[{"name":"a","series":"m.x","value":1,"severity":"fatal"}]}"#,
+            r#"{"rules":[{"name":"a","series":"m.x","value":1,"frobnicate":2}]}"#,
+            r#"{"rules":[{"name":"a","series":"m.x","value":1},{"name":"a","series":"m.y","value":2}]}"#,
+            r#"{"rules":[{"name":"a","kind":"sloth","series":"m.x","value":1}]}"#,
+        ] {
+            assert!(parse_rules(bad).is_err(), "accepted bad rules {bad:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_fires_and_resolves_with_hysteresis() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        install(vec![threshold_rule("hys", 5.0, 2.0, 0, Severity::Warn)]);
+
+        crate::tsdb::record("t.series", 100, 1.0);
+        evaluate(100);
+        assert_eq!(state_of("hys"), "ok");
+
+        crate::tsdb::record("t.series", 200, 6.0);
+        evaluate(200);
+        assert_eq!(state_of("hys"), "firing");
+
+        // Back below the fire level but above the clear level: the
+        // hysteresis band holds the alert.
+        crate::tsdb::record("t.series", 300, 3.0);
+        evaluate(300);
+        assert_eq!(state_of("hys"), "firing");
+
+        crate::tsdb::record("t.series", 400, 1.0);
+        evaluate(400);
+        assert_eq!(state_of("hys"), "ok");
+
+        let records = crate::event::take_records();
+        let kinds: Vec<&str> = records.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&"alert.fired"), "{kinds:?}");
+        assert!(kinds.contains(&"alert.resolved"), "{kinds:?}");
+        for r in &records {
+            // The record renders its own top-level "kind" key; a field
+            // named "kind" would shadow it in the JSONL line.
+            assert!(
+                !r.fields.contains("\"kind\""),
+                "duplicate \"kind\" key in {} fields: {}",
+                r.kind,
+                r.fields
+            );
+        }
+        crate::reset();
+    }
+
+    #[test]
+    fn for_duration_debounce_requires_a_sustained_breach() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        install(vec![threshold_rule("slow", 5.0, 5.0, 300, Severity::Warn)]);
+
+        crate::tsdb::record("t.series", 100, 9.0);
+        evaluate(100);
+        assert_eq!(state_of("slow"), "pending");
+
+        // Breach ends before for_ms elapses: back to ok, nothing fired.
+        crate::tsdb::record("t.series", 200, 1.0);
+        evaluate(200);
+        assert_eq!(state_of("slow"), "ok");
+
+        // Sustained breach crosses the debounce window: fires.
+        crate::tsdb::record("t.series", 300, 9.0);
+        evaluate(300);
+        crate::tsdb::record("t.series", 450, 9.0);
+        evaluate(450);
+        assert_eq!(state_of("slow"), "pending");
+        crate::tsdb::record("t.series", 650, 9.0);
+        evaluate(650);
+        assert_eq!(state_of("slow"), "firing");
+
+        let fired = crate::event::take_records()
+            .iter()
+            .filter(|r| r.kind == "alert.fired")
+            .count();
+        assert_eq!(fired, 1, "the aborted breach must not fire");
+        crate::reset();
+    }
+
+    #[test]
+    fn critical_firing_flips_the_flag_and_rate_limits_refires() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        // A critical fire dumps the flight ring; keep the artifact out
+        // of the source tree.
+        let dump_dir = std::env::temp_dir().join(format!(
+            "bmf_alert_test_{}_{}",
+            std::process::id(),
+            crate::span::now_ns()
+        ));
+        std::fs::create_dir_all(&dump_dir).unwrap();
+        crate::flight::set_dump_dir(&dump_dir);
+        install(vec![threshold_rule(
+            "crit",
+            5.0,
+            5.0,
+            0,
+            Severity::Critical,
+        )]);
+        assert!(!any_critical_firing());
+
+        let mut ts = 100u64;
+        crate::tsdb::record("t.series", ts, 9.0);
+        evaluate(ts);
+        assert!(any_critical_firing());
+
+        // Flap it: fire/resolve repeatedly. State keeps tracking, but
+        // only the first fire of the window emits an event.
+        for _ in 0..5 {
+            ts += 100;
+            crate::tsdb::record("t.series", ts, 1.0);
+            evaluate(ts);
+            ts += 100;
+            crate::tsdb::record("t.series", ts, 9.0);
+            evaluate(ts);
+        }
+        assert!(any_critical_firing());
+        let records = crate::event::take_records();
+        let fired = records.iter().filter(|r| r.kind == "alert.fired").count();
+        let resolved = records
+            .iter()
+            .filter(|r| r.kind == "alert.resolved")
+            .count();
+        assert_eq!(fired, 1, "refires inside the limiter window are suppressed");
+        assert_eq!(resolved, 1, "resolves stay paired with emitted fires");
+
+        let doc = json::parse(&render_json()).unwrap();
+        let rule = doc.get("rules").and_then(Value::as_array).unwrap()[0].clone();
+        assert_eq!(rule.get("fired_count").and_then(Value::as_f64), Some(6.0));
+        assert_eq!(
+            rule.get("resolved_count").and_then(Value::as_f64),
+            Some(5.0)
+        );
+        assert_eq!(rule.get("suppressed").and_then(Value::as_f64), Some(5.0));
+
+        // Resolving the last firing clears the critical flag.
+        ts += 100;
+        crate::tsdb::record("t.series", ts, 1.0);
+        evaluate(ts);
+        assert!(!any_critical_firing());
+        crate::reset();
+        assert!(!installed());
+    }
+
+    #[test]
+    fn rate_rule_follows_the_window() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        install(vec![Rule {
+            name: "burst".to_string(),
+            series: "r.series".to_string(),
+            severity: Severity::Warn,
+            for_ms: 0,
+            kind: RuleKind::Rate {
+                op: Comparison::Gt,
+                value: 50.0,
+                window_ms: 1_000,
+            },
+        }]);
+
+        // One point: no rate, no decision.
+        crate::tsdb::record("r.series", 0, 0.0);
+        evaluate(0);
+        assert_eq!(state_of("burst"), "ok");
+
+        // 100 units in 500ms = 200/s > 50: fires.
+        crate::tsdb::record("r.series", 500, 100.0);
+        evaluate(500);
+        assert_eq!(state_of("burst"), "firing");
+
+        // Window slides past the burst; flat series = 0/s: resolves.
+        crate::tsdb::record("r.series", 1_800, 100.0);
+        crate::tsdb::record("r.series", 2_300, 100.0);
+        evaluate(2_300);
+        assert_eq!(state_of("burst"), "ok");
+        crate::reset();
+    }
+
+    #[test]
+    fn render_json_is_valid_and_empty_without_rules() {
+        let _g = test_lock();
+        crate::reset();
+        let doc = json::parse(&render_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("rules")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+        assert_eq!(doc.get("firing").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(
+            doc.get("critical_firing").and_then(Value::as_bool),
+            Some(false)
+        );
+    }
+}

@@ -148,11 +148,19 @@ impl Value {
     }
 }
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// [`parse`]r uses one stack frame per open object/array, so an
+/// adversarial input (a shard packet or alert-rules file of nothing but
+/// `[[[[…`) could otherwise overflow the thread stack; 128 levels is far
+/// beyond any document this workspace emits.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document, rejecting trailing garbage.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -185,6 +193,7 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -223,10 +232,27 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Runs a container parser one nesting level deeper, rejecting the
+    /// document once [`MAX_DEPTH`] open containers are on the stack.
+    fn nested(
+        &mut self,
+        f: fn(&mut Self) -> Result<Value, ParseError>,
+    ) -> Result<Value, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error(&format!(
+                "nesting depth exceeds the {MAX_DEPTH}-level limit"
+            )));
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
+    }
+
     fn value(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => self.string().map(Value::String),
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
@@ -481,6 +507,43 @@ mod tests {
         // form is itself a fixed point.
         assert_eq!(parse(&emitted).unwrap().to_json(), emitted);
         assert!(emitted.starts_with("{\"a\":"));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_before_the_stack_overflows() {
+        // Just inside the limit: parses fine.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok(), "document at MAX_DEPTH must parse");
+
+        // One level past the limit: a typed error naming the depth cap,
+        // not a stack overflow. Mixed object/array nesting counts too.
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&too_deep).expect_err("must reject over-deep document");
+        assert!(
+            err.message.contains("nesting depth"),
+            "error should name the depth limit, got: {err}"
+        );
+
+        let mixed = format!(
+            "{}{}1{}{}",
+            "{\"k\":[".repeat(MAX_DEPTH / 2 + 1),
+            "[",
+            "]",
+            "]}".repeat(MAX_DEPTH / 2 + 1)
+        );
+        assert!(
+            parse(&mixed).is_err(),
+            "mixed-deep document must be rejected"
+        );
+
+        // An adversarially deep document (way past the limit) must come
+        // back as an error rather than crash the process.
+        let hostile = "[".repeat(1_000_000);
+        assert!(parse(&hostile).is_err());
     }
 
     #[test]

@@ -85,6 +85,7 @@
 //! bmf_obs::reset();
 //! ```
 
+pub mod alert;
 pub mod cli;
 pub mod dashboard;
 pub mod event;
@@ -99,6 +100,7 @@ pub mod run;
 pub mod serve;
 pub mod shard;
 pub mod span;
+pub mod tsdb;
 
 pub use cli::{ObsOptions, BENCH_HISTORY_FILE};
 pub use event::{EventRecord, Heartbeat, Level, ProgressEntry, RateLimiter};
@@ -140,11 +142,13 @@ pub fn is_enabled() -> bool {
 }
 
 /// Disables recording and clears all recorded events and metric values:
-/// spans, structured events, the flight-recorder ring, the run context
-/// and the event level filters. Intended for tests and for delimiting
-/// independent measurement windows.
+/// spans, structured events, the flight-recorder ring, the run context,
+/// the time-series store, the alert engine and the event level filters.
+/// Intended for tests and for delimiting independent measurement
+/// windows.
 pub fn reset() {
     disable();
+    tsdb::stop_global();
     span::clear();
     event::clear();
     event::reset_levels();
@@ -152,6 +156,8 @@ pub fn reset() {
     run::clear();
     metrics::reset_all();
     serve::clear_live();
+    tsdb::clear();
+    alert::clear();
 }
 
 #[cfg(test)]

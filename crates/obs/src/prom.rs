@@ -4,7 +4,7 @@
 //! [`render`] turns a [`MetricsSnapshot`] into the scrape body served at
 //! `GET /metrics`: every registered counter becomes a `_total` counter,
 //! every duration histogram becomes both a summary (interpolated
-//! p50/p90/p99 from the existing [`HistogramStats`]) and an explicit
+//! p50/p90/p99 from the existing [`crate::metrics::HistogramStats`]) and an explicit
 //! `_log2` histogram family exposing the power-of-two buckets, and the
 //! run identity plus hardware context ride along as labels on a
 //! `bmf_run_info` gauge and a `run_id` label on every sample. Process

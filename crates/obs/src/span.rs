@@ -52,8 +52,10 @@ pub(crate) fn epoch() -> Instant {
 }
 
 /// Nanoseconds since the trace epoch (shared with the event layer so
-/// span and event timestamps are directly comparable).
-pub(crate) fn now_ns() -> u64 {
+/// span and event timestamps are directly comparable). Public so
+/// downstream crates can window recorded spans (e.g. a shard run
+/// summarizing only its own trace slice) against the same clock.
+pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 

@@ -1,0 +1,660 @@
+//! Fixed-memory in-process time-series store and background sampler.
+//!
+//! Every other surface in this crate is *instantaneous*: a `/metrics`
+//! scrape or dashboard render shows one snapshot. This module adds the
+//! temporal axis: a background [`Sampler`] snapshots every counter,
+//! histogram percentile (p50/p90/p99), progress fraction and
+//! [`ProcessStats`](crate::metrics::ProcessStats) field at a fixed
+//! cadence into per-series rings, so `/timeseries` and the dashboard's
+//! Timeline sparklines can show a regression *developing* mid-run.
+//!
+//! Memory is strictly bounded: at most [`MAX_SERIES`] series of at most
+//! [`RING_CAPACITY`] points each. Timestamps are stored delta-encoded
+//! (`u32` milliseconds between consecutive points on top of one `u64`
+//! base), and when a ring fills it downsamples in place by a power of
+//! two — every other retained point is dropped, oldest data decaying to
+//! a coarser cadence while the newest samples stay at full resolution.
+//! The most recent sample of a series is always retained.
+//!
+//! The module obeys the crate's two invariants: recording is gated on
+//! the one relaxed [`crate::is_enabled`] load, and nothing here is ever
+//! read back into a numeric computation — the sampler only *observes*
+//! the metrics registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Maximum points retained per series before downsampling halves it.
+pub const RING_CAPACITY: usize = 512;
+
+/// Maximum number of distinct series; later registrations are dropped
+/// so an adversarial label stream cannot grow memory without bound.
+pub const MAX_SERIES: usize = 128;
+
+/// Default sampler cadence when `--sample-interval-ms` is not given.
+pub const DEFAULT_SAMPLE_INTERVAL_MS: u64 = 250;
+
+/// One series ring: delta-encoded timestamps plus raw values.
+struct Series {
+    /// Timestamp of `values[0]`, milliseconds since the trace epoch.
+    base_ts_ms: u64,
+    /// Timestamp of the newest point (cached to avoid a prefix sum).
+    last_ts_ms: u64,
+    /// `deltas_ms[i]` is `ts[i] - ts[i-1]`; `deltas_ms[0]` is zero.
+    deltas_ms: Vec<u32>,
+    values: Vec<f64>,
+    /// Power-of-two factor the oldest data has been thinned by.
+    downsample: u32,
+}
+
+impl Series {
+    fn new() -> Self {
+        Series {
+            base_ts_ms: 0,
+            last_ts_ms: 0,
+            deltas_ms: Vec::new(),
+            values: Vec::new(),
+            downsample: 1,
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn push(&mut self, ts_ms: u64, value: f64) {
+        // Timestamps must be monotone for the ring algebra; a clock
+        // oddity is clamped rather than trusted.
+        let ts_ms = ts_ms.max(self.last_ts_ms);
+        if self.values.is_empty() {
+            self.base_ts_ms = ts_ms;
+            self.last_ts_ms = ts_ms;
+            self.deltas_ms.push(0);
+            self.values.push(value);
+            return;
+        }
+        if self.values.len() >= RING_CAPACITY {
+            self.halve();
+        }
+        let delta = (ts_ms - self.last_ts_ms).min(u64::from(u32::MAX)) as u32;
+        self.deltas_ms.push(delta);
+        self.values.push(value);
+        self.last_ts_ms = ts_ms;
+    }
+
+    /// Drops every other point, keeping indices counted from the *end*
+    /// so the newest sample always survives; merged timestamps keep the
+    /// deltas consistent.
+    fn halve(&mut self) {
+        let ts = self.timestamps();
+        let n = ts.len();
+        let mut new_ts = Vec::with_capacity(n / 2 + 1);
+        let mut new_vals = Vec::with_capacity(n / 2 + 1);
+        for (i, &t) in ts.iter().enumerate() {
+            if (n - 1 - i).is_multiple_of(2) {
+                new_ts.push(t);
+                new_vals.push(self.values[i]);
+            }
+        }
+        self.base_ts_ms = new_ts.first().copied().unwrap_or(0);
+        self.deltas_ms.clear();
+        let mut prev = self.base_ts_ms;
+        for &t in &new_ts {
+            self.deltas_ms
+                .push((t - prev).min(u64::from(u32::MAX)) as u32);
+            prev = t;
+        }
+        if let Some(first) = self.deltas_ms.first_mut() {
+            *first = 0;
+        }
+        self.values = new_vals;
+        self.downsample = self.downsample.saturating_mul(2);
+    }
+
+    /// Absolute timestamps reconstructed from the delta encoding.
+    fn timestamps(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.deltas_ms.len());
+        let mut t = self.base_ts_ms;
+        for (i, &d) in self.deltas_ms.iter().enumerate() {
+            if i > 0 {
+                t += u64::from(d);
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    fn points(&self) -> Vec<(u64, f64)> {
+        self.timestamps()
+            .into_iter()
+            .zip(self.values.iter().copied())
+            .collect()
+    }
+}
+
+/// A read-only copy of one series for rendering and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    pub name: String,
+    /// Power-of-two thinning factor the ring has applied so far.
+    pub downsample: u32,
+    /// `(ts_ms, value)` pairs, timestamps strictly monotone
+    /// non-decreasing, milliseconds since the trace epoch.
+    pub points: Vec<(u64, f64)>,
+}
+
+static STORE: Mutex<BTreeMap<String, Series>> = Mutex::new(BTreeMap::new());
+
+/// Records one observation. No-op when recording is disabled, when the
+/// series budget ([`MAX_SERIES`]) is exhausted, or when the name would
+/// not survive the `prom.rs` mangling rules (series share the metric
+/// naming charset: ASCII alphanumerics, `.` and `_`, starting with a
+/// letter or underscore).
+pub fn record(name: &str, ts_ms: u64, value: f64) {
+    if !crate::is_enabled() || !valid_series_name(name) {
+        return;
+    }
+    let Ok(mut store) = STORE.lock() else {
+        return;
+    };
+    if !store.contains_key(name) && store.len() >= MAX_SERIES {
+        return;
+    }
+    store
+        .entry(name.to_string())
+        .or_insert_with(Series::new)
+        .push(ts_ms, value);
+}
+
+/// Whether `name` is a legal series name: the `prom.rs` exposition
+/// charset plus `.` (which [`crate::prom`] mangles to `_` on export).
+pub fn valid_series_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Maps an arbitrary label (e.g. a progress heartbeat label) into the
+/// series charset; characters outside it become `_`.
+pub fn sanitize_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for (i, c) in label.chars().enumerate() {
+        let ok = if i == 0 {
+            c.is_ascii_alphabetic() || c == '_'
+        } else {
+            c.is_ascii_alphanumeric() || c == '_' || c == '.'
+        };
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Copies every stored series (sorted by name).
+pub fn snapshot() -> Vec<SeriesSnapshot> {
+    let Ok(store) = STORE.lock() else {
+        return Vec::new();
+    };
+    store
+        .iter()
+        .map(|(name, s)| SeriesSnapshot {
+            name: name.clone(),
+            downsample: s.downsample,
+            points: s.points(),
+        })
+        .collect()
+}
+
+/// The newest `(ts_ms, value)` of a series, if it has any points.
+pub fn latest(name: &str) -> Option<(u64, f64)> {
+    let store = STORE.lock().ok()?;
+    let s = store.get(name)?;
+    if s.values.is_empty() {
+        return None;
+    }
+    Some((s.last_ts_ms, *s.values.last().unwrap()))
+}
+
+/// Mean rate of change of a series in value-units per second over the
+/// window `[since_ms, now]`. `None` until the window holds two points
+/// at least one millisecond apart.
+pub fn rate_per_sec(name: &str, since_ms: u64) -> Option<f64> {
+    let store = STORE.lock().ok()?;
+    let s = store.get(name)?;
+    let points = s.points();
+    let window: Vec<&(u64, f64)> = points.iter().filter(|(t, _)| *t >= since_ms).collect();
+    let (first, last) = match (window.first(), window.last()) {
+        (Some(f), Some(l)) if l.0 > f.0 => (*f, *l),
+        _ => return None,
+    };
+    Some((last.1 - first.1) / ((last.0 - first.0) as f64 / 1000.0))
+}
+
+/// Discards every stored series.
+pub fn clear() {
+    if let Ok(mut store) = STORE.lock() {
+        store.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+/// Takes one sample of the whole observable surface — every counter,
+/// histogram percentile, progress fraction and process-stat field —
+/// stamping all series with the same tick timestamp. Returns that
+/// timestamp (ms since the trace epoch); no-op (returning 0) when
+/// recording is disabled.
+///
+/// Counters are recorded once they first become non-zero, so an idle
+/// counter does not burn ring memory before it has a story to tell.
+pub fn sample_once() -> u64 {
+    if !crate::is_enabled() {
+        return 0;
+    }
+    let ts_ms = crate::span::now_ns() / 1_000_000;
+    let snap = crate::metrics::snapshot();
+    for (name, value) in &snap.counters {
+        if *value > 0 || latest(name).is_some() {
+            record(name, ts_ms, *value as f64);
+        }
+    }
+    for hist in &snap.histograms {
+        if hist.count == 0 {
+            continue;
+        }
+        for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+            if let Some(v) = hist.percentile_ns(q) {
+                record(&format!("{}.{suffix}", hist.name), ts_ms, v as f64);
+            }
+        }
+    }
+    for entry in crate::event::progress_snapshot() {
+        record(
+            &format!("progress.{}", sanitize_label(entry.label)),
+            ts_ms,
+            entry.fraction(),
+        );
+    }
+    if let Some(p) = &snap.process {
+        record("process.rss_bytes", ts_ms, p.rss_bytes as f64);
+        record("process.user_cpu_ms", ts_ms, p.user_cpu_ms as f64);
+        record("process.sys_cpu_ms", ts_ms, p.sys_cpu_ms as f64);
+        record("process.open_fds", ts_ms, p.open_fds as f64);
+    }
+    ts_ms
+}
+
+/// One sampler tick: sample the registry, then hand the tick to the
+/// alert engine so rules see exactly the data that was just stored.
+pub fn tick() -> u64 {
+    let ts_ms = sample_once();
+    if ts_ms > 0 {
+        crate::alert::evaluate(ts_ms);
+    }
+    ts_ms
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering (the `/timeseries` endpoint and packet digests)
+// ---------------------------------------------------------------------------
+
+/// Renders the store as the `/timeseries` JSON document, optionally
+/// filtered to series whose name equals or starts with `metric`, to
+/// points at or after `since_ms`, and thinned so consecutive emitted
+/// points are at least `step_ms` apart (the newest point always
+/// survives the thinning).
+pub fn render_json(metric: Option<&str>, since_ms: Option<u64>, step_ms: Option<u64>) -> String {
+    let now_ms = crate::span::now_ns() / 1_000_000;
+    let mut out = String::from("{");
+    out.push_str(&format!("\"now_ms\":{now_ms},\"series\":["));
+    let mut first = true;
+    for s in snapshot() {
+        if let Some(m) = metric {
+            if !(s.name == m || s.name.starts_with(m)) {
+                continue;
+            }
+        }
+        let kept = thin_points(&s.points, since_ms.unwrap_or(0), step_ms.unwrap_or(0));
+        if kept.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":{},\"downsample\":{},\"points\":[",
+            crate::json::string(&s.name),
+            s.downsample
+        ));
+        for (i, (t, v)) in kept.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{t},{}]", crate::json::number(*v)));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Applies the `since`/`step` query filters to one series' points.
+fn thin_points(points: &[(u64, f64)], since_ms: u64, step_ms: u64) -> Vec<(u64, f64)> {
+    let windowed: Vec<(u64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|(t, _)| *t >= since_ms)
+        .collect();
+    if step_ms == 0 || windowed.len() <= 1 {
+        return windowed;
+    }
+    let mut out = Vec::new();
+    let mut last_kept: Option<u64> = None;
+    for (i, (t, v)) in windowed.iter().enumerate() {
+        let is_last = i == windowed.len() - 1;
+        if is_last || last_kept.is_none_or(|k| *t >= k + step_ms) {
+            out.push((*t, *v));
+            last_kept = Some(*t);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Background sampler
+// ---------------------------------------------------------------------------
+
+/// A background thread snapshotting the observable surface at a fixed
+/// cadence. Stopping (or dropping) the sampler joins the thread after
+/// one final synchronous tick, so the last state of every series — and
+/// any alert resolution it implies — is always captured.
+pub struct Sampler {
+    shared: std::sync::Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling every `interval_ms` milliseconds (minimum 1).
+    pub fn start(interval_ms: u64) -> Sampler {
+        let interval = Duration::from_millis(interval_ms.max(1));
+        let shared = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_shared = std::sync::Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("bmf-sampler".to_string())
+            .spawn(move || {
+                let (stop, cvar) = &*thread_shared;
+                loop {
+                    tick();
+                    let guard = match stop.lock() {
+                        Ok(g) => g,
+                        Err(_) => return,
+                    };
+                    let (guard, _) = match cvar.wait_timeout(guard, interval) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    if *guard {
+                        break;
+                    }
+                }
+                // Final tick: capture the end state so a rule whose
+                // condition cleared in the last interval still resolves.
+                tick();
+            })
+            .expect("spawn sampler thread");
+        Sampler {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to stop and joins it (idempotent).
+    pub fn stop(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        let (stop, cvar) = &*self.shared;
+        if let Ok(mut guard) = stop.lock() {
+            *guard = true;
+        }
+        cvar.notify_all();
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The CLI-owned global sampler (mirrors `serve::start_global`).
+static GLOBAL: Mutex<Option<Sampler>> = Mutex::new(None);
+
+/// Starts the process-wide sampler (replacing any previous one).
+pub fn start_global(interval_ms: u64) {
+    let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(mut old) = slot.take() {
+        old.stop();
+    }
+    *slot = Some(Sampler::start(interval_ms));
+}
+
+/// Stops the process-wide sampler, if one is running.
+pub fn stop_global() {
+    let sampler = {
+        let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        slot.take()
+    };
+    if let Some(mut sampler) = sampler {
+        sampler.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_lock;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disabled_record_is_a_noop() {
+        let _g = test_lock();
+        crate::reset();
+        record("quiet.series", 10, 1.0);
+        assert!(snapshot().is_empty());
+        assert_eq!(sample_once(), 0);
+        crate::reset();
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        record("a.counter", 10, 1.0);
+        record("a.counter", 20, 2.0);
+        record("b.gauge", 15, -0.5);
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a.counter");
+        assert_eq!(snap[0].points, vec![(10, 1.0), (20, 2.0)]);
+        assert_eq!(snap[1].points, vec![(15, -0.5)]);
+        assert_eq!(latest("a.counter"), Some((20, 2.0)));
+        assert_eq!(latest("nope"), None);
+        crate::reset();
+        assert!(snapshot().is_empty(), "reset clears the store");
+    }
+
+    #[test]
+    fn invalid_names_and_series_overflow_are_dropped() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        record("bad name with spaces", 1, 1.0);
+        record("1starts_with_digit", 1, 1.0);
+        record("", 1, 1.0);
+        assert!(snapshot().is_empty());
+        for i in 0..(MAX_SERIES + 10) {
+            record(&format!("s.{i}"), 1, 1.0);
+        }
+        assert_eq!(snapshot().len(), MAX_SERIES);
+        crate::reset();
+    }
+
+    #[test]
+    fn sanitize_label_maps_into_the_series_charset() {
+        assert_eq!(sanitize_label("mc.schematic"), "mc.schematic");
+        assert_eq!(sanitize_label("late stage"), "late_stage");
+        assert_eq!(sanitize_label("9lives"), "_lives");
+        assert_eq!(sanitize_label(""), "_");
+        assert!(valid_series_name(&sanitize_label("weird ün!label")));
+    }
+
+    #[test]
+    fn rate_per_sec_needs_two_points_in_window() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        record("r.series", 1000, 10.0);
+        assert_eq!(rate_per_sec("r.series", 0), None);
+        record("r.series", 2000, 30.0);
+        assert_eq!(rate_per_sec("r.series", 0), Some(20.0));
+        // Window that excludes the first point: one point left, no rate.
+        assert_eq!(rate_per_sec("r.series", 1500), None);
+        crate::reset();
+    }
+
+    #[test]
+    fn sample_once_covers_counters_histograms_progress_and_process() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        crate::metrics::counters::MONTE_CARLO_SIMS.add(7);
+        crate::metrics::histograms::CHOLESKY_NS.record(1_000);
+        let hb = crate::event::Heartbeat::new("tsdb test stage", 4);
+        hb.tick();
+        hb.tick();
+        let ts = sample_once();
+        let names: Vec<String> = snapshot().into_iter().map(|s| s.name).collect();
+        assert!(names.iter().any(|n| n == "monte_carlo.sims"), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.ends_with(".p50")),
+            "histogram percentiles missing: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n == "progress.tsdb_test_stage"),
+            "{names:?}"
+        );
+        for name in &names {
+            assert!(valid_series_name(name), "bad series name {name:?}");
+        }
+        assert_eq!(latest("monte_carlo.sims"), Some((ts, 7.0)));
+        crate::reset();
+    }
+
+    #[test]
+    fn render_json_filters_and_reparses() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        for i in 0..10u64 {
+            record("x.first", i * 100, i as f64);
+            record("y.second", i * 100, -(i as f64));
+        }
+        let all = crate::json::parse(&render_json(None, None, None)).expect("valid JSON");
+        assert_eq!(
+            all.get("series")
+                .and_then(crate::json::Value::as_array)
+                .map(<[crate::json::Value]>::len),
+            Some(2)
+        );
+        let filtered =
+            crate::json::parse(&render_json(Some("x."), Some(500), Some(200))).expect("valid");
+        let series = filtered
+            .get("series")
+            .and_then(crate::json::Value::as_array)
+            .unwrap();
+        assert_eq!(series.len(), 1);
+        let points = series[0]
+            .get("points")
+            .and_then(crate::json::Value::as_array)
+            .unwrap();
+        // since=500 keeps ts 500..900; step=200 keeps 500, 700, 900.
+        assert_eq!(points.len(), 3);
+        crate::reset();
+    }
+
+    #[test]
+    fn sampler_thread_ticks_and_final_tick_runs_on_stop() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        crate::metrics::counters::MONTE_CARLO_SIMS.add(3);
+        let mut sampler = Sampler::start(5);
+        std::thread::sleep(Duration::from_millis(40));
+        sampler.stop();
+        sampler.stop(); // idempotent
+        let snap = snapshot();
+        let sims = snap
+            .iter()
+            .find(|s| s.name == "monte_carlo.sims")
+            .expect("sampled");
+        assert!(sims.points.len() >= 2, "expected several ticks");
+        crate::reset();
+    }
+
+    proptest! {
+        /// Any monotone push sequence keeps the ring within its memory
+        /// bound, timestamps monotone, and the final pushed sample
+        /// retained verbatim — through any number of downsample rounds.
+        #[test]
+        fn ring_is_bounded_monotone_and_keeps_the_last_sample(
+            steps in proptest::collection::vec(0u64..5_000, 1200),
+            seed in 0u64..1000,
+        ) {
+            let mut s = Series::new();
+            let mut ts = seed;
+            for (i, step) in steps.iter().enumerate() {
+                ts += step;
+                let v = (i as f64) * 0.25 - 3.0;
+                s.push(ts, v);
+                let last = (ts.max(s.base_ts_ms), v);
+
+                prop_assert!(s.len() <= RING_CAPACITY, "ring exceeded capacity");
+                prop_assert_eq!(s.deltas_ms.len(), s.values.len());
+                let stamps = s.timestamps();
+                for w in stamps.windows(2) {
+                    prop_assert!(w[0] <= w[1], "timestamps must be monotone");
+                }
+                let (lt, lv) = *s.points().last().expect("non-empty");
+                prop_assert_eq!(lt, last.0, "newest timestamp retained");
+                prop_assert_eq!(lv.to_bits(), last.1.to_bits(), "newest value retained");
+            }
+            prop_assert!(s.downsample >= 2, "1200 pushes must downsample a 512 ring");
+            prop_assert!(s.downsample.is_power_of_two());
+        }
+
+        /// Downsampling halves rings deterministically: a full ring
+        /// shrinks to at most half plus the retained newest point.
+        #[test]
+        fn downsample_halves_occupancy(extra in 1usize..600) {
+            let mut s = Series::new();
+            for i in 0..(RING_CAPACITY + extra) {
+                s.push((i as u64) * 10, i as f64);
+            }
+            prop_assert!(s.len() <= RING_CAPACITY);
+            prop_assert!(s.len() >= RING_CAPACITY / 2);
+        }
+    }
+}

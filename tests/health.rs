@@ -174,6 +174,9 @@ fn estimates_bit_identical_with_health_drift_and_dashboard_active() {
                     fleet: None,
                     drift: Some(&timeline),
                     bench_history_json: None,
+                    timeseries: &[],
+                    alerts_json: None,
+                    refresh_s: None,
                 });
                 assert!(html.to_ascii_lowercase().starts_with("<!doctype html"));
             }
@@ -263,6 +266,9 @@ fn dashboard_document_contains_every_section_and_blob() {
         fleet: None,
         drift: Some(&timeline),
         bench_history_json: Some(bench),
+        timeseries: &[],
+        alerts_json: None,
+        refresh_s: None,
     });
     for id in [
         "profile",

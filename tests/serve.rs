@@ -126,12 +126,14 @@ fn concurrent_scrapes_never_perturb_the_estimate() {
         .expect("estimate")
         .0;
 
-    static TARGETS: [&str; 6] = [
+    static TARGETS: [&str; 8] = [
         "/metrics",
         "/health",
         "/events",
         "/progress",
         "/flight",
+        "/timeseries",
+        "/alerts",
         "/",
     ];
     for &threads in &THREAD_COUNTS {
@@ -237,6 +239,9 @@ fn malformed_requests_get_4xx_without_wedging_the_study() {
         // Bad query strings are rejected without killing the endpoint.
         assert_eq!(status_of(&http_get(addr, "/events?level=bogus")), 400);
         assert_eq!(status_of(&http_get(addr, "/events?n=many")), 400);
+        assert_eq!(status_of(&http_get(addr, "/timeseries?since=soon")), 400);
+        assert_eq!(status_of(&http_get(addr, "/timeseries?step=big")), 400);
+        assert_eq!(status_of(&http_get(addr, "/timeseries?what=ever")), 400);
         assert_eq!(status_of(&http_get(addr, "/nope")), 404);
 
         // The study and the good endpoints still work underneath.
@@ -248,6 +253,8 @@ fn malformed_requests_get_4xx_without_wedging_the_study() {
         assert_moments_bits_eq(&est, &reference, &format!("round {round} under abuse"));
         assert_eq!(status_of(&http_get(addr, "/metrics")), 200);
         assert_eq!(status_of(&http_get(addr, "/health")), 200);
+        assert_eq!(status_of(&http_get(addr, "/timeseries")), 200);
+        assert_eq!(status_of(&http_get(addr, "/alerts")), 200);
     }
 
     drop(loris);
